@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates the rows/series of one paper artifact (see
+DESIGN.md section 4), asserts the reproduced values, times the computational
+kernel with pytest-benchmark, and prints the reproduced table/figure data
+(visible with ``pytest -s``; also regenerable standalone via
+``python benchmarks/run_all.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import adult_dataset, adult_hierarchies
+from repro.datasets import paper_tables
+
+
+def emit(title: str, lines) -> None:
+    """Print one reproduced artifact block (shown under pytest -s)."""
+    print(f"\n--- {title} ---")
+    for line in lines:
+        print(line)
+
+
+@pytest.fixture(scope="session")
+def table1():
+    return paper_tables.table1()
+
+
+@pytest.fixture(scope="session")
+def generalizations():
+    return paper_tables.all_generalizations()
+
+
+@pytest.fixture(scope="session")
+def adult_1k():
+    return adult_dataset(1000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def adult_h():
+    return adult_hierarchies()

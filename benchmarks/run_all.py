@@ -1,0 +1,25 @@
+"""Regenerate every table and figure of the paper (no timing).
+
+Runs the benchmark suite with timing disabled and output capture off, so
+each experiment prints the reproduced rows/series (the ``--- ... ---``
+blocks).  Use this to eyeball paper-vs-measured; EXPERIMENTS.md records the
+comparison.
+
+Run:  python benchmarks/run_all.py
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+
+def main() -> int:
+    here = Path(__file__).parent
+    return pytest.main(
+        [str(here), "--benchmark-disable", "-s", "-q", "--no-header"]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

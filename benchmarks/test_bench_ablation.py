@@ -1,0 +1,169 @@
+"""Experiment E4 — ablations of the design choices called out in DESIGN.md.
+
+  * comparator disagreement: how often ▶min, ▶rank, ▶cov, ▶spr, ▶hv pick
+    different winners over random anonymization pairs of the same data set;
+  * coverage tie handling: paper's ``>=`` versus the strict ``>`` variant;
+  * hypervolume reference point: origin versus per-property minimum;
+  * suppressed-tuple handling: retained fully generalized (paper) vs
+    dropped — effect on the class-size property vector.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.comparators import (
+    CoverageBetter,
+    HypervolumeBetter,
+    MinBetter,
+    RankBetter,
+    Relation,
+    SpreadBetter,
+)
+from repro.core.indices.binary import coverage
+from repro.core.vector import PropertyVector
+from conftest import emit
+
+
+def _random_class_size_vectors(count: int, size: int, seed: int):
+    """Random *valid* class-size vectors: partitions of `size` rows."""
+    rng = np.random.default_rng(seed)
+    vectors = []
+    for _ in range(count):
+        remaining = size
+        sizes = []
+        while remaining > 0:
+            chunk = int(rng.integers(1, min(remaining, max(2, size // 4)) + 1))
+            sizes.append(chunk)
+            remaining -= chunk
+        per_tuple = [s for s in sizes for _ in range(s)]
+        rng.shuffle(per_tuple)
+        vectors.append(PropertyVector(per_tuple))
+    return vectors
+
+
+def test_bench_comparator_disagreement(benchmark):
+    vectors = _random_class_size_vectors(count=20, size=60, seed=5)
+    comparators = {
+        "min": MinBetter(),
+        "rank": RankBetter(ideal=60.0),
+        "cov": CoverageBetter(),
+        "spr": SpreadBetter(),
+        "hv": HypervolumeBetter(),
+    }
+
+    def measure():
+        pairs = list(itertools.combinations(range(len(vectors)), 2))
+        disagreements = 0
+        decisive = {name: 0 for name in comparators}
+        for i, j in pairs:
+            verdicts = {
+                name: comparator.relation(vectors[i], vectors[j])
+                for name, comparator in comparators.items()
+            }
+            for name, verdict in verdicts.items():
+                if verdict is not Relation.EQUIVALENT:
+                    decisive[name] += 1
+            directions = {
+                verdict for verdict in verdicts.values()
+                if verdict is not Relation.EQUIVALENT
+            }
+            if len(directions) > 1:
+                disagreements += 1
+        return len(pairs), disagreements, decisive
+
+    total, disagreements, decisive = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    lines = [f"pairs compared: {total}",
+             f"pairs where comparators disagree on the winner: "
+             f"{disagreements} ({disagreements / total:.0%})"]
+    for name, count in decisive.items():
+        lines.append(f"▶{name} decisive on {count}/{total} pairs")
+    emit("E4: comparator disagreement over random same-N partitions", lines)
+    # The paper's point: the choice of comparator matters.
+    assert disagreements > 0
+    # And ▶min is the least decisive (most blind) of the suite.
+    assert decisive["min"] <= min(
+        count for name, count in decisive.items() if name != "min"
+    )
+
+
+def test_bench_coverage_tie_ablation(benchmark):
+    rng = np.random.default_rng(11)
+    base = rng.integers(2, 8, 200)
+    # Heavy ties: second vector shares 60% of entries.
+    other = base.copy()
+    flip = rng.random(200) < 0.4
+    other[flip] = rng.integers(2, 8, int(flip.sum()))
+    a, b = PropertyVector(base), PropertyVector(other)
+
+    def both_variants():
+        return (
+            coverage(a, b), coverage(b, a),
+            coverage(a, b, strict=True), coverage(b, a, strict=True),
+        )
+
+    cov_ab, cov_ba, strict_ab, strict_ba = benchmark(both_variants)
+    emit("E4: coverage tie handling (paper >= vs strict >)", [
+        f"P_cov(a,b)={cov_ab:.3f}  P_cov(b,a)={cov_ba:.3f}  "
+        f"sum={cov_ab + cov_ba:.3f} (>1: ties double-counted)",
+        f"strict(a,b)={strict_ab:.3f}  strict(b,a)={strict_ba:.3f}  "
+        f"sum={strict_ab + strict_ba:.3f} (<=1)",
+        "paper's >= keeps P_cov(D1,D2)+P_cov(D2,D1) >= 1; the strict "
+        "variant loses the 'not worse' reading",
+    ])
+    assert cov_ab + cov_ba >= 1.0
+    assert strict_ab + strict_ba <= 1.0
+    # Orders must agree whenever both are decisive.
+    if (cov_ab - cov_ba) * (strict_ab - strict_ba) != 0:
+        assert np.sign(cov_ab - cov_ba) == np.sign(strict_ab - strict_ba)
+
+
+def test_bench_hypervolume_reference_ablation(benchmark):
+    a = PropertyVector([2.0, 8.0])
+    b = PropertyVector([5.0, 3.0])
+
+    def verdicts():
+        # Volumes 16 vs 15 at the origin; 7 vs 8 from reference 1.
+        origin = HypervolumeBetter(reference=0.0).relation(a, b)
+        shifted = HypervolumeBetter(reference=1.0).relation(a, b)
+        return origin, shifted
+
+    origin, shifted = benchmark(verdicts)
+    emit("E4: hypervolume reference point", [
+        f"reference 0.0 -> {origin.value} for (2,8) vs (5,3)",
+        f"reference 1.0 -> {shifted.value}",
+        "the reference point can flip ▶hv verdicts — it must be reported "
+        "with any hypervolume comparison",
+    ])
+    assert origin is not shifted  # this pair flips by construction
+
+
+def test_bench_suppressed_handling_ablation(benchmark, adult_1k, adult_h):
+    from repro import Datafly
+    from repro.core.properties import equivalence_class_size
+
+    release = Datafly(10).anonymize(adult_1k.head(400), adult_h)
+
+    def variants():
+        retained = equivalence_class_size(release)
+        kept_rows = [
+            retained[i]
+            for i in range(len(release))
+            if i not in release.suppressed
+        ]
+        dropped = PropertyVector(kept_rows) if kept_rows else retained
+        return retained, dropped
+
+    retained, dropped = benchmark(variants)
+    emit("E4: suppressed-tuple handling", [
+        f"retained (paper): N={len(retained)}, min={retained.min():g} "
+        f"(suppressed tuples form one overly generalized class)",
+        f"dropped: N={len(dropped)}, min={dropped.min():g}",
+        "dropping suppressed tuples silently removes exactly the "
+        "individuals with the least protection from the property vector",
+    ])
+    assert len(retained) == 400
+    assert len(dropped) == 400 - len(release.suppressed)

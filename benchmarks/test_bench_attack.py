@@ -1,0 +1,63 @@
+"""Experiment E5 — empirical grounding of the breach probabilities.
+
+The paper's Section 1 reads privacy levels as "probability of privacy
+breach" (1/3 vs 1/7 for T3a/T3b members).  This bench validates those
+structural numbers against an explicit linkage adversary: analytic
+prosecutor risks equal 1/|EC|, and a Monte Carlo attack reproduces the
+marketer (bulk) rate empirically.
+"""
+
+import pytest
+
+from repro.attack import linkage_report, prosecutor_risks, simulate_linkage
+from repro.core.properties import breach_probability
+from repro.datasets import paper_tables
+from conftest import emit
+
+PAPER_H = {paper_tables.SENSITIVE_ATTRIBUTE: paper_tables.marital_hierarchy()}
+
+
+def test_bench_attack_structural_vs_analytic(benchmark, generalizations):
+    t3b = generalizations["T3b"]
+
+    def attack():
+        return prosecutor_risks(t3b, hierarchies=PAPER_H)
+
+    risks = benchmark(attack)
+    structural = breach_probability(t3b)
+    assert risks.as_tuple() == pytest.approx(structural.as_tuple())
+    # Section 1's numbers: members of the 7-class have breach prob 1/7.
+    assert risks[1] == pytest.approx(1 / 7)
+    assert risks[0] == pytest.approx(1 / 3)
+    emit("E5: prosecutor risks on T3b (= Section 1 breach probabilities)", [
+        f"tuple {i + 1}: {risk:.4f}" for i, risk in enumerate(risks)
+    ])
+
+
+def test_bench_attack_monte_carlo(benchmark, generalizations):
+    t3a = generalizations["T3a"]
+
+    def simulate():
+        return simulate_linkage(t3a, trials=2000, seed=7, hierarchies=PAPER_H)
+
+    rate = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    expected = linkage_report(t3a, hierarchies=PAPER_H).marketer_risk
+    assert rate == pytest.approx(expected, abs=0.04)
+    emit("E5: Monte Carlo linkage vs analytic marketer risk (T3a)", [
+        f"empirical re-identification rate = {rate:.4f}",
+        f"analytic marketer risk           = {expected:.4f}",
+    ])
+
+
+def test_bench_attack_at_workload_scale(benchmark, adult_1k, adult_h):
+    from repro import Mondrian
+
+    release = Mondrian(5).anonymize(adult_1k.head(300), adult_h)
+
+    def attack():
+        return linkage_report(release, hierarchies=adult_h)
+
+    report = benchmark.pedantic(attack, rounds=1, iterations=1)
+    assert report.prosecutor_max <= 1 / 5 + 1e-9
+    emit("E5: linkage report, Mondrian k=5 on 300 Adult rows",
+         [report.describe()])

@@ -1,0 +1,36 @@
+"""Experiment F1 — Figure 1: per-tuple equivalence class sizes.
+
+Regenerates the three series plotted in the paper's Figure 1 (class size of
+each tuple under T3a, T3b, T4) and checks the crossover the figure
+illustrates: user 8 prefers T4 over T3b, user 3 prefers T3b over T4.
+"""
+
+from repro.core.properties import equivalence_class_size
+from repro.datasets import paper_tables
+from conftest import emit
+
+
+def test_bench_figure1(benchmark, generalizations):
+    def series():
+        return {
+            name: equivalence_class_size(release).as_tuple()
+            for name, release in generalizations.items()
+        }
+
+    data = benchmark(series)
+    assert data["T3a"] == tuple(map(float, paper_tables.CLASS_SIZE_T3A))
+    assert data["T3b"] == tuple(map(float, paper_tables.CLASS_SIZE_T3B))
+    assert data["T4"] == tuple(map(float, paper_tables.CLASS_SIZE_T4))
+
+    # Section 2's per-user crossover: tuple 8 (index 7) does better under
+    # T4 (class 4 vs 3); tuple 3 (index 2) does better under T3b (7 vs 4).
+    assert data["T4"][7] > data["T3b"][7]
+    assert data["T3b"][2] > data["T4"][2]
+
+    lines = ["tuple  T3a  T3b  T4"]
+    for i in range(10):
+        lines.append(
+            f"{i + 1:>5}  {data['T3a'][i]:>3.0f}  {data['T3b'][i]:>3.0f}  "
+            f"{data['T4'][i]:>2.0f}"
+        )
+    emit("Figure 1: equivalence class size per tuple", lines)

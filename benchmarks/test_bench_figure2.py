@@ -1,0 +1,61 @@
+"""Experiment F2 — Figure 2: the rank-based comparator geometry.
+
+Regenerates the figure's structure: ranks as distances from the point of
+interest D_max, equi-ranked vectors on the same arc, and the ε tolerance
+making nearby arcs equivalent.  Benchmarks rank computation on the paper's
+class-size vectors.
+"""
+
+from repro.core.indices.unary import RankIndex
+from repro.core.vector import PropertyVector
+from repro.datasets import paper_tables
+from conftest import emit
+
+
+def test_bench_figure2_ranks(benchmark, generalizations):
+    ideal = 10.0  # one class of all N=10 tuples: the most desired vector
+    index = RankIndex(ideal=ideal)
+
+    def ranks():
+        return {
+            name: index(PropertyVector(
+                [release.equivalence_classes.size_of(i) for i in range(10)]
+            ))
+            for name, release in generalizations.items()
+        }
+
+    values = benchmark(ranks)
+    # Closer to D_max is better: T3b < T4 < T3a in distance.
+    assert values["T3b"] < values["T4"] < values["T3a"]
+    emit(
+        "Figure 2: ranks (distance to D_max = all-10 vector)",
+        [f"{name}: rank = {value:.3f}" for name, value in sorted(values.items())],
+    )
+
+
+def test_bench_figure2_equiranked_arc(benchmark):
+    index = RankIndex(ideal=PropertyVector([10.0, 10.0]))
+    a = PropertyVector([10.0, 6.0])
+    b = PropertyVector([6.0, 10.0])
+
+    def on_same_arc():
+        return index(a) == index(b) and not index.prefers(a, b)
+
+    assert benchmark(on_same_arc)
+    emit("Figure 2: incomparable vectors on one arc",
+         [f"rank({a.as_tuple()}) == rank({b.as_tuple()}) == {index(a):.3f}"])
+
+
+def test_bench_figure2_epsilon_tolerance(benchmark):
+    tolerant = RankIndex(ideal=10.0, epsilon=0.5)
+    a = PropertyVector([9.0, 9.0, 9.0])
+    b = PropertyVector([9.0, 9.0, 8.7])
+
+    def equivalent():
+        return tolerant.equivalent(a, b)
+
+    assert benchmark(equivalent)
+    emit("Figure 2: ε-tolerance", [
+        f"|rank(a) - rank(b)| = {abs(tolerant(a) - tolerant(b)):.3f} <= ε=0.5 "
+        "-> equally good",
+    ])

@@ -1,0 +1,60 @@
+"""Experiment E10 — algorithm runtime scaling with data set size.
+
+Wall-clock of the main algorithm families at k=5 across N — the practical
+feasibility picture behind the comparisons.  Full-domain lattice searches
+scale with (lattice size × N) via the vectorized frequency-set path;
+Mondrian with (N log N × partitions); the cut-based TDS with
+(specializations × candidates × N).
+"""
+
+import time
+
+import pytest
+
+from repro import Datafly, Mondrian, Samarati, TopDownSpecialization
+from repro.datasets import adult_dataset, adult_hierarchies
+from conftest import emit
+
+SIZES = [200, 500, 1000, 2000]
+FACTORIES = {
+    "datafly": lambda: Datafly(5),
+    "samarati": lambda: Samarati(5),
+    "mondrian": lambda: Mondrian(5),
+    "tds": lambda: TopDownSpecialization(5),
+}
+
+
+def test_bench_runtime_vs_n(benchmark):
+    hierarchies = adult_hierarchies()
+
+    def sweep():
+        rows = []
+        for size in SIZES:
+            data = adult_dataset(size, seed=7)
+            timings = {}
+            for name, factory in FACTORIES.items():
+                start = time.perf_counter()
+                release = factory().anonymize(data, hierarchies)
+                timings[name] = time.perf_counter() - start
+                assert len(release) == size
+            rows.append((size, timings))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = f"{'N':>6}  " + "  ".join(f"{name:>9}" for name in FACTORIES)
+    lines = [header]
+    for size, timings in rows:
+        lines.append(
+            f"{size:>6}  "
+            + "  ".join(f"{timings[name]:9.3f}" for name in FACTORIES)
+        )
+    emit("E10: algorithm runtime (seconds) vs N, k=5", lines)
+
+    # Shape: every algorithm completes the largest size within sanity
+    # bounds, and runtime does not explode super-quadratically.
+    for name in FACTORIES:
+        smallest = rows[0][1][name]
+        largest = rows[-1][1][name]
+        ratio = largest / max(smallest, 1e-9)
+        growth = (SIZES[-1] / SIZES[0]) ** 2.5
+        assert ratio < growth, f"{name} grew {ratio:.1f}x over {growth:.1f}x bound"

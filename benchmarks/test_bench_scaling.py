@@ -1,0 +1,55 @@
+"""Experiment E2 — scaling of the quality index kernels.
+
+Cost of P_cov / P_spr / P_hv(log) / P_rank as the data set size N grows:
+all four are a single vectorized pass, so the series should be ~linear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.indices.binary import (
+    compare_hypervolume,
+    coverage,
+    spread,
+)
+from repro.core.indices.unary import RankIndex
+from repro.core.vector import PropertyVector
+
+SIZES = [100, 1_000, 10_000, 100_000]
+
+
+def _pair(size: int) -> tuple[PropertyVector, PropertyVector]:
+    rng = np.random.default_rng(size)
+    return (
+        PropertyVector(rng.integers(2, 200, size)),
+        PropertyVector(rng.integers(2, 200, size)),
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_coverage_scaling(benchmark, size):
+    a, b = _pair(size)
+    value = benchmark(coverage, a, b)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_spread_scaling(benchmark, size):
+    a, b = _pair(size)
+    value = benchmark(spread, a, b)
+    assert value >= 0.0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_hypervolume_scaling(benchmark, size):
+    a, b = _pair(size)
+    sign = benchmark(compare_hypervolume, a, b)
+    assert sign in (-1, 0, 1)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_rank_scaling(benchmark, size):
+    a, _ = _pair(size)
+    index = RankIndex(ideal=200.0)
+    value = benchmark(index.value, a)
+    assert value >= 0.0

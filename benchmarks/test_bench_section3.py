@@ -1,0 +1,62 @@
+"""Experiment S3 — Section 3's inline numeric examples.
+
+Every number the section states, computed by the library:
+  * the class-size property vector of T3a;
+  * the sensitive-count property vector of T3a;
+  * P_k-anon = 3, P_s-avg = 3.4, l-diversity index = 1;
+  * P_binary(s, t) = 0 and P_binary(t, s) = 7.
+"""
+
+import pytest
+
+from repro.core.indices.binary import binary_count
+from repro.core.indices.unary import MeanIndex, MinimumIndex
+from repro.core.properties import equivalence_class_size, sensitive_value_count
+from repro.datasets import paper_tables
+from conftest import emit
+
+
+def test_bench_section3_unary_indices(benchmark, generalizations):
+    t3a = generalizations["T3a"]
+
+    def compute():
+        s = equivalence_class_size(t3a)
+        counts = sensitive_value_count(t3a, paper_tables.SENSITIVE_ATTRIBUTE)
+        return (
+            s.as_tuple(),
+            counts.as_tuple(),
+            MinimumIndex()(s),
+            MeanIndex()(s),
+            MinimumIndex()(counts),
+        )
+
+    s_vec, count_vec, k_anon, s_avg, l_div = benchmark(compute)
+    assert s_vec == tuple(map(float, paper_tables.CLASS_SIZE_T3A))
+    assert count_vec == tuple(map(float, paper_tables.SENSITIVE_COUNT_T3A))
+    assert k_anon == 3
+    assert s_avg == pytest.approx(3.4)
+    assert l_div == 1
+    emit("Section 3: unary index examples", [
+        f"class-size vector of T3a      = {tuple(map(int, s_vec))}",
+        f"sensitive-count vector of T3a = {tuple(map(int, count_vec))}",
+        f"P_k-anon(s) = {k_anon:g}    (paper: 3)",
+        f"P_s-avg(s)  = {s_avg:g}  (paper: 3.4)",
+        f"l-diversity = {l_div:g}    (paper: 1)",
+    ])
+
+
+def test_bench_section3_binary_index(benchmark, generalizations):
+    s = equivalence_class_size(generalizations["T3a"])
+    t = equivalence_class_size(generalizations["T3b"])
+
+    def compute():
+        return binary_count(s, t), binary_count(t, s)
+
+    forward, backward = benchmark(compute)
+    assert forward == 0
+    assert backward == 7
+    emit("Section 3: P_binary example", [
+        f"P_binary(s, t) = {forward}  (paper: 0)",
+        f"P_binary(t, s) = {backward}  (paper: 7)",
+        "T3b is preferable on the class-size property",
+    ])

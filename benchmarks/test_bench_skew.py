@@ -1,0 +1,63 @@
+"""Experiment E7 — anonymization bias as a function of data skew.
+
+Section 2 attributes the bias to anonymizations being "skewed towards a
+fraction of the data set".  This experiment turns the driver into a dial:
+the same algorithms at the same k, applied to workloads of increasing QI
+skew.  Two shape claims emerge:
+
+* a **full-domain** recoder (Datafly) cannot adapt to local density, so
+  its per-tuple class-size inequality (Gini) rises sharply from uniform to
+  census-like skew (and relaxes again only at extreme skew, where almost
+  everything collapses into one giant class);
+* an **adaptive local** recoder (Mondrian) tracks the density and keeps
+  the bias low at every skew level — adaptivity is a bias-mitigation
+  mechanism, exactly the kind of distinction the scalar k cannot see.
+"""
+
+import pytest
+
+from repro import Datafly, Mondrian
+from repro.analysis import bias_summary
+from repro.core.properties import equivalence_class_size
+from repro.datasets import skewed_dataset, synthetic_hierarchies
+from conftest import emit
+
+SKEWS = [0.0, 0.5, 1.0, 2.0]
+K = 10
+SIZE = 800
+
+
+def test_bench_bias_vs_skew(benchmark):
+    hierarchies = synthetic_hierarchies()
+
+    def sweep():
+        rows = []
+        for skew in SKEWS:
+            data = skewed_dataset(SIZE, skew, seed=23)
+            datafly = Datafly(K, suppression_limit=0.05).anonymize(
+                data, hierarchies
+            )
+            mondrian = Mondrian(K).anonymize(data, hierarchies)
+            rows.append((
+                skew,
+                bias_summary(equivalence_class_size(datafly)),
+                bias_summary(equivalence_class_size(mondrian)),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'skew':>5}  {'datafly gini':>13}  {'mondrian gini':>14}"]
+    for skew, datafly_summary, mondrian_summary in rows:
+        lines.append(
+            f"{skew:5.1f}  {datafly_summary.gini:13.3f}  "
+            f"{mondrian_summary.gini:14.3f}"
+        )
+    emit("E7: class-size bias (Gini) vs workload skew, k=10", lines)
+
+    datafly_gini = {skew: d.gini for skew, d, _ in rows}
+    mondrian_gini = {skew: m.gini for skew, _, m in rows}
+    # Full-domain bias rises from uniform to census-like skew.
+    assert datafly_gini[1.0] > datafly_gini[0.0] * 1.5
+    # Adaptive local recoding keeps bias below full-domain at skew >= 0.5.
+    for skew in (0.5, 1.0, 2.0):
+        assert mondrian_gini[skew] < datafly_gini[skew]

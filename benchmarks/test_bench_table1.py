@@ -1,0 +1,15 @@
+"""Experiment T1 — Table 1: the hypothetical microdata.
+
+Regenerates the 10-tuple table and benchmarks dataset construction.
+"""
+
+from repro.datasets import paper_tables
+from conftest import emit
+
+
+def test_bench_table1(benchmark):
+    data = benchmark(paper_tables.table1)
+    assert len(data) == 10
+    assert data[0] == ("13053", 28, "CF-Spouse")
+    assert data[9] == ("13250", 47, "Separated")
+    emit("Table 1: hypothetical microdata", [data.to_text()])

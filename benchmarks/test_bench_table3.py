@@ -1,0 +1,13 @@
+"""Experiment T3 — Table 3: the 4-anonymous generalization T4."""
+
+from repro.datasets import paper_tables
+from repro.hierarchy import Interval
+from conftest import emit
+
+
+def test_bench_table3(benchmark):
+    release = benchmark(paper_tables.t4)
+    assert release.k() == 4
+    assert release.released[0] == ("13***", Interval(20, 40), "*")
+    assert tuple(release.equivalence_classes.sizes()) == paper_tables.CLASS_SIZE_T4
+    emit("Table 3: T4", [release.released.to_text()])

@@ -1,0 +1,75 @@
+"""Experiment T4 — Table 4: the strict comparator taxonomy.
+
+Exercises every row of the table (weak dominance, strong dominance,
+non-dominance, user-defined ▶-better) on vectors, on sets of vectors paired
+by property, and on the anonymizations of the running example; benchmarks
+the dominance kernel over the paper vectors.
+"""
+
+from repro.core.comparators import (
+    CoverageBetter,
+    Relation,
+    non_dominated,
+    set_non_dominated,
+    set_strongly_dominates,
+    set_weakly_dominates,
+    strongly_dominates,
+    weakly_dominates,
+)
+from repro.core.properties import equivalence_class_size, sensitive_value_count
+from repro.core.vector import PropertyVector
+from repro.datasets import paper_tables
+from conftest import emit
+
+S = PropertyVector(paper_tables.CLASS_SIZE_T3A, "T3a")
+T = PropertyVector(paper_tables.CLASS_SIZE_T3B, "T3b")
+U = PropertyVector(paper_tables.CLASS_SIZE_T4, "T4")
+
+
+def table4_rows():
+    rows = []
+    # Row 1: weak dominance — "not worse than".
+    rows.append(("weak dominance  T3b ⪰ T3a", weakly_dominates(T, S)))
+    # Row 2: strong dominance — "better than".
+    rows.append(("strong dominance T3b ≻ T3a", strongly_dominates(T, S)))
+    # Row 3: non-dominance — incomparable.
+    rows.append(("non-dominance   T3b ∥ T4", non_dominated(T, U)))
+    # Row 4: user-defined ▶-better.
+    rows.append(
+        ("▶cov-better     T3b ▶ T4",
+         CoverageBetter().relation(T, U) is Relation.BETTER)
+    )
+    return rows
+
+
+def test_bench_table4_vector_level(benchmark):
+    rows = benchmark(table4_rows)
+    assert all(holds for _, holds in rows)
+    emit("Table 4: strict comparators (vector level)",
+         [f"{label}: {holds}" for label, holds in rows])
+
+
+def test_bench_table4_set_level(benchmark, generalizations):
+    t3a, t3b = generalizations["T3a"], generalizations["T3b"]
+    sensitive = paper_tables.SENSITIVE_ATTRIBUTE
+
+    def build_and_compare():
+        first = (
+            equivalence_class_size(t3b),
+            sensitive_value_count(t3b, sensitive),
+        )
+        second = (
+            equivalence_class_size(t3a),
+            sensitive_value_count(t3a, sensitive),
+        )
+        return (
+            set_weakly_dominates(first, second),
+            set_strongly_dominates(first, second),
+            set_non_dominated(first, second),
+        )
+
+    weak, strong, incomparable = benchmark(build_and_compare)
+    # T3b dominates T3a on class size AND on sensitive counts.
+    assert weak and strong and not incomparable
+    emit("Table 4: strict comparators (set level, Υ_T3b vs Υ_T3a)",
+         [f"Υ1 ⪰ Υ2: {weak}", f"Υ1 ≻ Υ2: {strong}", f"Υ1 ∥ Υ2: {incomparable}"])

@@ -1,0 +1,86 @@
+"""Comparing real disclosure control algorithms with the vector framework.
+
+Anonymizes a census-like workload with five algorithms at the same k, then
+shows that the scalar "k achieved" story is identical while the per-tuple
+privacy and utility distributions differ — and ranks the algorithms with
+the paper's comparators.
+
+Run:  python examples/compare_algorithms.py [rows] [k]
+"""
+
+import sys
+
+from repro import (
+    CoverageBetter,
+    Datafly,
+    HypervolumeBetter,
+    Mondrian,
+    MuArgus,
+    OptimalLattice,
+    Samarati,
+    SpreadBetter,
+    adult_dataset,
+    adult_hierarchies,
+    bias_summary,
+    copeland_ranking,
+    hypervolume_ranking,
+)
+from repro.analysis import format_relation_matrix, relation_matrix
+from repro.core.properties import equivalence_class_size, tuple_utility
+from repro.utility import discernibility, general_loss
+
+
+def main(rows: int = 500, k: int = 5) -> None:
+    data = adult_dataset(rows, seed=7)
+    hierarchies = adult_hierarchies()
+    algorithms = [
+        Datafly(k),
+        Samarati(k),
+        Mondrian(k),
+        OptimalLattice(k),
+        MuArgus(k),
+    ]
+
+    print(f"Workload: synthetic Adult, {rows} rows, k={k}\n")
+    releases = {}
+    for algorithm in algorithms:
+        release = algorithm.anonymize(data, hierarchies)
+        releases[algorithm.name] = release
+        print(
+            f"{algorithm.name:>18}: k achieved={release.k():>3}  "
+            f"suppressed={len(release.suppressed):>3}  "
+            f"LM={general_loss(release, hierarchies):.3f}  "
+            f"DM={discernibility(release):>8}"
+        )
+
+    privacy = {name: equivalence_class_size(r) for name, r in releases.items()}
+    utility = {
+        name: tuple_utility(r, hierarchies) for name, r in releases.items()
+    }
+
+    print("\nPer-tuple privacy bias (equivalence class size):")
+    for name, vector in privacy.items():
+        print(f"  {name:>18}: {bias_summary(vector).describe()}")
+
+    print("\n▶cov-better relations on privacy (row vs column):")
+    print(format_relation_matrix(relation_matrix(privacy, CoverageBetter()),
+                                 list(privacy)))
+
+    print("\n▶spr-better relations on utility (row vs column):")
+    print(format_relation_matrix(relation_matrix(utility, SpreadBetter()),
+                                 list(utility)))
+
+    print("\nTournament rankings on privacy:")
+    print("  by hypervolume:", [name for name, _ in hypervolume_ranking(privacy)])
+    print("  by ▶cov wins:  ",
+          [f"{name}({wins})" for name, wins in
+           copeland_ranking(privacy, CoverageBetter())])
+    print("  by ▶hv wins:   ",
+          [f"{name}({wins})" for name, wins in
+           copeland_ranking(privacy, HypervolumeBetter())])
+
+
+if __name__ == "__main__":
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    main(rows, k)

@@ -1,0 +1,60 @@
+"""Bring-your-own-data workflow: CSV in, audited release out.
+
+Shows the full adoption path for a downstream user with their own table:
+
+1. write/read the microdata as CSV;
+2. infer generalization hierarchies from the data (and persist them as
+   JSON for review and versioning);
+3. sweep k across an algorithm and inspect privacy/bias/utility trade-offs;
+4. pick a configuration, anonymize, and write the release.
+
+Run:  python examples/custom_data_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Mondrian, TaxonomyHierarchy  # noqa: F401 (public API tour)
+from repro.analysis import format_sweep, k_sweep
+from repro.anonymize.algorithms import TopDownSpecialization
+from repro.datasets import read_csv, skewed_dataset, synthetic_schema, write_csv
+from repro.hierarchy import infer_hierarchies, load_hierarchies, save_hierarchies
+from repro.utility import general_loss
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-workflow-"))
+    print(f"working directory: {workdir}\n")
+
+    # 1. The user's data arrives as CSV (here: a skewed synthetic stand-in).
+    source_path = workdir / "microdata.csv"
+    write_csv(skewed_dataset(600, skew=1.0, seed=31), source_path)
+    data = read_csv(source_path, synthetic_schema())
+    print(f"loaded {len(data)} rows, "
+          f"QIs = {data.schema.quasi_identifier_names}")
+
+    # 2. Infer hierarchies and persist them for review.
+    hierarchies = infer_hierarchies(data)
+    hierarchy_path = workdir / "hierarchies.json"
+    save_hierarchies(hierarchies, hierarchy_path)
+    hierarchies = load_hierarchies(hierarchy_path)
+    for name, hierarchy in hierarchies.items():
+        print(f"  inferred {name}: {hierarchy!r}")
+
+    # 3. Sweep k and inspect the trade-offs.
+    print("\nMondrian k-sweep (privacy / bias / utility):")
+    rows = k_sweep(lambda k: Mondrian(k), data, hierarchies, ks=[2, 5, 10, 25])
+    print(format_sweep(rows))
+
+    # 4. Anonymize with the chosen configuration and write the release.
+    chosen_k = 10
+    release = TopDownSpecialization(chosen_k).anonymize(data, hierarchies)
+    release_path = workdir / "release.csv"
+    write_csv(release.released, release_path)
+    print(f"\nchose TDS at k={chosen_k}: achieved k={release.k()}, "
+          f"LM={general_loss(release, hierarchies):.3f}")
+    print(f"release written to {release_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Hospital discharge release: a second domain-specific scenario.
+
+The classic motivating story (Sweeney's governor re-identification): a
+hospital wants to publish discharge records — zip, age, sex plus a
+sensitive diagnosis.  This example walks the domain-specific concerns:
+
+* k-member clustering vs Mondrian vs Datafly at the same k;
+* attribute disclosure on the *diagnosis*, measured with hierarchical
+  t-closeness over the ICD-chapter taxonomy (a circulatory-only class
+  leaks less than a schizophrenia-only class of the same size);
+* personalized privacy where mental-health patients guard their whole
+  chapter while others guard only the exact diagnosis.
+
+Run:  python examples/hospital_discharge.py [rows] [k]
+"""
+
+import sys
+
+from repro import (
+    Datafly,
+    Mondrian,
+    PersonalizedPrivacy,
+    TCloseness,
+    bias_summary,
+)
+from repro.anonymize.algorithms import KMemberClustering
+from repro.attack import homogeneity_risks
+from repro.core.properties import equivalence_class_size
+from repro.datasets import (
+    diagnosis_taxonomy,
+    hospital_dataset,
+    hospital_hierarchies,
+)
+from repro.utility import general_loss
+
+
+def main(rows: int = 150, k: int = 5) -> None:
+    data = hospital_dataset(rows, seed=41)
+    hierarchies = hospital_hierarchies()
+    taxonomy = diagnosis_taxonomy()
+    print(f"Workload: synthetic hospital discharges, {rows} rows, k={k}\n")
+
+    releases = {}
+    for algorithm in (
+        Datafly(k),
+        Mondrian(k),
+        KMemberClustering(k),
+    ):
+        release = algorithm.anonymize(data, hierarchies)
+        releases[algorithm.name] = release
+        print(f"{algorithm.name:>22}: k={release.k():>3}  "
+              f"LM={general_loss(release, hierarchies):.3f}  "
+              f"{bias_summary(equivalence_class_size(release)).describe()}")
+
+    print("\nAttribute disclosure on the diagnosis:")
+    closeness = TCloseness(0.5, "diagnosis", taxonomy=taxonomy)
+    for name, release in releases.items():
+        distances = closeness.class_distances(release)
+        homogeneity = homogeneity_risks(release, "diagnosis")
+        print(f"  {name:>22}: max chapter-EMD={max(distances):.3f}  "
+              f"max homogeneity={homogeneity.max():.2f}")
+
+    print("\nPersonalized privacy (mental-health patients guard their "
+          "chapter):")
+    guarding = []
+    for row in data:
+        chapter = taxonomy.generalize(row[3], 1)
+        guarding.append(chapter if chapter == "Mental" else row[3])
+    model = PersonalizedPrivacy(
+        taxonomy, guarding, bound=0.5, sensitive_attribute="diagnosis"
+    )
+    for name, release in releases.items():
+        probabilities = model.breach_probabilities(release)
+        verdict = "satisfied" if model.satisfied_by(release) else "VIOLATED"
+        print(f"  {name:>22}: max breach={max(probabilities):.2f}  "
+              f"bound=0.50 -> {verdict}")
+
+    print("\nSame k, three different stories: the release a hospital should "
+          "pick depends on the property vector, not the scalar.")
+
+
+if __name__ == "__main__":
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    main(rows, k)

@@ -1,0 +1,69 @@
+"""Grounding breach probabilities in an explicit linkage adversary.
+
+Section 1 of the paper reads per-tuple privacy as "probability of privacy
+breach" (1/3 for everyone in T3a vs 1/7 for most tuples in T3b).  This
+example mounts the actual attack: an adversary holding the victims' raw
+quasi-identifiers links them against each release, and we compare the
+analytic risks, the structural 1/|EC| property vector, and a Monte Carlo
+simulation — then repeat at workload scale and test attribute-disclosure
+attacks (homogeneity, background knowledge).
+
+Run:  python examples/linkage_attack.py
+"""
+
+from repro import Datafly, Mondrian, adult_dataset, adult_hierarchies
+from repro.attack import (
+    background_knowledge_risks,
+    homogeneity_risks,
+    homogeneous_classes,
+    linkage_report,
+    prosecutor_risks,
+    simulate_linkage,
+)
+from repro.core.properties import breach_probability
+from repro.datasets import paper_tables
+
+PAPER_H = {paper_tables.SENSITIVE_ATTRIBUTE: paper_tables.marital_hierarchy()}
+
+
+def main() -> None:
+    print("Part 1 — the paper's running example\n")
+    for name, release in paper_tables.all_generalizations().items():
+        analytic = prosecutor_risks(release, hierarchies=PAPER_H)
+        structural = breach_probability(release)
+        agree = analytic.as_tuple() == structural.as_tuple()
+        empirical = simulate_linkage(
+            release, trials=3000, seed=3, hierarchies=PAPER_H
+        )
+        report = linkage_report(release, hierarchies=PAPER_H)
+        print(f"{name}: attack risks == structural 1/|EC|: {agree}")
+        print(f"     per-tuple risks: {tuple(round(r, 3) for r in analytic)}")
+        print(f"     {report.describe()}")
+        print(f"     Monte Carlo bulk rate: {empirical:.4f} "
+              f"(analytic {report.marketer_risk:.4f})\n")
+
+    print("Part 2 — workload scale (300 Adult rows, k=5)\n")
+    data = adult_dataset(300, seed=19)
+    hierarchies = adult_hierarchies()
+    for algorithm in (Datafly(5), Mondrian(5)):
+        release = algorithm.anonymize(data, hierarchies)
+        report = linkage_report(release, hierarchies=hierarchies)
+        print(f"{algorithm.name:>20}: {report.describe()}")
+
+    print("\nPart 3 — attribute disclosure (occupation)\n")
+    release = Mondrian(5).anonymize(data, hierarchies)
+    homogeneity = homogeneity_risks(release, "occupation")
+    print(f"homogeneity risk: max={homogeneity.max():.2f} "
+          f"mean={homogeneity.mean():.3f}")
+    exposed = homogeneous_classes(release, "occupation")
+    print(f"fully homogeneous classes: {len(exposed)}")
+    for ruled_out in (0, 2, 5):
+        risks = background_knowledge_risks(release, ruled_out, "occupation")
+        print(f"background knowledge m={ruled_out}: "
+              f"max risk={risks.max():.2f} mean={risks.mean():.3f}")
+    print("\nIdentity disclosure bounded by k does not bound attribute "
+          "disclosure — the l-diversity motivation, measured per tuple.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Privacy as an objective, not a constraint (Section 7 of the paper).
+
+Runs the NSGA-II search over the full-domain lattice of a census-like
+workload with two objectives derived from property vectors — distance of
+the class-size vector from the ideal (privacy) and total general loss
+(utility) — and contrasts the resulting Pareto front with the classical
+weighted-sum scalarization at several weights.
+
+Run:  python examples/multiobjective_frontier.py [rows]
+"""
+
+import sys
+
+from repro import adult_dataset, adult_hierarchies
+from repro.anonymize.algorithms.base import RecodingWorkspace
+from repro.moo import (
+    Nsga2Search,
+    hypervolume_2d,
+    weighted_sum_search,
+)
+
+
+def main(rows: int = 300) -> None:
+    data = adult_dataset(rows, seed=13)
+    hierarchies = adult_hierarchies()
+    workspace = RecodingWorkspace(data, hierarchies)
+
+    print(f"Workload: synthetic Adult, {rows} rows; "
+          f"lattice of {len(workspace.lattice)} full-domain recodings\n")
+
+    search = Nsga2Search(population_size=32, generations=25, seed=1)
+    result = search.search(data, hierarchies)
+
+    print(f"NSGA-II Pareto front: {len(result)} non-dominated recodings")
+    print(f"{'node':>24}  {'privacy-dist':>12}  {'total-loss':>10}  k")
+    for node, (privacy, loss) in zip(result.nodes, result.objectives):
+        counts = workspace.group_sizes(node)
+        k = min(counts.values())
+        print(f"{str(node):>24}  {privacy:12.1f}  {loss:10.2f}  {k}")
+
+    reference = (
+        max(objectives[0] for objectives in result.objectives) * 1.1 + 1,
+        max(objectives[1] for objectives in result.objectives) * 1.1 + 1,
+    )
+    volume = hypervolume_2d(result.objectives, reference)
+    print(f"\nFront hypervolume (ref {reference[0]:.0f},{reference[1]:.0f}): "
+          f"{volume:.3g}")
+
+    print("\nWeighted-sum baseline (the single-objective framework the paper "
+          "says must change):")
+    print(f"{'weight':>7}  {'node':>24}  {'privacy-dist':>12}  {'total-loss':>10}")
+    for weight in (0.0, 0.25, 0.5, 0.75, 1.0):
+        node, objectives = weighted_sum_search(data, hierarchies, weight)
+        print(f"{weight:7.2f}  {str(node):>24}  {objectives[0]:12.1f}  "
+              f"{objectives[1]:10.2f}")
+
+    print("\nEvery weighted-sum optimum sits on (or at) the front, but the "
+          "front exposes the whole trade-off at once,")
+    print("including knee points no single weight would have surfaced.")
+
+
+if __name__ == "__main__":
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    main(rows)

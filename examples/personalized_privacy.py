@@ -1,0 +1,75 @@
+"""Anonymization bias in personalized privacy (Section 2 of the paper).
+
+Xiao and Tao's model bounds each individual's breach probability by a
+personal guarding node, but the *achieved* probabilities still differ
+between individuals — the bias is present even in a personalized setting.
+This example assigns guarding nodes on the marital-status taxonomy of the
+paper's running example and measures the per-tuple breach probabilities
+under the three generalizations.
+
+Run:  python examples/personalized_privacy.py
+"""
+
+from repro.analysis import bias_summary
+from repro.core.comparators import CoverageBetter
+from repro.datasets import paper_tables
+from repro.privacy import PersonalizedPrivacy
+
+
+def main() -> None:
+    table = paper_tables.table1()
+    taxonomy = paper_tables.marital_hierarchy()
+
+    # Guarding nodes: the married individuals hide their exact status only;
+    # separated/divorced individuals guard the whole "Not Married" subtree
+    # (they consider the category itself sensitive); tuple 3 opts out.
+    guarding = []
+    for row in table:
+        status = row[2]
+        if status in ("CF-Spouse", "Spouse Present"):
+            guarding.append(status)
+        elif status == "Never Married":
+            guarding.append("*")  # no protection requested
+        else:
+            guarding.append("Not Married")
+
+    model = PersonalizedPrivacy(
+        taxonomy, guarding, bound=0.8,
+        sensitive_attribute=paper_tables.SENSITIVE_ATTRIBUTE,
+    )
+
+    releases = paper_tables.all_generalizations()
+    vectors = {}
+    print("Per-tuple guarding-node breach probabilities:\n")
+    header = "tuple  " + "  ".join(f"{name:>5}" for name in releases)
+    print(header)
+    probabilities = {
+        name: model.breach_probabilities(release)
+        for name, release in releases.items()
+    }
+    for row_index in range(len(table)):
+        cells = "  ".join(
+            f"{probabilities[name][row_index]:5.2f}" for name in releases
+        )
+        print(f"{row_index + 1:>5}  {cells}")
+
+    print("\nScalar view (max breach probability):")
+    for name, release in releases.items():
+        satisfied = "satisfied" if model.satisfied_by(release) else "VIOLATED"
+        print(f"  {name}: max={max(probabilities[name]):.2f}  bound=0.80  "
+              f"-> {satisfied}")
+
+    print("\nVector view (bias across individuals):")
+    for name, release in releases.items():
+        vectors[name] = model.property_vector(release)
+        print(f"  {name}: {bias_summary(vectors[name]).describe()}")
+
+    comparator = CoverageBetter()
+    relation = comparator.relation(vectors["T3b"], vectors["T4"])
+    print(f"\n▶cov on breach probability, T3b vs T4: {relation.value}")
+    print("Equal personal bounds, unequal achieved protection — the bias "
+          "persists under personalization.")
+
+
+if __name__ == "__main__":
+    main()

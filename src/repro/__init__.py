@@ -1,0 +1,181 @@
+"""repro — vector-based comparison of microdata disclosure control algorithms.
+
+A full reproduction of Dewri, Ray, Ray and Whitley, *On the Comparison of
+Microdata Disclosure Control Algorithms* (EDBT 2009): property vectors,
+quality index functions and ▶-better comparators for anonymization
+comparison, together with the substrate the paper presupposes —
+generalization hierarchies, the full-domain lattice, classical disclosure
+control algorithms (Datafly, Samarati, Incognito, Mondrian, optimal lattice
+search, Iyengar-style GA, μ-Argus), privacy models (k-anonymity,
+l-diversity, t-closeness, p-sensitive k-anonymity, personalized privacy)
+and utility metrics (LM, DM, precision).
+
+Quick start::
+
+    from repro import adult_dataset, adult_hierarchies
+    from repro import Datafly, Mondrian
+    from repro.core.properties import equivalence_class_size
+    from repro.core.indices import coverage
+
+    data = adult_dataset(1000, seed=7)
+    hierarchies = adult_hierarchies()
+    a = Datafly(k=5).anonymize(data, hierarchies)
+    b = Mondrian(k=5).anonymize(data, hierarchies)
+    s, t = equivalence_class_size(a), equivalence_class_size(b)
+    print(coverage(t, s), coverage(s, t))   # who protects more individuals?
+"""
+
+from .analysis import (
+    BiasSummary,
+    benefit_counts,
+    bias_summary,
+    comparison_report,
+    copeland_ranking,
+    hypervolume_ranking,
+    property_report,
+)
+from .anonymize import (
+    Anonymization,
+    AnonymizationError,
+    EquivalenceClasses,
+    recode,
+    recode_node,
+)
+from .anonymize.algorithms import (
+    Anonymizer,
+    BottomUpGeneralization,
+    ConstrainedLattice,
+    Datafly,
+    GeneticAnonymizer,
+    Incognito,
+    Mondrian,
+    MuArgus,
+    OptimalLattice,
+    Samarati,
+    TopDownSpecialization,
+)
+from .core import (
+    CoverageBetter,
+    LeastBiasedBetter,
+    HypervolumeBetter,
+    MinBetter,
+    PropertyProfile,
+    PropertyVector,
+    RankBetter,
+    Relation,
+    SpreadBetter,
+    default_comparators,
+    privacy_profile,
+    privacy_utility_profile,
+)
+from .datasets import (
+    Attribute,
+    skewed_dataset,
+    synthetic_hierarchies,
+    AttributeKind,
+    AttributeRole,
+    Dataset,
+    Schema,
+    adult_dataset,
+    adult_hierarchies,
+    adult_schema,
+)
+from .hierarchy import (
+    SUPPRESSED,
+    Banding,
+    Hierarchy,
+    Interval,
+    IntervalHierarchy,
+    Lattice,
+    MaskingHierarchy,
+    Span,
+    TaxonomyHierarchy,
+)
+from .attack import (
+    linkage_report,
+    prosecutor_risks,
+    simulate_linkage,
+)
+from .hierarchy import infer_hierarchies, load_hierarchies, save_hierarchies
+from .privacy import (
+    DistinctLDiversity,
+    EntropyLDiversity,
+    KAnonymity,
+    PersonalizedPrivacy,
+    PSensitiveKAnonymity,
+    RecursiveCLDiversity,
+    TCloseness,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasSummary",
+    "benefit_counts",
+    "bias_summary",
+    "comparison_report",
+    "copeland_ranking",
+    "hypervolume_ranking",
+    "property_report",
+    "Anonymization",
+    "AnonymizationError",
+    "EquivalenceClasses",
+    "recode",
+    "recode_node",
+    "Anonymizer",
+    "BottomUpGeneralization",
+    "ConstrainedLattice",
+    "Datafly",
+    "GeneticAnonymizer",
+    "Incognito",
+    "Mondrian",
+    "MuArgus",
+    "OptimalLattice",
+    "Samarati",
+    "TopDownSpecialization",
+    "CoverageBetter",
+    "LeastBiasedBetter",
+    "HypervolumeBetter",
+    "MinBetter",
+    "PropertyProfile",
+    "PropertyVector",
+    "RankBetter",
+    "Relation",
+    "SpreadBetter",
+    "default_comparators",
+    "privacy_profile",
+    "privacy_utility_profile",
+    "Attribute",
+    "AttributeKind",
+    "AttributeRole",
+    "Dataset",
+    "Schema",
+    "adult_dataset",
+    "adult_hierarchies",
+    "adult_schema",
+    "skewed_dataset",
+    "synthetic_hierarchies",
+    "linkage_report",
+    "prosecutor_risks",
+    "simulate_linkage",
+    "infer_hierarchies",
+    "load_hierarchies",
+    "save_hierarchies",
+    "SUPPRESSED",
+    "Banding",
+    "Hierarchy",
+    "Interval",
+    "IntervalHierarchy",
+    "Lattice",
+    "MaskingHierarchy",
+    "Span",
+    "TaxonomyHierarchy",
+    "DistinctLDiversity",
+    "EntropyLDiversity",
+    "KAnonymity",
+    "PersonalizedPrivacy",
+    "PSensitiveKAnonymity",
+    "RecursiveCLDiversity",
+    "TCloseness",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""Quantifying anonymization bias.
+
+The paper defines anonymization bias as the skew of a property's
+distribution across tuples: a scalar privacy level can hide that some
+individuals get far more protection than others (Section 2).  This module
+summarizes a property vector's distribution with the statistics that make
+the bias visible — including the Gini coefficient of the property values and
+the fraction of tuples stuck at the minimum (the tuples the scalar model is
+actually about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.vector import PropertyVector
+
+
+@dataclass(frozen=True)
+class BiasSummary:
+    """Distributional summary of one property vector.
+
+    All statistics are over the *oriented* values (higher is better), so
+    ``minimum`` is always the worst-protected tuple's level.
+    """
+
+    property_name: str
+    size: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    std: float
+    gini: float
+    fraction_at_minimum: float
+
+    @property
+    def spread(self) -> float:
+        """Range of property values — 0 means a perfectly unbiased
+        anonymization (every tuple equally treated)."""
+        return self.maximum - self.minimum
+
+    def describe(self) -> str:
+        """One-line human-readable rendering of the summary."""
+        return (
+            f"{self.property_name}: min={self.minimum:g} max={self.maximum:g} "
+            f"mean={self.mean:.4g} median={self.median:g} std={self.std:.4g} "
+            f"gini={self.gini:.4f} at-min={self.fraction_at_minimum:.1%}"
+        )
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of non-negative values (0 = equal, → 1 = skewed).
+
+    Values are shifted to be non-negative first, since property vectors may
+    be oriented by negation.
+    """
+    array = np.sort(np.asarray(values, dtype=float))
+    shifted = array - array.min() if array.min() < 0 else array
+    total = shifted.sum()
+    if total == 0:
+        return 0.0
+    n = shifted.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * shifted).sum()) / (n * total) - (n + 1) / n)
+
+
+def bias_summary(vector: PropertyVector) -> BiasSummary:
+    """Distributional bias summary of one property vector."""
+    oriented = vector.oriented
+    minimum = float(oriented.min())
+    return BiasSummary(
+        property_name=vector.name,
+        size=len(vector),
+        minimum=minimum,
+        maximum=float(oriented.max()),
+        mean=float(oriented.mean()),
+        median=float(np.median(oriented)),
+        std=float(oriented.std()),
+        gini=gini_coefficient(oriented),
+        fraction_at_minimum=float(np.mean(oriented == minimum)),
+    )
+
+
+def benefit_counts(
+    first: PropertyVector, second: PropertyVector
+) -> tuple[int, int, int]:
+    """Tuples favored by ``first``, by ``second``, and tied.
+
+    The per-individual view of Section 2: "different anonymizations can in
+    fact be better for different individuals."
+    """
+    from ..core.vector import check_comparable
+
+    check_comparable(first, second)
+    first_wins = int(np.count_nonzero(first.oriented > second.oriented))
+    second_wins = int(np.count_nonzero(second.oriented > first.oriented))
+    ties = len(first) - first_wins - second_wins
+    return first_wins, second_wins, ties

@@ -1,0 +1,127 @@
+"""Comparator diagnostics.
+
+The paper defines comparators as "user-defined ways of evaluating the
+superiority of a property vector" (Section 3) — which invites users to
+define their own.  This module checks the order-theoretic hygiene of any
+comparator on a concrete family of vectors:
+
+* **antisymmetry** — ``relation(a, b)`` must be the flip of
+  ``relation(b, a)``;
+* **self-equivalence** — ``relation(a, a)`` must be EQUIVALENT;
+* **transitivity / cycles** — ▶-better relations need *not* be transitive:
+  pairwise-majority comparators like ▶cov can form Condorcet cycles
+  (a ▶ b ▶ c ▶ a).  :func:`find_cycles` surfaces them, because a cyclic
+  comparator cannot rank a family without a tournament rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.comparators import MetricComparator, Relation
+from ..core.vector import PropertyVector
+
+
+@dataclass
+class ComparatorDiagnostics:
+    """Violations found while auditing a comparator on a vector family."""
+
+    comparator_name: str
+    antisymmetry_violations: list[tuple[str, str]] = field(default_factory=list)
+    self_equivalence_violations: list[str] = field(default_factory=list)
+    cycles: list[tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def lawful(self) -> bool:
+        """Whether antisymmetry and self-equivalence both held (cycles are
+        reported but are not law violations — ▶-better comparators are not
+        required to be transitive)."""
+        return not self.antisymmetry_violations and not (
+            self.self_equivalence_violations
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering of the audit outcome."""
+        return (
+            f"{self.comparator_name}: "
+            f"antisymmetry violations={len(self.antisymmetry_violations)}, "
+            f"self-equivalence violations={len(self.self_equivalence_violations)}, "
+            f"cycles={len(self.cycles)}"
+        )
+
+
+def audit_comparator(
+    comparator: MetricComparator,
+    vectors: Mapping[str, PropertyVector],
+) -> ComparatorDiagnostics:
+    """Audit a comparator over all pairs of the named vectors."""
+    names = list(vectors)
+    diagnostics = ComparatorDiagnostics(comparator_name=comparator.name)
+    relations: dict[tuple[str, str], Relation] = {}
+    for first in names:
+        if (
+            comparator.relation(vectors[first], vectors[first])
+            is not Relation.EQUIVALENT
+        ):
+            diagnostics.self_equivalence_violations.append(first)
+        for second in names:
+            if first != second:
+                relations[(first, second)] = comparator.relation(
+                    vectors[first], vectors[second]
+                )
+    for first in names:
+        for second in names:
+            if first < second:
+                forward = relations[(first, second)]
+                backward = relations[(second, first)]
+                if forward is not backward.flipped():
+                    diagnostics.antisymmetry_violations.append((first, second))
+    diagnostics.cycles = find_cycles(relations, names)
+    return diagnostics
+
+
+def find_cycles(
+    relations: Mapping[tuple[str, str], Relation],
+    names: Sequence[str],
+    max_length: int = 4,
+) -> list[tuple[str, ...]]:
+    """Directed BETTER-cycles of length up to ``max_length`` (canonicalized
+    so each cycle is reported once, starting from its smallest member)."""
+    better = {
+        (a, b)
+        for (a, b), relation in relations.items()
+        if relation is Relation.BETTER
+    }
+    cycles: set[tuple[str, ...]] = set()
+
+    def extend(path: tuple[str, ...]) -> None:
+        last = path[-1]
+        for candidate in names:
+            if (last, candidate) not in better:
+                continue
+            if candidate == path[0] and len(path) >= 3:
+                rotation = min(
+                    path[i:] + path[:i] for i in range(len(path))
+                )
+                cycles.add(rotation)
+            elif candidate not in path and len(path) < max_length:
+                extend(path + (candidate,))
+
+    for name in names:
+        extend((name,))
+    return sorted(cycles)
+
+
+def condorcet_cycle_example() -> dict[str, PropertyVector]:
+    """Three class-size-style vectors forming a ▶cov Condorcet cycle.
+
+    Each vector beats the next on 2 of 3 tuples: a ▶cov b ▶cov c ▶cov a.
+    A fact about pairwise-majority comparators the paper leaves implicit —
+    ranking a family with ▶cov requires a tournament rule, not sorting.
+    """
+    return {
+        "a": PropertyVector([3.0, 2.0, 1.0]),
+        "b": PropertyVector([2.0, 1.0, 3.0]),
+        "c": PropertyVector([1.0, 3.0, 2.0]),
+    }

@@ -1,0 +1,90 @@
+"""Plain-text figure rendering.
+
+Terminal-friendly renderings of the paper's figures: grouped per-tuple bar
+charts (Figure 1) and 2-D scatter plots of objective fronts (Section 7).
+No plotting dependency — figures print anywhere the benches run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.vector import PropertyVector
+
+
+def bar_chart(
+    series: Mapping[str, PropertyVector | Sequence[float]],
+    width: int = 40,
+    labels: Sequence[str] | None = None,
+) -> str:
+    """Grouped horizontal bar chart, one group per tuple (Figure 1 style).
+
+    Parameters
+    ----------
+    series:
+        Name -> per-tuple values; all series must have equal length.
+    width:
+        Character width of the longest bar.
+    labels:
+        Per-tuple row labels (default: 1-based tuple numbers).
+    """
+    materialized = {
+        name: list(values) for name, values in series.items()
+    }
+    if not materialized:
+        raise ValueError("bar chart requires at least one series")
+    lengths = {len(values) for values in materialized.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series have unequal lengths: {sorted(lengths)}")
+    count = lengths.pop()
+    if labels is None:
+        labels = [str(i + 1) for i in range(count)]
+    if len(labels) != count:
+        raise ValueError(f"expected {count} labels, got {len(labels)}")
+
+    peak = max(max(values) for values in materialized.values())
+    peak = peak if peak > 0 else 1.0
+    name_width = max(len(name) for name in materialized)
+    label_width = max(len(label) for label in labels)
+
+    lines = []
+    for index in range(count):
+        lines.append(f"tuple {labels[index].rjust(label_width)}")
+        for name, values in materialized.items():
+            value = values[index]
+            bar = "#" * max(0, round(width * value / peak))
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar} {value:g}"
+            )
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """ASCII scatter plot of 2-D points (Pareto fronts, rank arcs)."""
+    if not points:
+        raise ValueError("scatter plot requires at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    lines = [f"{y_label} ({y_low:g} .. {y_high:g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_low:g} .. {x_high:g})")
+    return "\n".join(lines)

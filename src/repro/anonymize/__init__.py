@@ -1,0 +1,23 @@
+"""Anonymization engine, equivalence classes and disclosure control algorithms."""
+
+from .engine import (
+    Anonymization,
+    AnonymizationError,
+    recode,
+    recode_node,
+    released_with_local_cells,
+)
+from .equivalence import EquivalenceClasses
+from .provenance import provenance_record, read_release, write_release
+
+__all__ = [
+    "Anonymization",
+    "AnonymizationError",
+    "recode",
+    "recode_node",
+    "released_with_local_cells",
+    "EquivalenceClasses",
+    "provenance_record",
+    "read_release",
+    "write_release",
+]

@@ -1,0 +1,41 @@
+"""Disclosure control algorithms (the comparison subjects of the paper)."""
+
+from .base import AlgorithmError, Anonymizer, RecodingWorkspace
+from .bottomup import BottomUpGeneralization
+from .clustering import KMemberClustering
+from .constrained import ConstrainedLattice
+from .cuts import Cut, CutError, LevelCut, NumericSplitCut, TaxonomyCut
+from .datafly import Datafly
+from .genetic import GeneticAnonymizer
+from .incognito import Incognito
+from .mondrian import Mondrian
+from .muargus import MuArgus
+from .random_recoding import RandomRecoding
+from .optimal import OptimalLattice, discernibility_cost, loss_metric_cost
+from .samarati import Samarati
+from .topdown import TopDownSpecialization
+
+__all__ = [
+    "AlgorithmError",
+    "Anonymizer",
+    "RecodingWorkspace",
+    "BottomUpGeneralization",
+    "ConstrainedLattice",
+    "KMemberClustering",
+    "Cut",
+    "CutError",
+    "LevelCut",
+    "NumericSplitCut",
+    "TaxonomyCut",
+    "TopDownSpecialization",
+    "Datafly",
+    "GeneticAnonymizer",
+    "Incognito",
+    "Mondrian",
+    "MuArgus",
+    "OptimalLattice",
+    "RandomRecoding",
+    "discernibility_cost",
+    "loss_metric_cost",
+    "Samarati",
+]

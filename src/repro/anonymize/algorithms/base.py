@@ -1,0 +1,223 @@
+"""Shared infrastructure for disclosure control algorithms.
+
+Provides the :class:`Anonymizer` protocol plus a :class:`RecodingWorkspace`
+that memoizes per-(attribute, level) generalized columns and loss columns —
+the frequency-set computations at the heart of every lattice search
+(Samarati, Incognito, optimal) reduce to cheap tuple grouping over cached
+columns.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from ...datasets.dataset import Dataset
+from ...hierarchy.base import Hierarchy
+from ...hierarchy.lattice import Lattice, Node
+from ..engine import Anonymization, AnonymizationError, recode_node
+
+
+class AlgorithmError(ValueError):
+    """Raised for invalid algorithm configurations."""
+
+
+class Anonymizer(abc.ABC):
+    """A disclosure control algorithm.
+
+    Implementations are configured at construction (k, suppression budget,
+    seeds, ...) and applied with :meth:`anonymize`.
+    """
+
+    name: str = "anonymizer"
+
+    @abc.abstractmethod
+    def anonymize(
+        self, dataset: Dataset, hierarchies: Mapping[str, Hierarchy]
+    ) -> Anonymization:
+        """Produce an anonymized release of ``dataset``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def check_k(k: int) -> int:
+    """Validate a k-anonymity parameter."""
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    return k
+
+
+def check_suppression_limit(limit: float) -> float:
+    """Validate a suppression-fraction parameter."""
+    if not 0.0 <= limit <= 1.0:
+        raise AlgorithmError(f"suppression limit must be in [0,1], got {limit}")
+    return limit
+
+
+class RecodingWorkspace:
+    """Cached full-domain recoding machinery for one dataset + hierarchies.
+
+    Caches, per QI attribute and generalization level, the generalized
+    column and the per-row loss column, so that evaluating thousands of
+    lattice nodes costs one tuple-grouping pass each instead of repeated
+    hierarchy walks.
+    """
+
+    def __init__(self, dataset: Dataset, hierarchies: Mapping[str, Hierarchy]):
+        self.dataset = dataset
+        self.qi_names = dataset.schema.quasi_identifier_names
+        if not self.qi_names:
+            raise AnonymizationError("dataset has no quasi-identifier attributes")
+        missing = set(self.qi_names) - set(hierarchies)
+        if missing:
+            raise AnonymizationError(f"missing hierarchies for {sorted(missing)}")
+        self.hierarchies = {name: hierarchies[name] for name in self.qi_names}
+        self.lattice = Lattice([self.hierarchies[name] for name in self.qi_names])
+        self._columns: dict[tuple[str, int], tuple[Hashable, ...]] = {}
+        self._loss_columns: dict[tuple[str, int], tuple[float, ...]] = {}
+        # Vectorized fast path: per (attribute, level), the column as dense
+        # integer codes plus the code count — node-level grouping then
+        # reduces to a mixed-radix combine + bincount.
+        self._code_columns: dict[tuple[str, int], tuple[np.ndarray, int]] = {}
+
+    def generalized_column(self, attribute: str, level: int) -> tuple[Hashable, ...]:
+        """The attribute's column generalized to ``level`` (cached)."""
+        key = (attribute, level)
+        if key not in self._columns:
+            hierarchy = self.hierarchies[attribute]
+            self._columns[key] = tuple(
+                hierarchy.generalize(value, level)
+                for value in self.dataset.column(attribute)
+            )
+        return self._columns[key]
+
+    def loss_column(self, attribute: str, level: int) -> tuple[float, ...]:
+        """Per-row LM loss of the attribute at ``level`` (cached)."""
+        key = (attribute, level)
+        if key not in self._loss_columns:
+            hierarchy = self.hierarchies[attribute]
+            self._loss_columns[key] = tuple(
+                hierarchy.loss(value, level)
+                for value in self.dataset.column(attribute)
+            )
+        return self._loss_columns[key]
+
+    def code_column(self, attribute: str, level: int) -> tuple[np.ndarray, int]:
+        """The generalized column as dense integer codes plus code count
+        (cached) — the vectorized grouping primitive."""
+        key = (attribute, level)
+        if key not in self._code_columns:
+            column = self.generalized_column(attribute, level)
+            lookup: dict[Hashable, int] = {}
+            codes = np.empty(len(column), dtype=np.int64)
+            for row_index, value in enumerate(column):
+                code = lookup.get(value)
+                if code is None:
+                    code = len(lookup)
+                    lookup[value] = code
+                codes[row_index] = code
+            self._code_columns[key] = (codes, len(lookup))
+        return self._code_columns[key]
+
+    def _row_group_codes(
+        self, node: Node, names: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(per-row group code, per-group size) at ``node`` — one mixed-radix
+        combine over cached code columns plus a bincount."""
+        combined = None
+        for name, level in zip(names, node):
+            codes, count = self.code_column(name, level)
+            if combined is None:
+                combined = codes.copy()
+            else:
+                # Re-densify after each combine: keeps values < N·count, so
+                # the mixed-radix product can never overflow int64.
+                combined = combined * count + codes
+                _, combined = np.unique(combined, return_inverse=True)
+        if combined is None:
+            raise AnonymizationError("grouping requires at least one attribute")
+        _, dense = np.unique(combined, return_inverse=True)
+        sizes = np.bincount(dense)
+        return dense, sizes
+
+    def group_sizes(
+        self, node: Node, attributes: Sequence[str] | None = None
+    ) -> dict[Hashable, int]:
+        """Frequency set: generalized-QI-tuple -> row count at ``node``.
+
+        ``attributes`` restricts the projection (Incognito's sub-lattices);
+        ``node`` then gives levels for exactly those attributes, in order.
+        """
+        names = tuple(attributes) if attributes is not None else self.qi_names
+        if len(node) != len(names):
+            raise AnonymizationError(
+                f"node {node!r} has {len(node)} levels for {len(names)} attributes"
+            )
+        columns = [
+            self.generalized_column(name, level) for name, level in zip(names, node)
+        ]
+        counts: dict[Hashable, int] = {}
+        for generalized in zip(*columns):
+            counts[generalized] = counts.get(generalized, 0) + 1
+        return counts
+
+    def class_size_vector(
+        self, node: Node, attributes: Sequence[str] | None = None
+    ) -> np.ndarray:
+        """Per-row equivalence class size at ``node`` (vectorized)."""
+        names = tuple(attributes) if attributes is not None else self.qi_names
+        self._check_node_arity(node, names)
+        dense, sizes = self._row_group_codes(node, names)
+        return sizes[dense]
+
+    def _check_node_arity(self, node: Node, names: Sequence[str]) -> None:
+        if len(node) != len(names):
+            raise AnonymizationError(
+                f"node {node!r} has {len(node)} levels for {len(names)} attributes"
+            )
+
+    def violating_rows(
+        self, node: Node, k: int, attributes: Sequence[str] | None = None
+    ) -> list[int]:
+        """Rows in equivalence classes smaller than ``k`` at ``node``."""
+        names = tuple(attributes) if attributes is not None else self.qi_names
+        self._check_node_arity(node, names)
+        per_row = self.class_size_vector(node, names)
+        return np.flatnonzero(per_row < k).tolist()
+
+    def violation_count(
+        self, node: Node, k: int, attributes: Sequence[str] | None = None
+    ) -> int:
+        """Number of rows in classes smaller than ``k`` at ``node``."""
+        names = tuple(attributes) if attributes is not None else self.qi_names
+        self._check_node_arity(node, names)
+        per_row = self.class_size_vector(node, names)
+        return int(np.count_nonzero(per_row < k))
+
+    def satisfies_k(
+        self,
+        node: Node,
+        k: int,
+        max_suppressed: int = 0,
+        attributes: Sequence[str] | None = None,
+    ) -> bool:
+        """Whether ``node`` is k-anonymous after suppressing at most
+        ``max_suppressed`` rows."""
+        return self.violation_count(node, k, attributes) <= max_suppressed
+
+    def node_loss(self, node: Node) -> float:
+        """Total LM loss of the recoding at ``node`` (without suppression)."""
+        return sum(
+            sum(self.loss_column(name, level))
+            for name, level in zip(self.qi_names, node)
+        )
+
+    def apply(self, node: Node, k: int, name: str | None = None) -> Anonymization:
+        """Materialize the recoding at ``node``, suppressing classes < k."""
+        suppress = self.violating_rows(node, k) if k > 1 else []
+        return recode_node(
+            self.dataset, self.hierarchies, node, suppress=suppress, name=name
+        )

@@ -1,0 +1,349 @@
+"""Hierarchy-cut recodings.
+
+Top-Down Specialization (Fung et al.) and Bottom-Up Generalization (Wang et
+al.) — both surveyed in the paper's introduction — operate on *cuts*
+through the generalization hierarchies rather than uniform level vectors: a
+taxonomy attribute may release "Government" for some subtree while keeping
+other branches at leaf granularity.  This module provides the cut
+representation those two algorithms share.
+
+For taxonomy attributes a cut is a set of tokens covering every leaf
+exactly once; for interval/masking hierarchies (whose levels are already
+total orders) a cut degenerates to a single level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+from ...datasets.dataset import Dataset
+from ...hierarchy.base import SUPPRESSED, Hierarchy
+from ...hierarchy.categorical import TaxonomyHierarchy
+from ...hierarchy.numeric import Span
+from ..engine import Anonymization, released_with_local_cells
+
+
+class CutError(ValueError):
+    """Raised for invalid hierarchy cuts."""
+
+
+@dataclass
+class TaxonomyCut:
+    """A cut through one taxonomy: a token set covering each leaf once."""
+
+    hierarchy: TaxonomyHierarchy
+    tokens: set[Hashable] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            self.tokens = {SUPPRESSED}
+        self.validate()
+
+    def validate(self) -> None:
+        """Check the cut covers every leaf exactly once."""
+        for leaf in self.hierarchy.leaves:
+            # A group may legitimately carry the same label as its single
+            # leaf (e.g. workclass "Private"); identical tokens on one path
+            # are indistinguishable, so deduplicate before counting.
+            path = dict.fromkeys(self.hierarchy.generalizations(leaf))
+            covering = [token for token in path if token in self.tokens]
+            if len(covering) != 1:
+                raise CutError(
+                    f"cut {sorted(map(repr, self.tokens))} covers leaf "
+                    f"{leaf!r} {len(covering)} times (must be exactly once)"
+                )
+
+    def map_value(self, value: Any) -> Hashable:
+        """The cut token releasing ``value``."""
+        for token in self.hierarchy.generalizations(value):
+            if token in self.tokens:
+                return token
+        raise CutError(f"value {value!r} not covered by cut")
+
+    def specializations(self) -> list[Hashable]:
+        """Cut tokens that can be replaced by their children."""
+        return [
+            token
+            for token in self.tokens
+            if self.hierarchy.level_of(token) > 0
+        ]
+
+    def specialize(self, token: Hashable) -> "TaxonomyCut":
+        """A new cut with ``token`` replaced by its children."""
+        if token not in self.tokens:
+            raise CutError(f"{token!r} not in cut")
+        replaced = set(self.tokens)
+        replaced.remove(token)
+        replaced.update(self.hierarchy.children(token))
+        return TaxonomyCut(self.hierarchy, replaced)
+
+    def merge_candidates(self) -> dict[Hashable, frozenset]:
+        """Mergeable parents mapped to the sibling group each replaces.
+
+        A parent is mergeable when every sibling at the level below it is
+        currently in the cut.  Level walking (rather than parent/children
+        lookups) keeps this correct when a group label aliases its single
+        leaf (e.g. a "Private" group containing only the "Private" leaf).
+        """
+        hierarchy = self.hierarchy
+        candidates: dict[Hashable, frozenset] = {}
+        for token in self.tokens:
+            representative = next(
+                leaf
+                for leaf in hierarchy.leaves
+                if token in hierarchy.generalizations(leaf)
+            )
+            path = hierarchy.generalizations(representative)
+            # Highest level carrying the token's label (alias levels repeat
+            # the label), then the next differing label is the strict parent.
+            token_level = max(
+                level for level, label in enumerate(path) if label == token
+            )
+            parent = None
+            parent_level = None
+            for level in range(token_level + 1, hierarchy.height + 1):
+                if path[level] != token:
+                    parent = path[level]
+                    parent_level = level
+                    break
+            if parent is None or parent in candidates:
+                continue
+            siblings = frozenset(
+                hierarchy.generalize(leaf, parent_level - 1)
+                for leaf in hierarchy.leaves
+                if hierarchy.generalize(leaf, parent_level) == parent
+            )
+            if siblings <= self.tokens:
+                candidates[parent] = siblings
+        return candidates
+
+    def generalizations(self) -> list[Hashable]:
+        """Parents that could replace their full sibling group."""
+        return list(self.merge_candidates())
+
+    def generalize(self, parent: Hashable) -> "TaxonomyCut":
+        """A new cut with ``parent``'s sibling group replaced by ``parent``."""
+        candidates = self.merge_candidates()
+        if parent not in candidates:
+            raise CutError(f"{parent!r} is not a mergeable parent of this cut")
+        replaced = (set(self.tokens) - candidates[parent]) | {parent}
+        return TaxonomyCut(self.hierarchy, replaced)
+
+    def loss(self, value: Any) -> float:
+        """LM loss of the value under this cut."""
+        return self.hierarchy.released_loss(self.map_value(value))
+
+
+@dataclass
+class LevelCut:
+    """Degenerate cut for totally ordered hierarchies: one level."""
+
+    hierarchy: Hierarchy
+    level: int
+
+    def __post_init__(self) -> None:
+        self.hierarchy.check_level(self.level)
+
+    def map_value(self, value: Any) -> Hashable:
+        """The generalized token releasing ``value``."""
+        return self.hierarchy.generalize(value, self.level)
+
+    def specializations(self) -> list[int]:
+        """Levels that can be lowered (empty at level 0)."""
+        return [self.level] if self.level > 0 else []
+
+    def specialize(self, _token: int | None = None) -> "LevelCut":
+        """The cut one level finer."""
+        if self.level == 0:
+            raise CutError("already at level 0")
+        return LevelCut(self.hierarchy, self.level - 1)
+
+    def generalizations(self) -> list[int]:
+        """Levels that can be raised (empty at the top)."""
+        return [self.level] if self.level < self.hierarchy.height else []
+
+    def generalize(self, _token: int | None = None) -> "LevelCut":
+        """The cut one level coarser."""
+        if self.level >= self.hierarchy.height:
+            raise CutError("already at the top level")
+        return LevelCut(self.hierarchy, self.level + 1)
+
+    def loss(self, value: Any) -> float:
+        """LM loss of the value at this level."""
+        return self.hierarchy.loss(value, self.level)
+
+
+@dataclass
+class NumericSplitCut:
+    """Data-driven interval cut for numeric attributes (Fung's TDS).
+
+    The attribute domain ``[low, high]`` is partitioned by ``splits`` into
+    closed segments; a value releases as the :class:`Span` of its segment.
+    Specialization inserts a new split inside one segment — TDS picks the
+    median of the segment's observed values, so intervals adapt to the data
+    instead of following fixed hierarchy bands.
+    """
+
+    bounds: tuple[float, float]
+    splits: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        low, high = self.bounds
+        if high <= low:
+            raise CutError(f"invalid bounds ({low}, {high})")
+        ordered = tuple(sorted(set(self.splits)))
+        if any(not low < s < high for s in ordered):
+            raise CutError("splits must lie strictly inside the bounds")
+        self.splits = ordered
+
+    def _edges(self) -> list[float]:
+        low, high = self.bounds
+        return [low, *self.splits, high]
+
+    def segments(self) -> list[Span]:
+        """The closed segments of the current partition, in order."""
+        edges = self._edges()
+        return [Span(a, b) for a, b in zip(edges[:-1], edges[1:])]
+
+    def map_value(self, value: Any) -> Hashable:
+        """The segment Span releasing ``value``."""
+        if not isinstance(value, (int, float)):
+            raise CutError(f"numeric cut cannot map {value!r}")
+        low, high = self.bounds
+        if not low <= value <= high:
+            raise CutError(f"value {value!r} outside bounds ({low}, {high})")
+        edges = self._edges()
+        for a, b in zip(edges[:-1], edges[1:]):
+            # Left-closed segments; the last one is closed on both ends.
+            if a <= value < b or (b == high and value <= high):
+                return Span(a, b)
+        raise AssertionError("unreachable: bounds checked above")
+
+    def specializations(self) -> list[int]:
+        """Indices of segments that could be split (all of them; whether a
+        useful split value exists depends on the data — see
+        :meth:`split_value`)."""
+        return list(range(len(self.splits) + 1))
+
+    def split_value(self, segment: int, values: list[float]) -> float | None:
+        """TDS's split choice: the median of the observed values strictly
+        inside the segment, or ``None`` when no split separates anything."""
+        span = self.segments()[segment]
+        inside = sorted(v for v in values if v in span)
+        if len(set(inside)) < 2:
+            return None
+        middle = inside[len(inside) // 2]
+        if middle == inside[0]:
+            # Median equals the minimum; split just above it instead.
+            larger = [v for v in inside if v > middle]
+            middle = larger[0]
+        if not span.low < middle < span.high:
+            return None
+        return float(middle)
+
+    def specialize(self, split: float) -> "NumericSplitCut":
+        """A new cut with ``split`` added."""
+        low, high = self.bounds
+        if not low < split < high or split in self.splits:
+            raise CutError(f"invalid new split {split!r}")
+        return NumericSplitCut(self.bounds, self.splits + (split,))
+
+    def generalizations(self) -> list[int]:
+        """Indices of removable splits."""
+        return list(range(len(self.splits)))
+
+    def generalize(self, index: int) -> "NumericSplitCut":
+        """A new cut with the ``index``-th split removed."""
+        if not 0 <= index < len(self.splits):
+            raise CutError(f"no split at index {index}")
+        remaining = self.splits[:index] + self.splits[index + 1 :]
+        return NumericSplitCut(self.bounds, remaining)
+
+    def loss(self, value: Any) -> float:
+        """Normalized width of the value's segment."""
+        low, high = self.bounds
+        span = self.map_value(value)
+        if isinstance(span, Span):
+            return min(1.0, span.width / (high - low))
+        return 0.0
+
+
+Cut = TaxonomyCut | LevelCut | NumericSplitCut
+
+
+def top_cuts(
+    dataset: Dataset, hierarchies: Mapping[str, Hierarchy]
+) -> dict[str, Cut]:
+    """Fully generalized cuts for every QI (TDS's starting point)."""
+    return {
+        name: _make_cut(hierarchies[name], at_top=True)
+        for name in dataset.schema.quasi_identifier_names
+    }
+
+
+def bottom_cuts(
+    dataset: Dataset, hierarchies: Mapping[str, Hierarchy]
+) -> dict[str, Cut]:
+    """Raw-value cuts for every QI (BUG's starting point)."""
+    return {
+        name: _make_cut(hierarchies[name], at_top=False)
+        for name in dataset.schema.quasi_identifier_names
+    }
+
+
+def _make_cut(hierarchy: Hierarchy, at_top: bool) -> Cut:
+    if isinstance(hierarchy, TaxonomyHierarchy):
+        if at_top:
+            return TaxonomyCut(hierarchy, {SUPPRESSED})
+        return TaxonomyCut(hierarchy, set(hierarchy.leaves))
+    return LevelCut(hierarchy, hierarchy.height if at_top else 0)
+
+
+def apply_cuts(
+    dataset: Dataset, cuts: Mapping[str, Cut], name: str
+) -> Anonymization:
+    """Materialize a cut recoding as an Anonymization."""
+    qi_names = dataset.schema.quasi_identifier_names
+    missing = set(qi_names) - set(cuts)
+    if missing:
+        raise CutError(f"missing cuts for {sorted(missing)}")
+    columns = {
+        attr: [cuts[attr].map_value(value) for value in dataset.column(attr)]
+        for attr in qi_names
+    }
+    qi_cells = [
+        {attr: columns[attr][row] for attr in qi_names}
+        for row in range(len(dataset))
+    ]
+    return released_with_local_cells(dataset, qi_cells, name=name)
+
+
+def cut_group_sizes(
+    dataset: Dataset, cuts: Mapping[str, Cut]
+) -> dict[tuple, int]:
+    """Frequency set of the recoding induced by ``cuts``."""
+    qi_names = dataset.schema.quasi_identifier_names
+    columns = [
+        [cuts[attr].map_value(value) for value in dataset.column(attr)]
+        for attr in qi_names
+    ]
+    counts: dict[tuple, int] = {}
+    for key in zip(*columns):
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def cut_violations(dataset: Dataset, cuts: Mapping[str, Cut], k: int) -> int:
+    """Rows in groups smaller than k under the cut recoding."""
+    counts = cut_group_sizes(dataset, cuts)
+    return sum(size for size in counts.values() if size < k)
+
+
+def cut_total_loss(dataset: Dataset, cuts: Mapping[str, Cut]) -> float:
+    """Total LM loss of the cut recoding."""
+    total = 0.0
+    for attr in dataset.schema.quasi_identifier_names:
+        cut = cuts[attr]
+        total += sum(cut.loss(value) for value in dataset.column(attr))
+    return total

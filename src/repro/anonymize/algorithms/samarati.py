@@ -1,0 +1,93 @@
+"""Samarati's binary search for k-minimal full-domain generalizations.
+
+k-anonymity (with a fixed suppression budget) is monotone in lattice height:
+if some node at height h satisfies it, some node at every greater height
+does too (its ancestors).  Samarati's algorithm binary-searches the height
+for the lowest stratum containing a satisfying node; all satisfying nodes at
+that height are *k-minimal generalizations*, among which one is picked by a
+preference rule — here, minimum total loss (LM), the "preference information
+provided by the data recipient" of the original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ...datasets.dataset import Dataset
+from ...hierarchy.base import Hierarchy
+from ...hierarchy.lattice import Node
+from ..engine import Anonymization
+from .base import (
+    AlgorithmError,
+    Anonymizer,
+    RecodingWorkspace,
+    check_k,
+    check_suppression_limit,
+)
+
+
+class Samarati(Anonymizer):
+    """Samarati k-anonymizer.
+
+    Parameters
+    ----------
+    k:
+        The k-anonymity requirement.
+    suppression_limit:
+        Maximum fraction of rows that may be suppressed.
+    """
+
+    def __init__(self, k: int, suppression_limit: float = 0.02):
+        self.k = check_k(k)
+        self.suppression_limit = check_suppression_limit(suppression_limit)
+        self.name = f"samarati[k={k}]"
+
+    def minimal_height(self, workspace: RecodingWorkspace) -> int:
+        """Lowest lattice height containing a satisfying node."""
+        budget = int(self.suppression_limit * len(workspace.dataset))
+        lattice = workspace.lattice
+
+        def satisfiable_at(height: int) -> bool:
+            return any(
+                workspace.satisfies_k(node, self.k, budget)
+                for node in lattice.nodes_at_height(height)
+            )
+
+        if not satisfiable_at(lattice.max_height):
+            raise AlgorithmError(
+                f"no generalization satisfies k={self.k} within the "
+                f"suppression budget, even at the lattice top"
+            )
+        low, high = 0, lattice.max_height
+        while low < high:
+            middle = (low + high) // 2
+            if satisfiable_at(middle):
+                high = middle
+            else:
+                low = middle + 1
+        return low
+
+    def k_minimal_nodes(
+        self, dataset: Dataset, hierarchies: Mapping[str, Hierarchy]
+    ) -> list[Node]:
+        """All satisfying nodes at the minimal height (k-minimal
+        generalizations)."""
+        workspace = RecodingWorkspace(dataset, hierarchies)
+        return self._k_minimal_nodes(workspace)
+
+    def _k_minimal_nodes(self, workspace: RecodingWorkspace) -> list[Node]:
+        budget = int(self.suppression_limit * len(workspace.dataset))
+        height = self.minimal_height(workspace)
+        return [
+            node
+            for node in workspace.lattice.nodes_at_height(height)
+            if workspace.satisfies_k(node, self.k, budget)
+        ]
+
+    def anonymize(
+        self, dataset: Dataset, hierarchies: Mapping[str, Hierarchy]
+    ) -> Anonymization:
+        workspace = RecodingWorkspace(dataset, hierarchies)
+        nodes = self._k_minimal_nodes(workspace)
+        chosen = min(nodes, key=workspace.node_loss)
+        return workspace.apply(chosen, self.k, name=self.name)

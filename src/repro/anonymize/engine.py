@@ -1,0 +1,261 @@
+"""Recoding engine and the :class:`Anonymization` result object.
+
+Two recoding styles are supported:
+
+* **full-domain recoding** — every value of an attribute is generalized to the
+  same hierarchy level (Datafly, Samarati, Incognito, the optimal search, GA);
+* **local recoding** — produced cell-by-cell by algorithms such as Mondrian;
+  the engine accepts any released table whose rows align with the original.
+
+Suppressed tuples are *retained* with all quasi-identifiers replaced by the
+suppression token, per Section 3 of the paper ("we assume that they still
+exist in the anonymized data set in an overly generalized form"), so original
+and released data sets always have equal size and property vectors stay
+index-aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..datasets.dataset import Dataset
+from ..hierarchy.base import SUPPRESSED, Hierarchy
+from .equivalence import EquivalenceClasses
+
+Levels = Mapping[str, int]
+
+
+class AnonymizationError(ValueError):
+    """Raised for inconsistent anonymization inputs."""
+
+
+class Anonymization:
+    """An anonymized release of a data set.
+
+    Wraps the original and released tables (equal length, aligned rows) plus
+    provenance: which rows were suppressed, which algorithm produced it, and —
+    for full-domain recodings — the hierarchy level vector used.
+
+    Parameters
+    ----------
+    original:
+        The raw microdata.
+    released:
+        The generalized table; same schema shape and row count as the
+        original, same values for non-QI columns.
+    suppressed:
+        Row indices whose QI values were fully suppressed.
+    levels:
+        Per-attribute hierarchy levels for full-domain recodings (``None``
+        for local recodings).
+    name:
+        Label used in reports (e.g. ``"T3a"`` or ``"mondrian[k=5]"``).
+    """
+
+    def __init__(
+        self,
+        original: Dataset,
+        released: Dataset,
+        suppressed: Iterable[int] = (),
+        levels: Levels | None = None,
+        name: str = "anonymization",
+    ):
+        if len(original) != len(released):
+            raise AnonymizationError(
+                f"released table has {len(released)} rows, original has {len(original)}"
+            )
+        if original.schema.names != released.schema.names:
+            raise AnonymizationError("released schema must match original schema")
+        self.original = original
+        self.released = released
+        self.suppressed = frozenset(suppressed)
+        out_of_range = [i for i in self.suppressed if not 0 <= i < len(original)]
+        if out_of_range:
+            raise AnonymizationError(f"suppressed indices out of range: {out_of_range}")
+        self.levels = dict(levels) if levels is not None else None
+        self.name = name
+        self._classes: EquivalenceClasses | None = None
+
+    def __len__(self) -> int:
+        return len(self.original)
+
+    def __repr__(self) -> str:
+        return (
+            f"Anonymization({self.name!r}, rows={len(self)}, "
+            f"suppressed={len(self.suppressed)}, levels={self.levels})"
+        )
+
+    @property
+    def equivalence_classes(self) -> EquivalenceClasses:
+        """Row partition by released QI tuple (lazily computed, cached)."""
+        if self._classes is None:
+            self._classes = EquivalenceClasses(self.released.quasi_identifier_tuples())
+        return self._classes
+
+    def k(self) -> int:
+        """The k-anonymity level actually achieved (minimum class size)."""
+        return self.equivalence_classes.minimum_size()
+
+    def suppression_fraction(self) -> float:
+        """Fraction of tuples suppressed."""
+        if not len(self):
+            return 0.0
+        return len(self.suppressed) / len(self)
+
+    def renamed(self, name: str) -> "Anonymization":
+        """A shallow copy with a different report label."""
+        clone = Anonymization(
+            self.original, self.released, self.suppressed, self.levels, name
+        )
+        clone._classes = self._classes
+        return clone
+
+
+def resolve_sensitive_column(
+    anonymization: Anonymization, attribute: str | None
+) -> tuple[str, tuple[Any, ...]]:
+    """Resolve a sensitive column (raw values, pre-anonymization).
+
+    With ``attribute=None`` the schema must declare exactly one sensitive
+    attribute; otherwise the named column is used.  Shared by the privacy
+    models, property extractors, attacks and classification metric.
+    """
+    from ..datasets.schema import SchemaError
+
+    schema = anonymization.original.schema
+    if attribute is None:
+        names = schema.sensitive_names
+        if len(names) != 1:
+            raise SchemaError(
+                "dataset does not have exactly one sensitive attribute; "
+                f"pass one of {schema.names} explicitly"
+            )
+        attribute = names[0]
+    return attribute, anonymization.original.column(attribute)
+
+
+def generalize_cell(
+    hierarchy: Hierarchy, value: Any, level: int
+) -> Any:
+    """Generalize one cell; kept as a function hook for local recoders."""
+    return hierarchy.generalize(value, level)
+
+
+def recode(
+    dataset: Dataset,
+    hierarchies: Mapping[str, Hierarchy],
+    levels: Levels,
+    suppress: Iterable[int] = (),
+    name: str | None = None,
+) -> Anonymization:
+    """Apply a full-domain recoding.
+
+    Parameters
+    ----------
+    dataset:
+        The table to anonymize.
+    hierarchies:
+        Hierarchy per quasi-identifier attribute name; every QI of the schema
+        must be covered.
+    levels:
+        Generalization level per QI attribute.
+    suppress:
+        Row indices to fully suppress (all QI cells become ``"*"``).
+    name:
+        Optional label; defaults to a description of the level vector.
+    """
+    schema = dataset.schema
+    qi_names = schema.quasi_identifier_names
+    if not qi_names:
+        raise AnonymizationError("dataset has no quasi-identifier attributes")
+    missing = set(qi_names) - set(hierarchies)
+    if missing:
+        raise AnonymizationError(f"missing hierarchies for {sorted(missing)}")
+    missing_levels = set(qi_names) - set(levels)
+    if missing_levels:
+        raise AnonymizationError(f"missing levels for {sorted(missing_levels)}")
+    for attribute in qi_names:
+        hierarchies[attribute].check_level(levels[attribute])
+
+    suppressed = frozenset(suppress)
+    qi_positions = {name: schema.index_of(name) for name in qi_names}
+    released_rows: list[tuple[Any, ...]] = []
+    for row_index, row in enumerate(dataset):
+        cells = list(row)
+        for attribute in qi_names:
+            position = qi_positions[attribute]
+            if row_index in suppressed:
+                cells[position] = SUPPRESSED
+            else:
+                cells[position] = hierarchies[attribute].generalize(
+                    row[position], levels[attribute]
+                )
+        released_rows.append(tuple(cells))
+
+    label = name or "recode[" + ",".join(
+        f"{attribute}={levels[attribute]}" for attribute in qi_names
+    ) + "]"
+    return Anonymization(
+        dataset,
+        dataset.replace_rows(released_rows),
+        suppressed=suppressed,
+        levels={attribute: levels[attribute] for attribute in qi_names},
+        name=label,
+    )
+
+
+def recode_node(
+    dataset: Dataset,
+    hierarchies: Mapping[str, Hierarchy],
+    node: Sequence[int],
+    suppress: Iterable[int] = (),
+    name: str | None = None,
+) -> Anonymization:
+    """Apply a lattice node (level vector in QI schema order)."""
+    qi_names = dataset.schema.quasi_identifier_names
+    if len(node) != len(qi_names):
+        raise AnonymizationError(
+            f"node {tuple(node)!r} has {len(node)} levels, expected {len(qi_names)}"
+        )
+    levels = dict(zip(qi_names, node))
+    return recode(dataset, hierarchies, levels, suppress=suppress, name=name)
+
+
+def released_with_local_cells(
+    dataset: Dataset,
+    qi_cells: Sequence[Mapping[str, Any]],
+    suppressed: Iterable[int] = (),
+    name: str = "local-recoding",
+) -> Anonymization:
+    """Build an anonymization from per-row generalized QI cells.
+
+    ``qi_cells[i]`` maps QI attribute names to the released value for row
+    ``i``.  Used by local recoders (Mondrian) that do not share one level
+    vector across the table.
+    """
+    schema = dataset.schema
+    qi_names = set(schema.quasi_identifier_names)
+    released_rows = []
+    for row_index, row in enumerate(dataset):
+        cells = list(row)
+        row_map = qi_cells[row_index]
+        extra = set(row_map) - qi_names
+        if extra:
+            raise AnonymizationError(
+                f"row {row_index} recodes non-QI attributes {sorted(extra)}"
+            )
+        missing = qi_names - set(row_map)
+        if missing:
+            raise AnonymizationError(
+                f"row {row_index} missing recoded values for {sorted(missing)}"
+            )
+        for attribute, value in row_map.items():
+            cells[schema.index_of(attribute)] = value
+        released_rows.append(tuple(cells))
+    return Anonymization(
+        dataset,
+        dataset.replace_rows(released_rows),
+        suppressed=suppressed,
+        levels=None,
+        name=name,
+    )

@@ -1,0 +1,114 @@
+"""Equivalence classes of an anonymized data set.
+
+An equivalence class is a maximal set of rows sharing the same generalized
+quasi-identifier tuple.  Class sizes are the raw material of the paper's
+running privacy property ("size of the equivalence class to which a tuple
+belongs", Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+
+class EquivalenceClasses:
+    """Partition of row indices by generalized QI tuple.
+
+    Parameters
+    ----------
+    keys:
+        One hashable grouping key per row (typically the generalized QI
+        tuple), in row order.
+    """
+
+    __slots__ = ("_classes", "_class_of", "_keys")
+
+    def __init__(self, keys: Sequence[Hashable]):
+        groups: dict[Hashable, list[int]] = {}
+        for row_index, key in enumerate(keys):
+            groups.setdefault(key, []).append(row_index)
+        # Classes ordered by first occurrence, members in row order.
+        self._classes: tuple[tuple[int, ...], ...] = tuple(
+            tuple(members) for members in groups.values()
+        )
+        self._keys: tuple[Hashable, ...] = tuple(groups.keys())
+        class_of = [0] * len(keys)
+        for class_index, members in enumerate(self._classes):
+            for row_index in members:
+                class_of[row_index] = class_index
+        self._class_of: tuple[int, ...] = tuple(class_of)
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self):
+        return iter(self._classes)
+
+    def __getitem__(self, class_index: int) -> tuple[int, ...]:
+        return self._classes[class_index]
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows in the partitioned data set."""
+        return len(self._class_of)
+
+    def key_of_class(self, class_index: int) -> Hashable:
+        """The shared generalized QI tuple of a class."""
+        return self._keys[class_index]
+
+    def class_of(self, row_index: int) -> int:
+        """Index of the class containing the row."""
+        return self._class_of[row_index]
+
+    def members_of(self, row_index: int) -> tuple[int, ...]:
+        """All rows in the same class as ``row_index`` (including itself)."""
+        return self._classes[self._class_of[row_index]]
+
+    def size_of(self, row_index: int) -> int:
+        """Size of the class containing the row."""
+        return len(self.members_of(row_index))
+
+    def sizes(self) -> list[int]:
+        """Per-row class sizes, in row order — the paper's equivalence class
+        size property vector."""
+        return [len(self._classes[c]) for c in self._class_of]
+
+    def class_sizes(self) -> list[int]:
+        """Per-class sizes, in class order."""
+        return [len(members) for members in self._classes]
+
+    def minimum_size(self) -> int:
+        """The k of k-anonymity: size of the smallest class."""
+        if not self._classes:
+            return 0
+        return min(len(members) for members in self._classes)
+
+    def value_counts(
+        self, values: Sequence[Any]
+    ) -> list[dict[Any, int]]:
+        """Per-class histograms of a column's values (for diversity models).
+
+        ``values`` is the full column in row order; returns one value->count
+        dict per class, in class order.
+        """
+        if len(values) != self.row_count:
+            raise ValueError(
+                f"expected {self.row_count} values, got {len(values)}"
+            )
+        histograms: list[dict[Any, int]] = []
+        for members in self._classes:
+            counts: dict[Any, int] = {}
+            for row_index in members:
+                value = values[row_index]
+                counts[value] = counts.get(value, 0) + 1
+            histograms.append(counts)
+        return histograms
+
+    def sensitive_value_counts(self, values: Sequence[Any]) -> list[int]:
+        """Per-row count of the row's own sensitive value within its class —
+        the property underlying l-diversity in Section 3 of the paper."""
+        histograms = self.value_counts(values)
+        return [
+            histograms[self._class_of[row_index]][values[row_index]]
+            for row_index in range(self.row_count)
+        ]

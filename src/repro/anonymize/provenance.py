@@ -1,0 +1,83 @@
+"""Release provenance: persisting what an anonymization did.
+
+A released CSV alone does not record *how* it was produced.  The sidecar
+written here captures the provenance needed to audit or reproduce a
+release: producing algorithm label, full-domain levels (when applicable),
+suppressed row indices, achieved k, and basic shape — as JSON next to the
+data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..datasets.dataset import Dataset
+from ..datasets.io import read_csv, write_csv
+from .engine import Anonymization, AnonymizationError
+
+
+def provenance_record(anonymization: Anonymization) -> dict[str, Any]:
+    """The JSON-compatible provenance dict of a release."""
+    return {
+        "name": anonymization.name,
+        "rows": len(anonymization),
+        "quasi_identifiers": list(
+            anonymization.original.schema.quasi_identifier_names
+        ),
+        "levels": anonymization.levels,
+        "suppressed": sorted(anonymization.suppressed),
+        "k_achieved": anonymization.k(),
+        "suppression_fraction": anonymization.suppression_fraction(),
+    }
+
+
+def write_release(
+    anonymization: Anonymization, data_path: str | Path
+) -> Path:
+    """Write the released table as CSV plus a ``.provenance.json`` sidecar.
+
+    Returns the sidecar path.
+    """
+    data_path = Path(data_path)
+    write_csv(anonymization.released, data_path)
+    sidecar = data_path.with_suffix(data_path.suffix + ".provenance.json")
+    with open(sidecar, "w") as handle:
+        json.dump(provenance_record(anonymization), handle, indent=2)
+    return sidecar
+
+
+def read_release(
+    data_path: str | Path, original: Dataset
+) -> Anonymization:
+    """Rebuild an :class:`Anonymization` from a CSV + sidecar pair.
+
+    ``original`` must be the raw table the release was produced from; the
+    sidecar's shape and QI list are validated against it.
+    """
+    data_path = Path(data_path)
+    sidecar = data_path.with_suffix(data_path.suffix + ".provenance.json")
+    if not sidecar.exists():
+        raise AnonymizationError(f"missing provenance sidecar {sidecar}")
+    with open(sidecar) as handle:
+        record = json.load(handle)
+    released = read_csv(data_path, original.schema)
+    if record["rows"] != len(original):
+        raise AnonymizationError(
+            f"provenance records {record['rows']} rows, original has "
+            f"{len(original)}"
+        )
+    expected_qi = list(original.schema.quasi_identifier_names)
+    if record["quasi_identifiers"] != expected_qi:
+        raise AnonymizationError(
+            f"provenance QI list {record['quasi_identifiers']} does not "
+            f"match schema {expected_qi}"
+        )
+    return Anonymization(
+        original,
+        released,
+        suppressed=record["suppressed"],
+        levels=record["levels"],
+        name=record["name"],
+    )

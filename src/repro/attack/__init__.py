@@ -1,0 +1,37 @@
+"""Adversary models: linkage and attribute disclosure attacks."""
+
+from .composition import (
+    composition_k,
+    composition_risks,
+    intersection_match_set,
+)
+from .homogeneity import (
+    background_knowledge_risks,
+    homogeneity_risks,
+    homogeneous_classes,
+)
+from .linkage import (
+    AttackError,
+    LinkageReport,
+    cell_matches,
+    linkage_report,
+    match_set,
+    prosecutor_risks,
+    simulate_linkage,
+)
+
+__all__ = [
+    "composition_k",
+    "composition_risks",
+    "intersection_match_set",
+    "background_knowledge_risks",
+    "homogeneity_risks",
+    "homogeneous_classes",
+    "AttackError",
+    "LinkageReport",
+    "cell_matches",
+    "linkage_report",
+    "match_set",
+    "prosecutor_risks",
+    "simulate_linkage",
+]

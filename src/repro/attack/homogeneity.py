@@ -1,0 +1,94 @@
+"""Attribute disclosure attacks: homogeneity and background knowledge.
+
+Machanavajjhala et al.'s two attacks on k-anonymous releases, as surveyed
+in the paper's related work:
+
+* **homogeneity attack** — if all (or most) sensitive values in a victim's
+  equivalence class agree, linkage suffices to learn the value without
+  exact re-identification;
+* **background knowledge attack** — an adversary able to rule out ``m``
+  candidate sensitive values succeeds when at most ``m+1`` distinct values
+  remain in the class.
+
+Both yield per-tuple property vectors, so the anonymization bias of
+*attribute* disclosure is measurable with the same comparator machinery as
+identity disclosure.
+"""
+
+from __future__ import annotations
+
+from ..anonymize.engine import Anonymization
+from ..core.properties import _sensitive_column
+from ..core.vector import PropertyVector
+
+
+def homogeneity_risks(
+    anonymization: Anonymization, sensitive_attribute: str | None = None
+) -> PropertyVector:
+    """Per-tuple probability that linkage alone reveals the tuple's own
+    sensitive value: the frequency of that value in its class (lower is
+    better).  A value of 1.0 marks a class fully homogeneous in the
+    victim's value — the textbook homogeneity attack."""
+    _, column = _sensitive_column(anonymization, sensitive_attribute)
+    classes = anonymization.equivalence_classes
+    counts = classes.sensitive_value_counts(column)
+    sizes = classes.sizes()
+    return PropertyVector(
+        [count / size for count, size in zip(counts, sizes)],
+        name="homogeneity-risk",
+        higher_is_better=False,
+    )
+
+
+def homogeneous_classes(
+    anonymization: Anonymization, sensitive_attribute: str | None = None
+) -> list[int]:
+    """Indices of equivalence classes with a single sensitive value —
+    every member is subject to the homogeneity attack."""
+    _, column = _sensitive_column(anonymization, sensitive_attribute)
+    histograms = anonymization.equivalence_classes.value_counts(column)
+    return [
+        class_index
+        for class_index, histogram in enumerate(histograms)
+        if len(histogram) == 1
+    ]
+
+
+def background_knowledge_risks(
+    anonymization: Anonymization,
+    ruled_out: int,
+    sensitive_attribute: str | None = None,
+) -> PropertyVector:
+    """Per-tuple disclosure probability against an adversary who can rule
+    out ``ruled_out`` of the class's sensitive values (lower is better).
+
+    The adversary eliminates the ``ruled_out`` *least damaging* candidates
+    (worst case for the victim: the eliminated values are never the
+    victim's own), then the victim's value is exposed with probability
+    (victim's count) / (remaining mass).
+    """
+    if ruled_out < 0:
+        raise ValueError(f"ruled_out must be >= 0, got {ruled_out}")
+    _, column = _sensitive_column(anonymization, sensitive_attribute)
+    classes = anonymization.equivalence_classes
+    histograms = classes.value_counts(column)
+    risks = []
+    for row_index in range(len(anonymization)):
+        histogram = histograms[classes.class_of(row_index)]
+        own_value = column[row_index]
+        own_count = histogram[own_value]
+        # Worst case: the ruled-out values are other values, removed in
+        # increasing order of count (keeps the most competing mass out).
+        other_counts = sorted(
+            (count for value, count in histogram.items() if value != own_value),
+            reverse=True,
+        )
+        remaining_other = sum(other_counts[ruled_out:]) if ruled_out else sum(
+            other_counts
+        )
+        risks.append(own_count / (own_count + remaining_other))
+    return PropertyVector(
+        risks,
+        name=f"background-knowledge-risk[m={ruled_out}]",
+        higher_is_better=False,
+    )

@@ -1,0 +1,75 @@
+"""The paper's primary contribution: property vectors, quality indices and
+comparators for anonymization comparison."""
+
+from . import properties, theory
+from .comparators import (
+    CoverageBetter,
+    LeastBiasedBetter,
+    HypervolumeBetter,
+    MetricComparator,
+    MinBetter,
+    RankBetter,
+    Relation,
+    SpreadBetter,
+    default_comparators,
+    dominance_relation,
+    non_dominated,
+    set_dominance_relation,
+    set_non_dominated,
+    set_strongly_dominates,
+    set_weakly_dominates,
+    strongly_dominates,
+    weakly_dominates,
+)
+from .multicomparators import (
+    GoalBetter,
+    LexicographicBetter,
+    SetComparator,
+    WeightedBetter,
+)
+from .rproperty import (
+    PropertyExtractor,
+    PropertyProfile,
+    privacy_profile,
+    privacy_utility_profile,
+)
+from .vector import (
+    PropertyVector,
+    PropertyVectorError,
+    check_all_comparable,
+    check_comparable,
+)
+
+__all__ = [
+    "properties",
+    "theory",
+    "CoverageBetter",
+    "LeastBiasedBetter",
+    "HypervolumeBetter",
+    "MetricComparator",
+    "MinBetter",
+    "RankBetter",
+    "Relation",
+    "SpreadBetter",
+    "default_comparators",
+    "dominance_relation",
+    "non_dominated",
+    "set_dominance_relation",
+    "set_non_dominated",
+    "set_strongly_dominates",
+    "set_weakly_dominates",
+    "strongly_dominates",
+    "weakly_dominates",
+    "GoalBetter",
+    "LexicographicBetter",
+    "SetComparator",
+    "WeightedBetter",
+    "PropertyExtractor",
+    "PropertyProfile",
+    "privacy_profile",
+    "privacy_utility_profile",
+    "PropertyVector",
+    "PropertyVectorError",
+    "check_all_comparable",
+    "check_comparable",
+]

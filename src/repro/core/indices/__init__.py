@@ -1,0 +1,49 @@
+"""Quality index functions over property vectors."""
+
+from .binary import (
+    binary_count,
+    compare_hypervolume,
+    coverage,
+    epsilon_indicator,
+    hypervolume,
+    log_dominated_hypervolume,
+    spread,
+)
+from .multi import (
+    BinaryIndex,
+    goal,
+    goal_from_unary,
+    lexicographic,
+    weighted,
+)
+from .unary import (
+    GiniIndex,
+    MaximumIndex,
+    MeanIndex,
+    MinimumIndex,
+    QuantileIndex,
+    RankIndex,
+    UnaryIndex,
+)
+
+__all__ = [
+    "binary_count",
+    "compare_hypervolume",
+    "coverage",
+    "epsilon_indicator",
+    "hypervolume",
+    "log_dominated_hypervolume",
+    "spread",
+    "BinaryIndex",
+    "goal",
+    "goal_from_unary",
+    "lexicographic",
+    "weighted",
+    "GiniIndex",
+    "MaximumIndex",
+    "MeanIndex",
+    "MinimumIndex",
+    "QuantileIndex",
+    "RankIndex",
+    "UnaryIndex",
+]

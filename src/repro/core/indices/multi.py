@@ -1,0 +1,166 @@
+"""Preference-based indices over *sets* of property vectors (Sections 5.5-5.7).
+
+When an r-property anonymization induces several property vectors (privacy
+and utility, say), single-property indices no longer suffice.  The paper
+offers three preference mechanisms, each built on top of a per-property
+binary index ``P`` (different properties may use different indices):
+
+* ``P_WTD`` — weighted sum of per-property binary index values;
+* ``P_LEX`` — ε-lexicographic: the first property (in preference order)
+  where one set is significantly superior decides;
+* ``P_GOAL`` — sum-of-squares distance of the index values from a goal
+  vector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..vector import PropertyVector, PropertyVectorError
+from .binary import coverage
+
+#: A binary quality index: two property vectors to a real value.
+BinaryIndex = Callable[[PropertyVector, PropertyVector], float]
+
+PropertySet = Sequence[PropertyVector]
+
+
+def _check_sets(
+    first: PropertySet, second: PropertySet, indices: Sequence[BinaryIndex]
+) -> None:
+    if len(first) != len(second):
+        raise PropertyVectorError(
+            f"property sets have different sizes ({len(first)} vs {len(second)})"
+        )
+    if not first:
+        raise PropertyVectorError("property sets must be non-empty")
+    if len(indices) != len(first):
+        raise PropertyVectorError(
+            f"expected {len(first)} binary indices, got {len(indices)}"
+        )
+
+
+def _resolve_indices(
+    count: int, index: BinaryIndex | Sequence[BinaryIndex] | None
+) -> list[BinaryIndex]:
+    if index is None:
+        return [coverage] * count
+    if callable(index):
+        return [index] * count
+    return list(index)
+
+
+def weighted(
+    first: PropertySet,
+    second: PropertySet,
+    weights: Sequence[float],
+    index: BinaryIndex | Sequence[BinaryIndex] | None = None,
+) -> float:
+    """``P_WTD(Υ1, Υ2) = Σ w_i · P(D_1i, D_2i)`` (Section 5.5).
+
+    ``Υ1 ▶_WTD Υ2`` iff ``weighted(Υ1,Υ2,w) > weighted(Υ2,Υ1,w)``.  Weights
+    should be positive and sum to 1 (validated); the default per-property
+    index is ``P_cov``, whose values are already normalized to [0, 1] as the
+    paper advises.
+    """
+    indices = _resolve_indices(len(first), index)
+    _check_sets(first, second, indices)
+    if len(weights) != len(first):
+        raise PropertyVectorError(
+            f"expected {len(first)} weights, got {len(weights)}"
+        )
+    if any(w <= 0 for w in weights):
+        raise PropertyVectorError("weights must be positive")
+    total = float(sum(weights))
+    if abs(total - 1.0) > 1e-9:
+        raise PropertyVectorError(f"weights must sum to 1, got {total}")
+    return float(
+        sum(
+            w * p(a, b)
+            for w, p, a, b in zip(weights, indices, first, second)
+        )
+    )
+
+
+def lexicographic(
+    first: PropertySet,
+    second: PropertySet,
+    epsilons: Sequence[float] | float = 0.0,
+    index: BinaryIndex | Sequence[BinaryIndex] | None = None,
+) -> int:
+    """``P_LEX``: 1-based position of the first property where ``first`` is
+    significantly superior (Section 5.6).
+
+    Properties are given in descending order of relevance; ``epsilons[i]``
+    is the largest index-value difference on property ``i`` still treated as
+    a tie.  Returns ``r + 1`` when ``first`` is superior nowhere, so lower
+    values are better and ``Υ1 ▶_LEX Υ2`` iff
+    ``lexicographic(Υ1,Υ2) < lexicographic(Υ2,Υ1)``.
+    """
+    indices = _resolve_indices(len(first), index)
+    _check_sets(first, second, indices)
+    count = len(first)
+    if isinstance(epsilons, (int, float)):
+        epsilon_values = [float(epsilons)] * count
+    else:
+        epsilon_values = [float(e) for e in epsilons]
+    if len(epsilon_values) != count:
+        raise PropertyVectorError(
+            f"expected {count} epsilons, got {len(epsilon_values)}"
+        )
+    if any(e < 0 for e in epsilon_values):
+        raise PropertyVectorError("epsilons must be non-negative")
+    for position, (p, a, b, eps) in enumerate(
+        zip(indices, first, second, epsilon_values), start=1
+    ):
+        if p(a, b) - p(b, a) > eps:
+            return position
+    return count + 1
+
+
+def goal(
+    first: PropertySet,
+    second: PropertySet,
+    goals: Sequence[float],
+    index: BinaryIndex | Sequence[BinaryIndex] | None = None,
+) -> float:
+    """``P_GOAL(Υ1, Υ2) = Σ (P(D_1i, D_2i) − g_i)²`` (Section 5.7).
+
+    Smaller is better: ``Υ1 ▶_GOAL Υ2`` iff
+    ``goal(Υ1,Υ2,g) < goal(Υ2,Υ1,g)``.
+    """
+    indices = _resolve_indices(len(first), index)
+    _check_sets(first, second, indices)
+    if len(goals) != len(first):
+        raise PropertyVectorError(f"expected {len(first)} goals, got {len(goals)}")
+    return float(
+        sum(
+            (p(a, b) - g) ** 2
+            for p, a, b, g in zip(indices, first, second, goals)
+        )
+    )
+
+
+def goal_from_unary(
+    vectors: PropertySet,
+    goal_vectors: PropertySet,
+    unary_indices: Sequence[Callable[[PropertyVector], float]],
+) -> float:
+    """Unary-index variant of ``P_GOAL`` (end of Section 5.7).
+
+    The goal vector is derived from goal *property vectors*:
+    ``G = (P_1(D_g1), ..., P_r(D_gr))``; the score is the sum-of-squares
+    error of the unary index values from those targets.
+    """
+    if not (len(vectors) == len(goal_vectors) == len(unary_indices)):
+        raise PropertyVectorError(
+            "vectors, goal_vectors and unary_indices must have equal lengths"
+        )
+    if not vectors:
+        raise PropertyVectorError("property sets must be non-empty")
+    return float(
+        sum(
+            (p(d) - p(g)) ** 2
+            for p, d, g in zip(unary_indices, vectors, goal_vectors)
+        )
+    )

@@ -1,0 +1,137 @@
+"""Property extractors: from anonymizations to property vectors.
+
+Each function measures one per-tuple property of an anonymized release and
+returns it as a :class:`~repro.core.vector.PropertyVector`.  These are the
+concrete properties the paper works with:
+
+* equivalence class size — the k-anonymity privacy property (Section 3);
+* breach probability — its reciprocal, the "probability of privacy breach"
+  of Section 1 (lower is better);
+* sensitive value count — the l-diversity property ("number of times the
+  sensitive attribute value of a tuple appears in its equivalence class");
+* distinct sensitive values — per-tuple diversity of the tuple's class;
+* tuple loss / utility — Iyengar's general loss metric per tuple;
+* discernibility penalty — per-tuple DM charge.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..anonymize.engine import Anonymization, resolve_sensitive_column
+from ..hierarchy.base import Hierarchy
+from ..utility.discernibility import tuple_penalties
+from ..utility.loss_metric import tuple_losses, tuple_utilities
+from .vector import PropertyVector
+
+
+#: Shared resolver (see engine.resolve_sensitive_column); kept under its
+#: historical private name for the sibling modules that import it here.
+_sensitive_column = resolve_sensitive_column
+
+
+def equivalence_class_size(anonymization: Anonymization) -> PropertyVector:
+    """Per-tuple equivalence class size (higher is better).
+
+    This is the property vector behind k-anonymity: ``min`` of it is the k
+    actually achieved.  For T3a of the paper this is
+    ``(3,3,3,3,4,4,4,3,3,4)``.
+    """
+    return PropertyVector(
+        anonymization.equivalence_classes.sizes(),
+        name="equivalence-class-size",
+        higher_is_better=True,
+    )
+
+
+def breach_probability(anonymization: Anonymization) -> PropertyVector:
+    """Per-tuple re-identification probability ``1/|class|`` (lower is
+    better) — the "probability of privacy breach" of Section 1."""
+    sizes = anonymization.equivalence_classes.sizes()
+    return PropertyVector(
+        [1.0 / size for size in sizes],
+        name="breach-probability",
+        higher_is_better=False,
+    )
+
+
+def sensitive_value_count(
+    anonymization: Anonymization, attribute: str | None = None
+) -> PropertyVector:
+    """Count of the tuple's own sensitive value within its class.
+
+    The paper's l-diversity property (Section 3): for T3a with Marital
+    Status sensitive this is ``(2,2,1,2,2,1,2,1,2,1)``.  A *lower* count
+    means the tuple's sensitive value is rarer in its class; the paper
+    nevertheless treats property vectors on a higher-is-better scale by
+    convention, so callers comparing on attribute-disclosure risk should use
+    :func:`sensitive_value_fraction` (oriented lower-is-better) instead.
+    """
+    attribute, column = _sensitive_column(anonymization, attribute)
+    counts = anonymization.equivalence_classes.sensitive_value_counts(column)
+    return PropertyVector(
+        counts, name=f"sensitive-value-count[{attribute}]", higher_is_better=True
+    )
+
+
+def sensitive_value_fraction(
+    anonymization: Anonymization, attribute: str | None = None
+) -> PropertyVector:
+    """Fraction of the tuple's class sharing its sensitive value — the
+    attribute-disclosure probability (lower is better)."""
+    attribute, column = _sensitive_column(anonymization, attribute)
+    classes = anonymization.equivalence_classes
+    counts = classes.sensitive_value_counts(column)
+    sizes = classes.sizes()
+    return PropertyVector(
+        [count / size for count, size in zip(counts, sizes)],
+        name=f"sensitive-value-fraction[{attribute}]",
+        higher_is_better=False,
+    )
+
+
+def distinct_sensitive_values(
+    anonymization: Anonymization, attribute: str | None = None
+) -> PropertyVector:
+    """Number of distinct sensitive values in the tuple's class (higher is
+    better) — the per-tuple view of distinct l-diversity."""
+    attribute, column = _sensitive_column(anonymization, attribute)
+    classes = anonymization.equivalence_classes
+    histograms = classes.value_counts(column)
+    return PropertyVector(
+        [len(histograms[classes.class_of(i)]) for i in range(len(anonymization))],
+        name=f"distinct-sensitive-values[{attribute}]",
+        higher_is_better=True,
+    )
+
+
+def tuple_loss(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> PropertyVector:
+    """Per-tuple general loss metric (lower is better)."""
+    return PropertyVector(
+        tuple_losses(anonymization, hierarchies),
+        name="tuple-loss",
+        higher_is_better=False,
+    )
+
+
+def tuple_utility(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> PropertyVector:
+    """Per-tuple utility ``|QI| - loss`` (higher is better) — the scale of
+    the paper's Section 5.5 utility vectors."""
+    return PropertyVector(
+        tuple_utilities(anonymization, hierarchies),
+        name="tuple-utility",
+        higher_is_better=True,
+    )
+
+
+def discernibility_penalty(anonymization: Anonymization) -> PropertyVector:
+    """Per-tuple discernibility charge (lower is better)."""
+    return PropertyVector(
+        tuple_penalties(anonymization),
+        name="discernibility-penalty",
+        higher_is_better=False,
+    )

@@ -1,0 +1,86 @@
+"""r-property anonymizations (Definition 2).
+
+An r-property anonymization projects an anonymized data set onto a chosen
+set of r property vectors — the Υ sets on which multi-property comparisons
+operate.  :class:`PropertyProfile` fixes the property extractors once, so the
+same r properties are induced for every anonymization in a comparative study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..anonymize.engine import Anonymization
+from ..hierarchy.base import Hierarchy
+from . import properties as props
+from .vector import PropertyVector, PropertyVectorError
+
+#: A property extractor: anonymization -> property vector.
+PropertyExtractor = Callable[[Anonymization], PropertyVector]
+
+
+class PropertyProfile:
+    """A fixed, ordered set of r properties to induce on anonymizations.
+
+    Parameters
+    ----------
+    extractors:
+        Ordered mapping of property name to extractor function.  Order is
+        the preference order for lexicographic comparison.
+    """
+
+    def __init__(self, extractors: Mapping[str, PropertyExtractor]):
+        if not extractors:
+            raise PropertyVectorError("profile requires at least one property")
+        self._extractors = dict(extractors)
+
+    @property
+    def r(self) -> int:
+        """Number of properties (the r of "r-property anonymization")."""
+        return len(self._extractors)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Property names, in preference order."""
+        return tuple(self._extractors)
+
+    def induce(self, anonymization: Anonymization) -> tuple[PropertyVector, ...]:
+        """The Υ set: r property vectors induced on the anonymization."""
+        return tuple(
+            extractor(anonymization) for extractor in self._extractors.values()
+        )
+
+    def induce_all(
+        self, anonymizations: Sequence[Anonymization]
+    ) -> dict[str, tuple[PropertyVector, ...]]:
+        """Υ sets for several anonymizations, keyed by anonymization name."""
+        return {a.name: self.induce(a) for a in anonymizations}
+
+    def __repr__(self) -> str:
+        return f"PropertyProfile(r={self.r}, names={list(self.names)})"
+
+
+def privacy_profile(sensitive_attribute: str | None = None) -> PropertyProfile:
+    """A 2-property privacy profile: class size + sensitive-value count —
+    the paper's k-anonymity / l-diversity pairing (Section 3)."""
+    return PropertyProfile(
+        {
+            "equivalence-class-size": props.equivalence_class_size,
+            "sensitive-value-count": lambda a: props.sensitive_value_count(
+                a, sensitive_attribute
+            ),
+        }
+    )
+
+
+def privacy_utility_profile(
+    hierarchies: Mapping[str, Hierarchy]
+) -> PropertyProfile:
+    """The paper's Section 5.5 pairing: class-size privacy + per-tuple
+    utility on Iyengar's loss scale."""
+    return PropertyProfile(
+        {
+            "equivalence-class-size": props.equivalence_class_size,
+            "tuple-utility": lambda a: props.tuple_utility(a, hierarchies),
+        }
+    )

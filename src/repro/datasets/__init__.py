@@ -1,0 +1,53 @@
+"""Microdata tables, schemas and workload generators."""
+
+from .adult import adult_dataset, adult_hierarchies, adult_schema
+from .dataset import Dataset, DatasetError, Row, dataset_from_records
+from .io import read_csv, write_csv
+from .hospital import (
+    diagnosis_taxonomy,
+    hospital_dataset,
+    hospital_hierarchies,
+    hospital_schema,
+)
+from .synthetic import (
+    skewed_dataset,
+    synthetic_hierarchies,
+    synthetic_schema,
+)
+from .schema import (
+    Attribute,
+    AttributeKind,
+    AttributeRole,
+    Schema,
+    SchemaError,
+    insensitive,
+    quasi_identifier,
+    sensitive,
+)
+
+__all__ = [
+    "adult_dataset",
+    "adult_hierarchies",
+    "adult_schema",
+    "Dataset",
+    "DatasetError",
+    "Row",
+    "dataset_from_records",
+    "read_csv",
+    "write_csv",
+    "diagnosis_taxonomy",
+    "hospital_dataset",
+    "hospital_hierarchies",
+    "hospital_schema",
+    "skewed_dataset",
+    "synthetic_hierarchies",
+    "synthetic_schema",
+    "Attribute",
+    "AttributeKind",
+    "AttributeRole",
+    "Schema",
+    "SchemaError",
+    "insensitive",
+    "quasi_identifier",
+    "sensitive",
+]

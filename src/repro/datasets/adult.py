@@ -1,0 +1,240 @@
+"""Synthetic census microdata mirroring the UCI Adult data set.
+
+The disclosure-control literature the paper surveys (Incognito, Mondrian,
+Iyengar's GA, Bayardo-Agrawal) evaluates on the UCI *Adult* census extract.
+This environment has no network access, so :func:`adult_dataset` generates a
+deterministic synthetic equivalent: same schema, realistic marginal
+distributions, and mild age/marital and education/occupation/salary
+correlations so quasi-identifier combinations are skewed the way census data
+is.  The accompanying :func:`adult_hierarchies` reproduces the standard
+generalization hierarchies used by those papers.
+
+The property-vector framework only consumes per-tuple measurements of
+anonymizations, so any census-like table with skewed QI combinations
+exercises identical code paths (see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hierarchy.base import Hierarchy
+from ..hierarchy.categorical import TaxonomyHierarchy
+from ..hierarchy.numeric import Banding, IntervalHierarchy
+from .dataset import Dataset
+from .schema import AttributeKind, Schema, insensitive, quasi_identifier, sensitive
+
+AGE_BOUNDS = (17.0, 90.0)
+
+_WORKCLASS = {
+    "Private": ("Private", 0.70),
+    "Self-emp-not-inc": ("Self-Employed", 0.08),
+    "Self-emp-inc": ("Self-Employed", 0.03),
+    "Federal-gov": ("Government", 0.03),
+    "Local-gov": ("Government", 0.06),
+    "State-gov": ("Government", 0.04),
+    "Without-pay": ("Unpaid", 0.03),
+    "Never-worked": ("Unpaid", 0.03),
+}
+
+# leaf -> (level1 group, level2 group, base probability)
+_EDUCATION = {
+    "Preschool": ("Primary", "Lower", 0.01),
+    "1st-4th": ("Primary", "Lower", 0.02),
+    "5th-6th": ("Primary", "Lower", 0.02),
+    "7th-8th": ("Secondary", "Lower", 0.02),
+    "9th": ("Secondary", "Lower", 0.02),
+    "10th": ("Secondary", "Lower", 0.03),
+    "11th": ("Secondary", "Lower", 0.04),
+    "12th": ("Secondary", "Lower", 0.02),
+    "HS-grad": ("HS-grad", "Lower", 0.32),
+    "Some-college": ("Some-college", "Higher", 0.22),
+    "Assoc-voc": ("Associate", "Higher", 0.04),
+    "Assoc-acdm": ("Associate", "Higher", 0.03),
+    "Bachelors": ("Bachelors", "Higher", 0.16),
+    "Masters": ("Graduate", "Higher", 0.05),
+    "Prof-school": ("Graduate", "Higher", 0.01),
+    "Doctorate": ("Graduate", "Higher", 0.01),
+}
+
+_MARITAL = {
+    "Married-civ-spouse": "Married",
+    "Married-AF-spouse": "Married",
+    "Married-spouse-absent": "Married",
+    "Divorced": "Not-Married",
+    "Separated": "Not-Married",
+    "Widowed": "Not-Married",
+    "Never-married": "Not-Married",
+}
+
+_OCCUPATIONS = (
+    "Tech-support", "Craft-repair", "Other-service", "Sales",
+    "Exec-managerial", "Prof-specialty", "Handlers-cleaners",
+    "Machine-op-inspct", "Adm-clerical", "Farming-fishing",
+    "Transport-moving", "Priv-house-serv", "Protective-serv",
+    "Armed-Forces",
+)
+
+# Occupation mixture per education level-2 group.
+_OCCUPATION_BY_EDUCATION = {
+    "Lower": (0.03, 0.18, 0.16, 0.10, 0.03, 0.02, 0.10, 0.12, 0.09, 0.06,
+              0.09, 0.02, 0.03, 0.01),
+    "Higher": (0.06, 0.07, 0.07, 0.14, 0.18, 0.20, 0.02, 0.03, 0.14, 0.01,
+               0.02, 0.01, 0.04, 0.01),
+}
+
+_RACE = {
+    "White": 0.85,
+    "Black": 0.09,
+    "Asian-Pac-Islander": 0.03,
+    "Amer-Indian-Eskimo": 0.01,
+    "Other": 0.02,
+}
+
+_COUNTRY = {
+    "United-States": ("North-America", 0.895),
+    "Canada": ("North-America", 0.005),
+    "Mexico": ("Central-South-America", 0.02),
+    "Puerto-Rico": ("Central-South-America", 0.005),
+    "Cuba": ("Central-South-America", 0.005),
+    "El-Salvador": ("Central-South-America", 0.005),
+    "Columbia": ("Central-South-America", 0.003),
+    "Jamaica": ("Central-South-America", 0.002),
+    "Germany": ("Europe", 0.005),
+    "England": ("Europe", 0.004),
+    "Italy": ("Europe", 0.003),
+    "Poland": ("Europe", 0.003),
+    "Portugal": ("Europe", 0.002),
+    "Greece": ("Europe", 0.002),
+    "Philippines": ("Asia", 0.01),
+    "India": ("Asia", 0.005),
+    "China": ("Asia", 0.005),
+    "Japan": ("Asia", 0.002),
+    "Vietnam": ("Asia", 0.004),
+    "South-Korea": ("Asia", 0.004),
+    "Iran": ("Asia", 0.001),
+    "Thailand": ("Asia", 0.015),
+}
+
+
+def adult_schema() -> Schema:
+    """Schema of the synthetic Adult table.
+
+    Quasi-identifiers follow the eight-attribute configuration of LeFevre et
+    al.; ``occupation`` is the sensitive attribute and ``salary-class`` is
+    carried through untouched.
+    """
+    return Schema.of(
+        quasi_identifier("age", AttributeKind.NUMERIC),
+        quasi_identifier("workclass", AttributeKind.CATEGORICAL),
+        quasi_identifier("education", AttributeKind.CATEGORICAL),
+        quasi_identifier("marital-status", AttributeKind.CATEGORICAL),
+        quasi_identifier("race", AttributeKind.CATEGORICAL),
+        quasi_identifier("sex", AttributeKind.CATEGORICAL),
+        quasi_identifier("native-country", AttributeKind.CATEGORICAL),
+        sensitive("occupation", AttributeKind.CATEGORICAL),
+        insensitive("salary-class", AttributeKind.CATEGORICAL),
+    )
+
+
+def _choice(rng: np.random.Generator, items: list, probabilities: list[float]):
+    weights = np.asarray(probabilities, dtype=float)
+    weights = weights / weights.sum()
+    return items[rng.choice(len(items), p=weights)]
+
+
+def adult_dataset(size: int = 1000, seed: int = 42) -> Dataset:
+    """Generate ``size`` synthetic census rows with a fixed ``seed``.
+
+    Sampling is fully deterministic for a given ``(size, seed)`` pair.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    rng = np.random.default_rng(seed)
+    workclasses = list(_WORKCLASS)
+    workclass_p = [_WORKCLASS[w][1] for w in workclasses]
+    educations = list(_EDUCATION)
+    education_p = [_EDUCATION[e][2] for e in educations]
+    races = list(_RACE)
+    race_p = list(_RACE.values())
+    countries = list(_COUNTRY)
+    country_p = [_COUNTRY[c][1] for c in countries]
+    occupations = list(_OCCUPATIONS)
+
+    rows = []
+    for _ in range(size):
+        # Age: mixture of working-age bulk and an older tail.
+        if rng.random() < 0.85:
+            age = int(np.clip(rng.normal(38, 12), *AGE_BOUNDS))
+        else:
+            age = int(np.clip(rng.normal(67, 9), *AGE_BOUNDS))
+
+        # Marital status correlates with age.
+        if age < 26:
+            marital_p = {"Never-married": 0.75, "Married-civ-spouse": 0.18,
+                         "Divorced": 0.03, "Separated": 0.02,
+                         "Married-spouse-absent": 0.01, "Widowed": 0.005,
+                         "Married-AF-spouse": 0.005}
+        elif age < 60:
+            marital_p = {"Never-married": 0.20, "Married-civ-spouse": 0.52,
+                         "Divorced": 0.16, "Separated": 0.04,
+                         "Married-spouse-absent": 0.03, "Widowed": 0.03,
+                         "Married-AF-spouse": 0.02}
+        else:
+            marital_p = {"Never-married": 0.06, "Married-civ-spouse": 0.52,
+                         "Divorced": 0.13, "Separated": 0.02,
+                         "Married-spouse-absent": 0.02, "Widowed": 0.24,
+                         "Married-AF-spouse": 0.01}
+        marital = _choice(rng, list(marital_p), list(marital_p.values()))
+
+        education = _choice(rng, educations, education_p)
+        education_group = _EDUCATION[education][1]
+        occupation = _choice(
+            rng, occupations, list(_OCCUPATION_BY_EDUCATION[education_group])
+        )
+        workclass = _choice(rng, workclasses, workclass_p)
+        race = _choice(rng, races, race_p)
+        sex = "Male" if rng.random() < 0.67 else "Female"
+        country = _choice(rng, countries, country_p)
+
+        high_salary_p = 0.08
+        if education_group == "Higher":
+            high_salary_p += 0.22
+        if 35 <= age <= 60:
+            high_salary_p += 0.12
+        if occupation in ("Exec-managerial", "Prof-specialty"):
+            high_salary_p += 0.15
+        salary = ">50K" if rng.random() < high_salary_p else "<=50K"
+
+        rows.append(
+            (age, workclass, education, marital, race, sex, country,
+             occupation, salary)
+        )
+    return Dataset(adult_schema(), rows)
+
+
+def adult_hierarchies() -> dict[str, Hierarchy]:
+    """The standard generalization hierarchies for the Adult QI attributes."""
+    return {
+        "age": IntervalHierarchy(
+            "age",
+            [Banding(5), Banding(10), Banding(20), Banding(40)],
+            AGE_BOUNDS,
+        ),
+        "workclass": TaxonomyHierarchy(
+            "workclass", {leaf: (group,) for leaf, (group, _) in _WORKCLASS.items()}
+        ),
+        "education": TaxonomyHierarchy(
+            "education",
+            {leaf: (l1, l2) for leaf, (l1, l2, _) in _EDUCATION.items()},
+        ),
+        "marital-status": TaxonomyHierarchy(
+            "marital-status", {leaf: (group,) for leaf, group in _MARITAL.items()}
+        ),
+        "race": TaxonomyHierarchy("race", {leaf: () for leaf in _RACE}),
+        "sex": TaxonomyHierarchy("sex", {"Male": (), "Female": ()}),
+        "native-country": TaxonomyHierarchy(
+            "native-country",
+            {leaf: (region,) for leaf, (region, _) in _COUNTRY.items()},
+        ),
+    }

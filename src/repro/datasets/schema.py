@@ -1,0 +1,173 @@
+"""Attribute schemas for microdata tables.
+
+A :class:`Schema` describes the columns of a microdata table and the role each
+column plays in disclosure control:
+
+* *quasi-identifiers* (QI) — attributes an adversary may link against external
+  data (zip code, age, ...); these are the attributes that get generalized.
+* *sensitive* attributes — the values whose association with an individual must
+  be protected (disease, salary, marital status, ...).
+* *insensitive* attributes — everything else; carried through untouched.
+
+The roles follow the standard microdata model used throughout the paper
+(Sweeney 2002; Machanavajjhala et al. 2006).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class AttributeRole(enum.Enum):
+    """Role of an attribute in the disclosure control model."""
+
+    QUASI_IDENTIFIER = "quasi-identifier"
+    SENSITIVE = "sensitive"
+    INSENSITIVE = "insensitive"
+
+
+class AttributeKind(enum.Enum):
+    """Value domain kind; drives which generalization hierarchies apply."""
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single column of a microdata table.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Domain kind (categorical, numeric or string).
+    role:
+        Disclosure-control role of the column.
+    """
+
+    name: str
+    kind: AttributeKind = AttributeKind.CATEGORICAL
+    role: AttributeRole = AttributeRole.INSENSITIVE
+
+    @property
+    def is_quasi_identifier(self) -> bool:
+        """Whether this attribute is a quasi-identifier."""
+        return self.role is AttributeRole.QUASI_IDENTIFIER
+
+    @property
+    def is_sensitive(self) -> bool:
+        """Whether this attribute is sensitive."""
+        return self.role is AttributeRole.SENSITIVE
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or unknown attribute lookups."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Attribute` objects.
+
+    The schema is immutable; all lookups are by attribute name.
+    """
+
+    attributes: tuple[Attribute, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        index: dict[str, int] = {}
+        for position, attribute in enumerate(self.attributes):
+            if attribute.name in index:
+                raise SchemaError(f"duplicate attribute name: {attribute.name!r}")
+            index[attribute.name] = position
+        object.__setattr__(self, "_index", index)
+
+    @classmethod
+    def of(cls, *attributes: Attribute) -> "Schema":
+        """Build a schema from attributes given in column order."""
+        return cls(tuple(attributes))
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Column position of the named attribute."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute: {name!r}") from None
+
+    def attribute(self, name: str) -> Attribute:
+        """The named :class:`Attribute`."""
+        return self.attributes[self.index_of(name)]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All attribute names, in column order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    @property
+    def quasi_identifiers(self) -> tuple[Attribute, ...]:
+        """The quasi-identifier attributes, in column order."""
+        return tuple(a for a in self.attributes if a.is_quasi_identifier)
+
+    @property
+    def quasi_identifier_names(self) -> tuple[str, ...]:
+        """Names of the quasi-identifier attributes."""
+        return tuple(a.name for a in self.quasi_identifiers)
+
+    @property
+    def quasi_identifier_indices(self) -> tuple[int, ...]:
+        """Column positions of the quasi-identifier attributes."""
+        return tuple(
+            position
+            for position, attribute in enumerate(self.attributes)
+            if attribute.is_quasi_identifier
+        )
+
+    @property
+    def sensitive(self) -> tuple[Attribute, ...]:
+        """The sensitive attributes, in column order."""
+        return tuple(a for a in self.attributes if a.is_sensitive)
+
+    @property
+    def sensitive_names(self) -> tuple[str, ...]:
+        """Names of the sensitive attributes."""
+        return tuple(a.name for a in self.sensitive)
+
+    def with_roles(self, roles: dict[str, AttributeRole]) -> "Schema":
+        """A copy of this schema with the given attribute roles replaced."""
+        unknown = set(roles) - set(self._index)
+        if unknown:
+            raise SchemaError(f"unknown attributes in role map: {sorted(unknown)}")
+        replaced = tuple(
+            Attribute(a.name, a.kind, roles.get(a.name, a.role))
+            for a in self.attributes
+        )
+        return Schema(replaced)
+
+
+def quasi_identifier(name: str, kind: AttributeKind = AttributeKind.CATEGORICAL) -> Attribute:
+    """Convenience constructor for a quasi-identifier attribute."""
+    return Attribute(name, kind, AttributeRole.QUASI_IDENTIFIER)
+
+
+def sensitive(name: str, kind: AttributeKind = AttributeKind.CATEGORICAL) -> Attribute:
+    """Convenience constructor for a sensitive attribute."""
+    return Attribute(name, kind, AttributeRole.SENSITIVE)
+
+
+def insensitive(name: str, kind: AttributeKind = AttributeKind.CATEGORICAL) -> Attribute:
+    """Convenience constructor for an insensitive attribute."""
+    return Attribute(name, kind, AttributeRole.INSENSITIVE)

@@ -1,0 +1,42 @@
+"""Generalization hierarchies and the full-domain lattice."""
+
+from .base import SUPPRESSED, Hierarchy, HierarchyError, Interval
+from .builder import (
+    categorical_hierarchy_from_data,
+    infer_hierarchies,
+    numeric_hierarchy_from_data,
+    string_hierarchy_from_data,
+)
+from .categorical import TaxonomyHierarchy
+from .io import (
+    hierarchy_from_spec,
+    hierarchy_to_spec,
+    load_hierarchies,
+    save_hierarchies,
+)
+from .lattice import Lattice, Node
+from .masking import MaskingHierarchy
+from .numeric import Banding, IntervalHierarchy, Span, uniform_interval_hierarchy
+
+__all__ = [
+    "SUPPRESSED",
+    "Hierarchy",
+    "HierarchyError",
+    "Interval",
+    "categorical_hierarchy_from_data",
+    "infer_hierarchies",
+    "numeric_hierarchy_from_data",
+    "string_hierarchy_from_data",
+    "TaxonomyHierarchy",
+    "hierarchy_from_spec",
+    "hierarchy_to_spec",
+    "load_hierarchies",
+    "save_hierarchies",
+    "Lattice",
+    "Node",
+    "MaskingHierarchy",
+    "Banding",
+    "IntervalHierarchy",
+    "Span",
+    "uniform_interval_hierarchy",
+]

@@ -1,0 +1,165 @@
+"""Automatic hierarchy construction from data.
+
+Disclosure control toolkits (μ-Argus, ARX) build default generalization
+hierarchies from the data when none is supplied.  This module provides the
+same convenience:
+
+* numeric attributes — quantile-anchored interval bandings that double in
+  width per level;
+* categorical attributes — frequency-balanced grouping trees (values packed
+  into groups of roughly equal mass per level);
+* fixed-width string codes — suffix masking.
+
+Every builder returns the library's standard hierarchy types, so derived
+hierarchies interoperate with every algorithm and metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from ..datasets.dataset import Dataset
+from ..datasets.schema import AttributeKind
+from .base import Hierarchy, HierarchyError
+from .categorical import TaxonomyHierarchy
+from .masking import MaskingHierarchy
+from .numeric import Banding, IntervalHierarchy
+
+
+def numeric_hierarchy_from_data(
+    name: str,
+    values: Sequence[float],
+    levels: int = 4,
+    padding: float = 0.0,
+) -> IntervalHierarchy:
+    """Interval hierarchy whose base band width is sized so that roughly
+    ``2**levels`` base bands cover the observed range, doubling per level.
+
+    Parameters
+    ----------
+    name:
+        Attribute name.
+    values:
+        Observed numeric values (define the domain bounds).
+    levels:
+        Number of banding levels.
+    padding:
+        Extra domain margin added below the minimum and above the maximum
+        (absolute units), so near-boundary future values stay in-domain.
+    """
+    numeric = [v for v in values if isinstance(v, (int, float))]
+    if not numeric:
+        raise HierarchyError(f"no numeric values to build hierarchy {name!r}")
+    if levels < 1:
+        raise HierarchyError(f"levels must be >= 1, got {levels}")
+    low = min(numeric) - padding
+    high = max(numeric) + padding
+    if high == low:
+        high = low + 1.0
+    base_width = (high - low) / (2 ** levels)
+    bandings = [
+        Banding(base_width * (2 ** i), anchor=low) for i in range(levels)
+    ]
+    return IntervalHierarchy(name, bandings, bounds=(low, high))
+
+
+def categorical_hierarchy_from_data(
+    name: str,
+    values: Sequence[Any],
+    fanout: int = 3,
+) -> TaxonomyHierarchy:
+    """Frequency-balanced grouping tree over the observed categories.
+
+    Distinct values are sorted by descending frequency and packed
+    round-robin into ``ceil(m / fanout)`` groups per level (so groups carry
+    roughly equal mass), repeating until a single group remains.  Group
+    labels are synthesized as ``<name>:L<level>:<index>``.
+    """
+    if fanout < 2:
+        raise HierarchyError(f"fanout must be >= 2, got {fanout}")
+    counts: dict[Any, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    if not counts:
+        raise HierarchyError(f"no values to build hierarchy {name!r}")
+
+    # current: list of (label, member leaves, total mass), heaviest first.
+    current: list[tuple[Any, list[Any], int]] = [
+        (value, [value], count)
+        for value, count in sorted(counts.items(), key=lambda kv: -kv[1])
+    ]
+    paths: dict[Any, list[Any]] = {value: [] for value in counts}
+    level = 0
+    while len(current) > 1:
+        level += 1
+        group_count = max(1, math.ceil(len(current) / fanout))
+        groups: list[tuple[str, list[Any], int]] = [
+            (f"{name}:L{level}:{index}", [], 0) for index in range(group_count)
+        ]
+        # Greedy balance: put each (heaviest-first) node in the lightest group.
+        for _, members, mass in current:
+            label, existing, existing_mass = min(groups, key=lambda g: g[2])
+            position = groups.index((label, existing, existing_mass))
+            groups[position] = (label, existing + members, existing_mass + mass)
+        for label, members, _ in groups:
+            for leaf in members:
+                paths[leaf].append(label)
+        current = sorted(groups, key=lambda g: -g[2])
+
+    # All paths have equal length (every leaf joins exactly one group per
+    # level); a single distinct value yields height-1 (leaf -> "*").
+    return TaxonomyHierarchy(name, {leaf: tuple(path) for leaf, path in paths.items()})
+
+
+def string_hierarchy_from_data(
+    name: str, values: Sequence[str]
+) -> MaskingHierarchy:
+    """Suffix-masking hierarchy over fixed-width codes found in the data."""
+    texts = {str(v) for v in values}
+    if not texts:
+        raise HierarchyError(f"no values to build hierarchy {name!r}")
+    lengths = {len(t) for t in texts}
+    if len(lengths) != 1:
+        raise HierarchyError(
+            f"values of {name!r} have mixed lengths {sorted(lengths)}; "
+            "masking needs fixed-width codes"
+        )
+    return MaskingHierarchy(name, lengths.pop(), domain=texts)
+
+
+def _looks_like_code(values: Sequence[Any]) -> bool:
+    texts = [v for v in values if isinstance(v, str)]
+    if len(texts) != len(values) or not texts:
+        return False
+    lengths = {len(t) for t in texts}
+    return len(lengths) == 1 and all(t.isalnum() for t in texts)
+
+
+def infer_hierarchies(
+    dataset: Dataset,
+    levels: int = 4,
+    fanout: int = 3,
+) -> dict[str, Hierarchy]:
+    """Build a hierarchy for every quasi-identifier of ``dataset``.
+
+    Numeric QIs get quantile-sized interval bandings, fixed-width
+    alphanumeric string QIs get suffix masking, everything else gets a
+    frequency-balanced grouping tree.
+    """
+    hierarchies: dict[str, Hierarchy] = {}
+    for attribute in dataset.schema.quasi_identifiers:
+        column = dataset.column(attribute.name)
+        if attribute.kind is AttributeKind.NUMERIC:
+            hierarchies[attribute.name] = numeric_hierarchy_from_data(
+                attribute.name, column, levels=levels
+            )
+        elif attribute.kind is AttributeKind.STRING and _looks_like_code(column):
+            hierarchies[attribute.name] = string_hierarchy_from_data(
+                attribute.name, column
+            )
+        else:
+            hierarchies[attribute.name] = categorical_hierarchy_from_data(
+                attribute.name, column, fanout=fanout
+            )
+    return hierarchies

@@ -1,0 +1,97 @@
+"""JSON round-trip for generalization hierarchies.
+
+Hierarchies are configuration as much as code — a deployment wants to
+review, version and share them.  Every hierarchy type serializes to a plain
+JSON-compatible spec dict and back:
+
+* :class:`TaxonomyHierarchy` — ``{"kind": "taxonomy", "paths": {...}}``;
+* :class:`IntervalHierarchy` — widths/anchors/bounds;
+* :class:`MaskingHierarchy` — code length + optional domain.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .base import Hierarchy, HierarchyError
+from .categorical import TaxonomyHierarchy
+from .masking import MaskingHierarchy
+from .numeric import Banding, IntervalHierarchy
+
+
+def hierarchy_to_spec(hierarchy: Hierarchy) -> dict[str, Any]:
+    """A JSON-compatible spec dict for a hierarchy."""
+    if isinstance(hierarchy, TaxonomyHierarchy):
+        return {
+            "kind": "taxonomy",
+            "name": hierarchy.name,
+            "paths": {
+                str(leaf): [str(token) for token in hierarchy.generalizations(leaf)[1:-1]]
+                for leaf in hierarchy.leaves
+            },
+        }
+    if isinstance(hierarchy, IntervalHierarchy):
+        return {
+            "kind": "interval",
+            "name": hierarchy.name,
+            "bounds": list(hierarchy.bounds),
+            "bandings": [
+                {"width": banding.width, "anchor": banding.anchor}
+                for banding in hierarchy._bandings
+            ],
+        }
+    if isinstance(hierarchy, MaskingHierarchy):
+        spec: dict[str, Any] = {
+            "kind": "masking",
+            "name": hierarchy.name,
+            "code_length": hierarchy._code_length,
+        }
+        if hierarchy.domain is not None:
+            spec["domain"] = sorted(hierarchy.domain)
+        return spec
+    raise HierarchyError(
+        f"cannot serialize hierarchy type {type(hierarchy).__name__}"
+    )
+
+
+def hierarchy_from_spec(spec: Mapping[str, Any]) -> Hierarchy:
+    """Rebuild a hierarchy from a spec dict."""
+    try:
+        kind = spec["kind"]
+        name = spec["name"]
+    except KeyError as missing:
+        raise HierarchyError(f"spec missing field {missing}") from None
+    if kind == "taxonomy":
+        return TaxonomyHierarchy(
+            name, {leaf: tuple(path) for leaf, path in spec["paths"].items()}
+        )
+    if kind == "interval":
+        bandings = [
+            Banding(entry["width"], entry.get("anchor", 0.0))
+            for entry in spec["bandings"]
+        ]
+        low, high = spec["bounds"]
+        return IntervalHierarchy(name, bandings, (low, high))
+    if kind == "masking":
+        return MaskingHierarchy(
+            name, spec["code_length"], domain=spec.get("domain")
+        )
+    raise HierarchyError(f"unknown hierarchy kind {kind!r}")
+
+
+def save_hierarchies(
+    hierarchies: Mapping[str, Hierarchy], path: str | Path
+) -> None:
+    """Write a hierarchy map as JSON."""
+    specs = {name: hierarchy_to_spec(h) for name, h in hierarchies.items()}
+    with open(path, "w") as handle:
+        json.dump(specs, handle, indent=2, sort_keys=True)
+
+
+def load_hierarchies(path: str | Path) -> dict[str, Hierarchy]:
+    """Read a hierarchy map written by :func:`save_hierarchies`."""
+    with open(path) as handle:
+        specs = json.load(handle)
+    return {name: hierarchy_from_spec(spec) for name, spec in specs.items()}

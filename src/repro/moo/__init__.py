@@ -1,0 +1,43 @@
+"""Multi-objective anonymization search (the paper's Section 7 extension)."""
+
+from .archive import (
+    EpsilonParetoArchive,
+    ParetoArchive,
+    knee_point,
+)
+from .nsga2 import (
+    Nsga2Search,
+    ParetoResult,
+    privacy_rank_objective,
+    utility_loss_objective,
+    weighted_k_objective,
+    weighted_sum_search,
+)
+from .pareto import (
+    Objectives,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    hypervolume_2d,
+    non_dominated,
+    normalized,
+)
+
+__all__ = [
+    "EpsilonParetoArchive",
+    "ParetoArchive",
+    "knee_point",
+    "Nsga2Search",
+    "ParetoResult",
+    "privacy_rank_objective",
+    "utility_loss_objective",
+    "weighted_k_objective",
+    "weighted_sum_search",
+    "Objectives",
+    "crowding_distance",
+    "dominates",
+    "fast_non_dominated_sort",
+    "hypervolume_2d",
+    "non_dominated",
+    "normalized",
+]

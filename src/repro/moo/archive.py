@@ -1,0 +1,142 @@
+"""Pareto archives and trade-off selection.
+
+Practical companions to the multi-objective search:
+
+* :class:`ParetoArchive` — an incremental non-dominated store (feed it
+  anonymization candidates as they are generated, from any source);
+* :class:`EpsilonParetoArchive` — the ε-dominance variant (Laumanns et
+  al.): the objective space is gridded with cell size ε and at most one
+  representative per box survives, bounding the archive while keeping an
+  ε-approximate front;
+* :func:`knee_point` — the archive member with the best worst-case
+  normalized objective (minimax), the usual "balanced trade-off" pick
+  when no preference information exists.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generic, Hashable, Iterator, Sequence, TypeVar
+
+import numpy as np
+
+from .pareto import Objectives, dominates
+
+Payload = TypeVar("Payload", bound=Hashable)
+
+
+class ParetoArchive(Generic[Payload]):
+    """Incremental non-dominated archive of (payload, objectives) pairs.
+
+    Minimization on all objectives.  Duplicated payloads update in place;
+    dominated insertions are rejected; insertions that dominate existing
+    members evict them.
+    """
+
+    def __init__(self):
+        self._entries: dict[Payload, Objectives] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[Payload, Objectives]]:
+        return iter(self._entries.items())
+
+    def __contains__(self, payload: object) -> bool:
+        return payload in self._entries
+
+    @property
+    def payloads(self) -> list[Payload]:
+        """Archived payloads, in insertion order."""
+        return list(self._entries)
+
+    @property
+    def objectives(self) -> list[Objectives]:
+        """Objective vectors of the archived members."""
+        return list(self._entries.values())
+
+    def add(self, payload: Payload, objectives: Sequence[float]) -> bool:
+        """Offer a candidate; returns True when it enters the archive."""
+        candidate = tuple(float(v) for v in objectives)
+        for existing in self._entries.values():
+            if dominates(existing, candidate) or existing == candidate:
+                return False
+        evicted = [
+            other
+            for other, existing in self._entries.items()
+            if dominates(candidate, existing)
+        ]
+        for other in evicted:
+            del self._entries[other]
+        self._entries[payload] = candidate
+        return True
+
+
+class EpsilonParetoArchive(ParetoArchive[Payload]):
+    """ε-dominance archive: at most one member per ε-box of the objective
+    space, so the archive size is bounded regardless of front density."""
+
+    def __init__(self, epsilon: float):
+        super().__init__()
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def _box(self, objectives: Objectives) -> tuple[int, ...]:
+        return tuple(math.floor(v / self.epsilon) for v in objectives)
+
+    def add(self, payload: Payload, objectives: Sequence[float]) -> bool:
+        candidate = tuple(float(v) for v in objectives)
+        candidate_box = self._box(candidate)
+        for other, existing in list(self._entries.items()):
+            existing_box = self._box(existing)
+            if existing_box == candidate_box:
+                # Same box: keep the one closer to the box corner.
+                corner = tuple(b * self.epsilon for b in candidate_box)
+                existing_distance = sum(
+                    (e - c) ** 2 for e, c in zip(existing, corner)
+                )
+                candidate_distance = sum(
+                    (v - c) ** 2 for v, c in zip(candidate, corner)
+                )
+                if candidate_distance < existing_distance:
+                    del self._entries[other]
+                    self._entries[payload] = candidate
+                    return True
+                return False
+            if all(e <= c for e, c in zip(existing_box, candidate_box)):
+                # Box-dominated by an existing member.
+                return False
+        evicted = [
+            other
+            for other, existing in self._entries.items()
+            if all(c <= e for c, e in zip(candidate_box, self._box(existing)))
+            and candidate_box != self._box(existing)
+        ]
+        for other in evicted:
+            del self._entries[other]
+        self._entries[payload] = candidate
+        return True
+
+
+def knee_point(
+    archive: ParetoArchive[Payload] | Sequence[tuple[Payload, Objectives]]
+) -> Payload:
+    """The member minimizing the worst normalized objective (minimax).
+
+    With objectives min-max normalized over the archive, the knee point is
+    the candidate whose largest normalized objective is smallest — the
+    standard no-preference compromise solution.
+    """
+    entries = list(archive)
+    if not entries:
+        raise ValueError("archive is empty")
+    if len(entries) == 1:
+        return entries[0][0]
+    matrix = np.asarray([objectives for _, objectives in entries], dtype=float)
+    low = matrix.min(axis=0)
+    span = matrix.max(axis=0) - low
+    span[span == 0] = 1.0
+    normalized = (matrix - low) / span
+    worst = normalized.max(axis=1)
+    return entries[int(np.argmin(worst))][0]

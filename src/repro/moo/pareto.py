@@ -1,0 +1,128 @@
+"""Pareto-dominance utilities over objective tuples.
+
+The paper's Section 7 argues that with vector representations of privacy,
+finding "good" anonymizations becomes a multi-objective problem — privacy
+handled directly as an objective rather than a constraint.  This module
+supplies the standard machinery: dominance on minimization objective
+vectors, non-dominated filtering, fast non-dominated sorting and crowding
+distance (Deb et al.), shared by the NSGA-II search and the analysis
+benches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+Objectives = tuple[float, ...]
+
+
+def dominates(first: Objectives, second: Objectives) -> bool:
+    """Pareto dominance for minimization: no worse everywhere, better
+    somewhere."""
+    if len(first) != len(second):
+        raise ValueError("objective vectors must have equal lengths")
+    return all(a <= b for a, b in zip(first, second)) and any(
+        a < b for a, b in zip(first, second)
+    )
+
+
+def non_dominated(points: Sequence[Objectives]) -> list[int]:
+    """Indices of the non-dominated members of ``points``."""
+    return [
+        i
+        for i, candidate in enumerate(points)
+        if not any(
+            dominates(other, candidate)
+            for j, other in enumerate(points)
+            if j != i
+        )
+    ]
+
+
+def fast_non_dominated_sort(points: Sequence[Objectives]) -> list[list[int]]:
+    """Deb's fast non-dominated sort: indices grouped into fronts, best
+    front first."""
+    count = len(points)
+    dominated_by: list[list[int]] = [[] for _ in range(count)]
+    domination_count = [0] * count
+    fronts: list[list[int]] = [[]]
+    for i in range(count):
+        for j in range(count):
+            if i == j:
+                continue
+            if dominates(points[i], points[j]):
+                dominated_by[i].append(j)
+            elif dominates(points[j], points[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        fronts.append(next_front)
+        current += 1
+    fronts.pop()
+    return fronts
+
+
+def crowding_distance(points: Sequence[Objectives], front: Sequence[int]) -> dict[int, float]:
+    """Crowding distance of each front member (boundary members infinite)."""
+    distances = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    objective_count = len(points[front[0]])
+    for objective in range(objective_count):
+        ordered = sorted(front, key=lambda i: points[i][objective])
+        low = points[ordered[0]][objective]
+        high = points[ordered[-1]][objective]
+        distances[ordered[0]] = float("inf")
+        distances[ordered[-1]] = float("inf")
+        if high == low:
+            continue
+        for rank in range(1, len(ordered) - 1):
+            gap = (
+                points[ordered[rank + 1]][objective]
+                - points[ordered[rank - 1]][objective]
+            )
+            distances[ordered[rank]] += gap / (high - low)
+    return distances
+
+
+def hypervolume_2d(
+    points: Sequence[Objectives], reference: Objectives
+) -> float:
+    """Exact hypervolume indicator for 2-objective minimization fronts.
+
+    ``reference`` must be dominated by every point (i.e. worse in both
+    objectives); points at or beyond the reference contribute nothing.
+    """
+    if any(len(p) != 2 for p in points) or len(reference) != 2:
+        raise ValueError("hypervolume_2d requires 2-objective points")
+    kept = [p for p in points if p[0] < reference[0] and p[1] < reference[1]]
+    if not kept:
+        return 0.0
+    front = [kept[i] for i in non_dominated(kept)]
+    front.sort()
+    volume = 0.0
+    previous_y = reference[1]
+    for x, y in front:
+        if y < previous_y:
+            volume += (reference[0] - x) * (previous_y - y)
+            previous_y = y
+    return volume
+
+
+def normalized(points: Sequence[Objectives]) -> np.ndarray:
+    """Min-max normalization of an objective matrix (columns to [0,1])."""
+    array = np.asarray(points, dtype=float)
+    low = array.min(axis=0)
+    span = array.max(axis=0) - low
+    span[span == 0] = 1.0
+    return (array - low) / span

@@ -1,0 +1,28 @@
+"""Privacy models: scalar requirements plus their per-tuple property views."""
+
+from .base import PrivacyModel, PrivacyModelError
+from .kanonymity import KAnonymity
+from .ldiversity import DistinctLDiversity, EntropyLDiversity, RecursiveCLDiversity
+from .personalized import PersonalizedPrivacy
+from .psensitive import PSensitiveKAnonymity
+from .tcloseness import (
+    TCloseness,
+    equal_distance_emd,
+    hierarchical_distance_emd,
+    ordered_distance_emd,
+)
+
+__all__ = [
+    "PrivacyModel",
+    "PrivacyModelError",
+    "KAnonymity",
+    "DistinctLDiversity",
+    "EntropyLDiversity",
+    "RecursiveCLDiversity",
+    "PersonalizedPrivacy",
+    "PSensitiveKAnonymity",
+    "TCloseness",
+    "equal_distance_emd",
+    "hierarchical_distance_emd",
+    "ordered_distance_emd",
+]

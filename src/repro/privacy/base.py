@@ -1,0 +1,45 @@
+"""Privacy model protocol.
+
+A privacy model checks a scalar privacy *requirement* against an anonymized
+release (the classical role: "is this release k-anonymous?") and, in this
+library, also exposes the *per-tuple* measurement of its defining property —
+the property vector the paper argues should be inspected instead of the
+scalar alone.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..anonymize.engine import Anonymization
+from ..core.vector import PropertyVector
+
+
+class PrivacyModelError(ValueError):
+    """Raised for invalid model parameters."""
+
+
+class PrivacyModel(abc.ABC):
+    """A scalar privacy requirement with a per-tuple property view."""
+
+    name: str = "privacy-model"
+
+    @abc.abstractmethod
+    def measure(self, anonymization: Anonymization) -> float:
+        """The scalar level the release actually achieves (the model's
+        aggregate quality index — e.g. the achieved k)."""
+
+    @abc.abstractmethod
+    def threshold(self) -> float:
+        """The required level for :meth:`satisfied_by` to hold."""
+
+    @abc.abstractmethod
+    def property_vector(self, anonymization: Anonymization) -> PropertyVector:
+        """Per-tuple measurement of the model's defining property."""
+
+    def satisfied_by(self, anonymization: Anonymization) -> bool:
+        """Whether the release meets the requirement."""
+        return self.measure(anonymization) >= self.threshold()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,32 @@
+"""k-anonymity (Sweeney / Samarati)."""
+
+from __future__ import annotations
+
+from ..anonymize.engine import Anonymization
+from ..core.properties import equivalence_class_size
+from ..core.vector import PropertyVector
+from .base import PrivacyModel, PrivacyModelError
+
+
+class KAnonymity(PrivacyModel):
+    """Every equivalence class must contain at least ``k`` tuples.
+
+    The scalar measure is the minimum class size — the unary quality index
+    ``P_k-anon`` of Section 3; the property vector is the per-tuple class
+    size, whose distribution is where anonymization bias hides.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise PrivacyModelError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"{k}-anonymity"
+
+    def measure(self, anonymization: Anonymization) -> float:
+        return float(anonymization.equivalence_classes.minimum_size())
+
+    def threshold(self) -> float:
+        return float(self.k)
+
+    def property_vector(self, anonymization: Anonymization) -> PropertyVector:
+        return equivalence_class_size(anonymization)

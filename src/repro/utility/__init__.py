@@ -1,0 +1,68 @@
+"""Utility (information loss) metrics over anonymizations."""
+
+from .certainty import (
+    global_certainty_penalty,
+    ncp_vector,
+    tuple_certainty_penalties,
+)
+from .classification import (
+    classification_metric,
+    cm_vector,
+    tuple_classification_penalties,
+)
+from .class_size import average_tuple_class_size, normalized_average_class_size
+from .divergence import (
+    marginal_divergence,
+    reconstructed_marginal,
+    total_marginal_divergence,
+)
+from .discernibility import discernibility, tuple_penalties
+from .loss_metric import (
+    cell_losses,
+    general_loss,
+    tuple_losses,
+    tuple_utilities,
+)
+from .precision import precision, tuple_precisions
+from .query_error import (
+    Predicate,
+    QueryError,
+    RangePredicate,
+    ValuePredicate,
+    estimated_count,
+    mean_workload_error,
+    random_range_workload,
+    relative_query_error,
+    true_count,
+)
+
+__all__ = [
+    "marginal_divergence",
+    "reconstructed_marginal",
+    "total_marginal_divergence",
+    "classification_metric",
+    "cm_vector",
+    "tuple_classification_penalties",
+    "global_certainty_penalty",
+    "ncp_vector",
+    "tuple_certainty_penalties",
+    "Predicate",
+    "QueryError",
+    "RangePredicate",
+    "ValuePredicate",
+    "estimated_count",
+    "mean_workload_error",
+    "random_range_workload",
+    "relative_query_error",
+    "true_count",
+    "average_tuple_class_size",
+    "normalized_average_class_size",
+    "discernibility",
+    "tuple_penalties",
+    "cell_losses",
+    "general_loss",
+    "tuple_losses",
+    "tuple_utilities",
+    "precision",
+    "tuple_precisions",
+]

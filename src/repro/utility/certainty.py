@@ -1,0 +1,48 @@
+"""Normalized / Global Certainty Penalty (Xu et al., KDD 2006).
+
+NCP charges each generalized cell the fraction of its attribute domain it
+spans — numerically identical in spirit to LM but defined on the released
+cells of *any* recoding (full-domain or local), which made it the utility
+metric of choice for local-recoding work.  GCP is the normalized sum over
+the whole table.  Both reduce to per-tuple penalties, so they slot straight
+into the property-vector framework.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..anonymize.engine import Anonymization
+from ..core.vector import PropertyVector
+from ..hierarchy.base import Hierarchy
+from .loss_metric import cell_losses
+
+
+def tuple_certainty_penalties(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> list[float]:
+    """Per-tuple NCP: mean per-attribute domain fraction in [0, 1]."""
+    per_cell = cell_losses(anonymization, hierarchies)
+    qi_count = len(anonymization.original.schema.quasi_identifier_names)
+    if not qi_count:
+        return [0.0] * len(anonymization)
+    return [sum(row.values()) / qi_count for row in per_cell]
+
+
+def ncp_vector(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> PropertyVector:
+    """Per-tuple NCP as a property vector (lower is better)."""
+    return PropertyVector(
+        tuple_certainty_penalties(anonymization, hierarchies),
+        name="ncp",
+        higher_is_better=False,
+    )
+
+
+def global_certainty_penalty(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> float:
+    """GCP in [0, 1]: mean per-tuple NCP over the table."""
+    penalties = tuple_certainty_penalties(anonymization, hierarchies)
+    return sum(penalties) / len(penalties) if penalties else 0.0

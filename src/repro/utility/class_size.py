@@ -1,0 +1,28 @@
+"""Equivalence-class-size utility summaries.
+
+Two standard aggregates over the class structure:
+
+* the paper's ``P_s-avg`` (Section 3): mean of the *per-tuple* class size
+  vector — equals 3.4 for the running example's T3a;
+* LeFevre's normalized average class size ``C_avg = N / (|classes| · k)``.
+"""
+
+from __future__ import annotations
+
+from ..anonymize.engine import Anonymization
+
+
+def average_tuple_class_size(anonymization: Anonymization) -> float:
+    """Mean per-tuple equivalence class size (the paper's ``P_s-avg``)."""
+    sizes = anonymization.equivalence_classes.sizes()
+    return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+def normalized_average_class_size(anonymization: Anonymization, k: int) -> float:
+    """LeFevre's ``C_avg`` for a target ``k`` (1.0 is ideal)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    class_count = len(anonymization.equivalence_classes)
+    if not class_count:
+        return 0.0
+    return len(anonymization) / (class_count * k)

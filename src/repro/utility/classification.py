@@ -1,0 +1,66 @@
+"""Iyengar's classification metric (CM).
+
+The second utility metric of Iyengar [KDD 2002] (alongside LM): when the
+released table is destined for classifier training, a tuple is "damaged"
+if its class label disagrees with the majority label of its equivalence
+class (the class boundary was generalized away), or if it is suppressed.
+CM is the fraction of damaged tuples; the per-tuple penalties form a
+property vector like every other measure here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..anonymize.engine import Anonymization, resolve_sensitive_column
+from ..core.vector import PropertyVector
+
+
+def _majority_labels(
+    anonymization: Anonymization, column: tuple[Any, ...]
+) -> list[Any]:
+    """Majority label per equivalence class (ties broken by first seen)."""
+    majorities = []
+    for histogram in anonymization.equivalence_classes.value_counts(column):
+        majorities.append(max(histogram, key=histogram.get))
+    return majorities
+
+
+def tuple_classification_penalties(
+    anonymization: Anonymization, label_attribute: str | None = None
+) -> list[int]:
+    """Per-tuple CM penalty (0 or 1), in row order.
+
+    A tuple is penalized when suppressed or when its label is not its
+    class's majority label.
+    """
+    _, column = resolve_sensitive_column(anonymization, label_attribute)
+    classes = anonymization.equivalence_classes
+    majorities = _majority_labels(anonymization, column)
+    penalties = []
+    for row_index in range(len(anonymization)):
+        if row_index in anonymization.suppressed:
+            penalties.append(1)
+            continue
+        majority = majorities[classes.class_of(row_index)]
+        penalties.append(0 if column[row_index] == majority else 1)
+    return penalties
+
+
+def classification_metric(
+    anonymization: Anonymization, label_attribute: str | None = None
+) -> float:
+    """CM in [0, 1]: fraction of damaged tuples (lower is better)."""
+    penalties = tuple_classification_penalties(anonymization, label_attribute)
+    return sum(penalties) / len(penalties) if penalties else 0.0
+
+
+def cm_vector(
+    anonymization: Anonymization, label_attribute: str | None = None
+) -> PropertyVector:
+    """Per-tuple CM penalties as a property vector (lower is better)."""
+    return PropertyVector(
+        tuple_classification_penalties(anonymization, label_attribute),
+        name="classification-penalty",
+        higher_is_better=False,
+    )

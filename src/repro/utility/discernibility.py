@@ -1,0 +1,27 @@
+"""The discernibility metric (DM) of Bayardo and Agrawal.
+
+DM charges each tuple the size of the equivalence class it is released in
+(tuples in big, indistinct classes are less useful), and charges every
+suppressed tuple the full data set size N.  The per-tuple penalties are a
+natural utility *property vector* (lower is better); the classical scalar DM
+is their sum, equal to Σ|E|² over classes plus N·(number suppressed).
+"""
+
+from __future__ import annotations
+
+from ..anonymize.engine import Anonymization
+
+
+def tuple_penalties(anonymization: Anonymization) -> list[int]:
+    """Per-tuple discernibility penalty, in row order (lower is better)."""
+    total = len(anonymization)
+    classes = anonymization.equivalence_classes
+    return [
+        total if row_index in anonymization.suppressed else classes.size_of(row_index)
+        for row_index in range(total)
+    ]
+
+
+def discernibility(anonymization: Anonymization) -> int:
+    """The scalar DM cost (sum of per-tuple penalties)."""
+    return sum(tuple_penalties(anonymization))

@@ -1,0 +1,84 @@
+"""Iyengar's general loss metric (LM), per tuple and aggregated.
+
+The general loss metric charges each generalized cell a normalized loss in
+``[0, 1]``: 0 for a raw value, 1 for full suppression, and in between the
+fraction of the attribute domain the generalized value covers (categorical:
+``(m-1)/(M-1)`` for a token covering m of M leaves; numeric: interval width
+over domain width).  A tuple's loss is the sum of its quasi-identifier cell
+losses.
+
+The paper uses LM twice: as the "general loss metric [7]" example of a
+per-tuple utility property (Section 3) and for the utility property vectors
+of the weighted-comparator example (Section 5.5), where per-tuple *utility*
+is on a higher-is-better scale — reproduced here by
+:func:`tuple_utilities` = (number of QI attributes) − (tuple loss).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..anonymize.engine import Anonymization, AnonymizationError
+from ..hierarchy.base import Hierarchy
+
+
+def _check_hierarchies(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> tuple[str, ...]:
+    qi_names = anonymization.original.schema.quasi_identifier_names
+    missing = set(qi_names) - set(hierarchies)
+    if missing:
+        raise AnonymizationError(f"missing hierarchies for {sorted(missing)}")
+    return qi_names
+
+
+def cell_losses(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> list[dict[str, float]]:
+    """Per-row maps of QI attribute name to normalized cell loss."""
+    qi_names = _check_hierarchies(anonymization, hierarchies)
+    schema = anonymization.original.schema
+    positions = {name: schema.index_of(name) for name in qi_names}
+    losses: list[dict[str, float]] = []
+    for row in anonymization.released:
+        losses.append(
+            {
+                name: hierarchies[name].released_loss(row[positions[name]])
+                for name in qi_names
+            }
+        )
+    return losses
+
+
+def tuple_losses(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> list[float]:
+    """Per-tuple LM loss (sum of QI cell losses), in row order.
+
+    Suppressed tuples naturally score the maximum (one per QI attribute)
+    because their released cells are the suppression token.
+    """
+    return [sum(row.values()) for row in cell_losses(anonymization, hierarchies)]
+
+
+def tuple_utilities(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> list[float]:
+    """Per-tuple utility on the paper's higher-is-better scale.
+
+    A tuple with no generalization scores ``len(QI)``; a fully suppressed
+    tuple scores 0.
+    """
+    qi_count = len(anonymization.original.schema.quasi_identifier_names)
+    return [qi_count - loss for loss in tuple_losses(anonymization, hierarchies)]
+
+
+def general_loss(
+    anonymization: Anonymization, hierarchies: Mapping[str, Hierarchy]
+) -> float:
+    """Aggregate LM: mean per-tuple loss normalized by QI count (in [0,1])."""
+    losses = tuple_losses(anonymization, hierarchies)
+    qi_count = len(anonymization.original.schema.quasi_identifier_names)
+    if not losses or not qi_count:
+        return 0.0
+    return sum(losses) / (len(losses) * qi_count)

@@ -1,0 +1,201 @@
+"""Aggregate query error — workload-based utility.
+
+LeFevre et al. motivate multidimensional recoding by the accuracy of COUNT
+queries with multi-attribute predicates against the released table.  This
+module evaluates exactly that: range/point predicates are answered against
+the release under the *uniformity assumption* (a generalized cell
+contributes the fraction of its region intersecting the predicate), and the
+relative error against the true answer on the original data is the utility
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..anonymize.engine import Anonymization
+from ..datasets.dataset import Dataset
+from ..hierarchy.base import SUPPRESSED, Hierarchy, Interval
+from ..hierarchy.categorical import TaxonomyHierarchy
+from ..hierarchy.masking import MaskingHierarchy
+from ..hierarchy.numeric import IntervalHierarchy, Span
+
+
+class QueryError(ValueError):
+    """Raised for malformed queries."""
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``attribute BETWEEN low AND high`` (inclusive) on a numeric QI."""
+
+    attribute: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise QueryError(f"empty range [{self.low}, {self.high}]")
+
+
+@dataclass(frozen=True)
+class ValuePredicate:
+    """``attribute = value`` on a categorical QI (raw leaf value)."""
+
+    attribute: str
+    value: Any
+
+
+Predicate = RangePredicate | ValuePredicate
+
+
+def true_count(dataset: Dataset, predicates: Sequence[Predicate]) -> int:
+    """Exact COUNT(*) of the conjunctive predicate on the original data."""
+    count = 0
+    positions = {p.attribute: dataset.schema.index_of(p.attribute) for p in predicates}
+    for row in dataset:
+        if all(_raw_satisfies(row[positions[p.attribute]], p) for p in predicates):
+            count += 1
+    return count
+
+
+def _raw_satisfies(value: Any, predicate: Predicate) -> bool:
+    if isinstance(predicate, RangePredicate):
+        return (
+            isinstance(value, (int, float))
+            and predicate.low <= value <= predicate.high
+        )
+    return value == predicate.value
+
+
+def _cell_overlap(
+    cell: Any, predicate: Predicate, hierarchy: Hierarchy | None
+) -> float:
+    """Expected fraction of a released cell's mass satisfying the
+    predicate, under uniformity."""
+    if isinstance(predicate, RangePredicate):
+        if isinstance(cell, (int, float)):
+            return 1.0 if predicate.low <= cell <= predicate.high else 0.0
+        if isinstance(cell, Interval):
+            low, high = cell.low, cell.high
+        elif isinstance(cell, Span):
+            low, high = cell.low, cell.high
+            if cell.width == 0:
+                return 1.0 if predicate.low <= low <= predicate.high else 0.0
+        elif cell == SUPPRESSED and isinstance(hierarchy, IntervalHierarchy):
+            low, high = hierarchy.bounds
+        else:
+            return 0.0
+        width = high - low
+        if width <= 0:
+            return 0.0
+        overlap = min(high, predicate.high) - max(low, predicate.low)
+        return max(0.0, overlap) / width
+
+    # Categorical point predicate.
+    if cell == predicate.value:
+        return 1.0
+    if isinstance(cell, frozenset):
+        return (1.0 / len(cell)) if predicate.value in cell else 0.0
+    if isinstance(hierarchy, TaxonomyHierarchy):
+        if cell == SUPPRESSED:
+            return 1.0 / hierarchy.domain_size
+        generalizations = hierarchy.generalizations(predicate.value)
+        if cell in generalizations:
+            covered = sum(
+                1
+                for leaf in hierarchy.leaves
+                if cell in hierarchy.generalizations(leaf)
+            )
+            return 1.0 / covered if covered else 0.0
+        return 0.0
+    if isinstance(hierarchy, MaskingHierarchy) and isinstance(cell, str):
+        if "*" in cell and hierarchy.domain is not None:
+            prefix = cell.rstrip("*")
+            candidates = [v for v in hierarchy.domain if v.startswith(prefix)]
+            if predicate.value in candidates and candidates:
+                return 1.0 / len(candidates)
+        return 0.0
+    return 0.0
+
+
+def estimated_count(
+    anonymization: Anonymization,
+    predicates: Sequence[Predicate],
+    hierarchies: Mapping[str, Hierarchy] | None = None,
+) -> float:
+    """Expected COUNT(*) answered on the release under uniformity."""
+    if not predicates:
+        raise QueryError("query needs at least one predicate")
+    schema = anonymization.original.schema
+    lookup = hierarchies or {}
+    positions = {p.attribute: schema.index_of(p.attribute) for p in predicates}
+    total = 0.0
+    for row in anonymization.released:
+        mass = 1.0
+        for predicate in predicates:
+            mass *= _cell_overlap(
+                row[positions[predicate.attribute]],
+                predicate,
+                lookup.get(predicate.attribute),
+            )
+            if mass == 0.0:
+                break
+        total += mass
+    return total
+
+
+def relative_query_error(
+    anonymization: Anonymization,
+    predicates: Sequence[Predicate],
+    hierarchies: Mapping[str, Hierarchy] | None = None,
+) -> float:
+    """|estimated - true| / max(true, 1)."""
+    truth = true_count(anonymization.original, predicates)
+    estimate = estimated_count(anonymization, predicates, hierarchies)
+    return abs(estimate - truth) / max(truth, 1)
+
+
+def random_range_workload(
+    dataset: Dataset,
+    attribute: str,
+    queries: int = 50,
+    selectivity: float = 0.2,
+    seed: int = 0,
+) -> list[RangePredicate]:
+    """A seeded workload of range predicates on one numeric attribute."""
+    if not 0.0 < selectivity <= 1.0:
+        raise QueryError(f"selectivity must be in (0,1], got {selectivity}")
+    values = [v for v in dataset.column(attribute) if isinstance(v, (int, float))]
+    if not values:
+        raise QueryError(f"attribute {attribute!r} has no numeric values")
+    low, high = min(values), max(values)
+    width = (high - low) * selectivity
+    rng = np.random.default_rng(seed)
+    workload = []
+    for _ in range(queries):
+        start = float(rng.uniform(low, max(low, high - width)))
+        workload.append(RangePredicate(attribute, start, start + width))
+    return workload
+
+
+def mean_workload_error(
+    anonymization: Anonymization,
+    workload: Sequence[Sequence[Predicate] | Predicate],
+    hierarchies: Mapping[str, Hierarchy] | None = None,
+) -> float:
+    """Mean relative error over a workload of (conjunctive) queries."""
+    if not workload:
+        raise QueryError("workload must be non-empty")
+    errors = []
+    for query in workload:
+        predicates = [query] if isinstance(
+            query, (RangePredicate, ValuePredicate)
+        ) else list(query)
+        errors.append(
+            relative_query_error(anonymization, predicates, hierarchies)
+        )
+    return sum(errors) / len(errors)

@@ -1,0 +1,39 @@
+"""Shared fixtures: the paper's running example and a small Adult workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import adult_dataset, adult_hierarchies
+from repro.datasets import paper_tables
+
+
+@pytest.fixture(scope="session")
+def table1():
+    return paper_tables.table1()
+
+
+@pytest.fixture(scope="session")
+def t3a():
+    return paper_tables.t3a()
+
+
+@pytest.fixture(scope="session")
+def t3b():
+    return paper_tables.t3b()
+
+
+@pytest.fixture(scope="session")
+def t4():
+    return paper_tables.t4()
+
+
+@pytest.fixture(scope="session")
+def adult_small():
+    """A 300-row deterministic Adult sample (fast enough for every test)."""
+    return adult_dataset(300, seed=11)
+
+
+@pytest.fixture(scope="session")
+def adult_h():
+    return adult_hierarchies()

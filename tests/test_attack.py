@@ -1,0 +1,242 @@
+"""Tests for the attack simulation module."""
+
+import pytest
+
+from repro.attack import (
+    AttackError,
+    background_knowledge_risks,
+    cell_matches,
+    homogeneity_risks,
+    homogeneous_classes,
+    linkage_report,
+    match_set,
+    prosecutor_risks,
+    simulate_linkage,
+)
+from repro.core.properties import breach_probability
+from repro.datasets import paper_tables
+from repro.hierarchy import SUPPRESSED, Interval, Span
+
+SENSITIVE = paper_tables.SENSITIVE_ATTRIBUTE
+
+#: Hierarchy map for resolving taxonomy tokens ("Married") during linkage;
+#: zip masks and age intervals need no hierarchy.
+PAPER_H = {SENSITIVE: paper_tables.marital_hierarchy()}
+
+
+class TestCellMatches:
+    def test_exact(self):
+        assert cell_matches("13053", "13053")
+        assert not cell_matches("13053", "13052")
+
+    def test_suppressed_matches_anything(self):
+        assert cell_matches(SUPPRESSED, "whatever")
+        assert cell_matches(SUPPRESSED, 42)
+
+    def test_interval(self):
+        assert cell_matches(Interval(25, 35), 28)
+        assert not cell_matches(Interval(25, 35), 25)
+        assert not cell_matches(Interval(25, 35), 40)
+
+    def test_span(self):
+        assert cell_matches(Span(10, 20), 10)
+        assert not cell_matches(Span(10, 20), 21)
+
+    def test_mask(self):
+        assert cell_matches("1305*", "13053")
+        assert not cell_matches("1305*", "13253")
+        assert not cell_matches("1305*", "130")
+        assert cell_matches("13***", "13250")
+
+    def test_frozenset(self):
+        assert cell_matches(frozenset({"a", "b"}), "a")
+        assert not cell_matches(frozenset({"a", "b"}), "c")
+
+    def test_internal_token_no_false_match(self):
+        # A taxonomy token like "Married" is not a mask and not equal to
+        # any raw value; match fails (conservative — the adversary uses
+        # the taxonomy separately).
+        assert not cell_matches("Married", "CF-Spouse")
+
+
+class TestMatchSet:
+    def test_t3a_match_sets_are_equivalence_classes(self, t3a, table1):
+        # The adversary knowing tuple 1's QIs matches the whole class.
+        record = [table1[0][0], table1[0][1], table1[0][2]]
+        assert match_set(t3a, record, PAPER_H) == [0, 3, 7]
+
+    def test_wrong_arity_rejected(self, t3a):
+        with pytest.raises(AttackError, match="expected 3"):
+            match_set(t3a, ["13053"])
+
+
+class TestProsecutorRisks:
+    def test_matches_breach_probability_on_paper_tables(self, t3a, t3b, t4):
+        # Structural 1/|EC| equals attack-derived risk when the release
+        # keeps hierarchy-consistent cells.
+        for release in (t3a, t3b, t4):
+            structural = breach_probability(release)
+            attacked = prosecutor_risks(release, hierarchies=PAPER_H)
+            assert attacked.as_tuple() == pytest.approx(structural.as_tuple())
+
+    def test_orientation(self, t3a):
+        assert not prosecutor_risks(t3a, hierarchies=PAPER_H).higher_is_better
+
+    def test_mondrian_release(self, adult_small, adult_h):
+        from repro.anonymize.algorithms import Mondrian
+
+        release = Mondrian(5).anonymize(adult_small, adult_h)
+        risks = prosecutor_risks(release)
+        # Match sets can only be supersets of equivalence classes.
+        structural = breach_probability(release)
+        assert all(
+            attacked <= struct + 1e-12
+            for attacked, struct in zip(risks, structural)
+        )
+
+    def test_external_table_must_align(self, t3a, table1):
+        with pytest.raises(AttackError, match="align"):
+            prosecutor_risks(t3a, table1.head(5))
+
+
+class TestLinkageReport:
+    def test_t3a_report(self, t3a):
+        report = linkage_report(t3a, hierarchies=PAPER_H)
+        assert report.prosecutor_max == pytest.approx(1 / 3)
+        assert report.journalist_risk == report.prosecutor_max
+        assert report.marketer_risk == pytest.approx(
+            (6 * (1 / 3) + 4 * (1 / 4)) / 10
+        )
+        assert report.records_at_max_risk == 6
+        assert "prosecutor" in report.describe()
+
+    def test_t3b_lower_marketer_risk(self, t3a, t3b):
+        # T3b's larger classes push the bulk re-identification rate down.
+        assert (
+            linkage_report(t3b, hierarchies=PAPER_H).marketer_risk
+            < linkage_report(t3a, hierarchies=PAPER_H).marketer_risk
+        )
+
+
+class TestSimulation:
+    def test_empirical_rate_close_to_marketer_risk(self, t3a):
+        rate = simulate_linkage(t3a, trials=4000, seed=1, hierarchies=PAPER_H)
+        expected = linkage_report(t3a, hierarchies=PAPER_H).marketer_risk
+        assert rate == pytest.approx(expected, abs=0.03)
+
+    def test_deterministic_per_seed(self, t3a):
+        assert simulate_linkage(
+            t3a, 200, seed=5, hierarchies=PAPER_H
+        ) == simulate_linkage(t3a, 200, seed=5, hierarchies=PAPER_H)
+
+    def test_invalid_trials(self, t3a):
+        with pytest.raises(AttackError):
+            simulate_linkage(t3a, trials=0)
+
+
+class TestHomogeneity:
+    def test_t4_fully_suppressed_sensitive_varies(self, t4, table1):
+        risks = homogeneity_risks(t4, SENSITIVE)
+        # Class {1,3,4,8}: CF-Spouse x2, Never Married, Spouse Present.
+        assert risks[0] == pytest.approx(2 / 4)
+        assert risks[2] == pytest.approx(1 / 4)
+
+    def test_homogeneous_classes_detected(self, table1):
+        from repro.anonymize.engine import recode
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            SENSITIVE: paper_tables.marital_hierarchy(),
+        }
+        raw = recode(
+            table1, hierarchies, {"Zip Code": 0, "Age": 0, SENSITIVE: 0}
+        )
+        # Every singleton class is trivially homogeneous.
+        assert len(homogeneous_classes(raw, SENSITIVE)) == 10
+
+    def test_no_homogeneous_class_in_t3a(self, t3a):
+        assert homogeneous_classes(t3a, SENSITIVE) == []
+
+
+class TestBackgroundKnowledge:
+    def test_zero_knowledge_equals_homogeneity(self, t3a):
+        assert background_knowledge_risks(
+            t3a, 0, SENSITIVE
+        ).as_tuple() == pytest.approx(
+            homogeneity_risks(t3a, SENSITIVE).as_tuple()
+        )
+
+    def test_knowledge_increases_risk(self, t3a):
+        base = background_knowledge_risks(t3a, 0, SENSITIVE)
+        informed = background_knowledge_risks(t3a, 1, SENSITIVE)
+        assert all(b <= i + 1e-12 for b, i in zip(base, informed))
+        assert any(i > b for b, i in zip(base, informed))
+
+    def test_full_knowledge_discloses(self, t3a):
+        # Ruling out every other value always discloses.
+        risks = background_knowledge_risks(t3a, 10, SENSITIVE)
+        assert all(risk == 1.0 for risk in risks)
+
+    def test_negative_rejected(self, t3a):
+        with pytest.raises(ValueError):
+            background_knowledge_risks(t3a, -1, SENSITIVE)
+
+
+class TestAttackInvariants:
+    """Property-style invariants of the adversary machinery on random
+    recodings of the hospital workload."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.datasets import hospital_dataset, hospital_hierarchies
+
+        return hospital_dataset(80, seed=13), hospital_hierarchies()
+
+    def test_match_sets_superset_of_classes(self, workload):
+        from repro.anonymize.engine import recode_node
+
+        data, hierarchies = workload
+        release = recode_node(data, hierarchies, (2, 1, 0))
+        qi = data.schema.quasi_identifier_indices
+        classes = release.equivalence_classes
+        for row_index in range(len(data)):
+            record = [data[row_index][p] for p in qi]
+            matches = set(match_set(release, record, hierarchies))
+            assert set(classes.members_of(row_index)) <= matches
+
+    def test_risks_bounded_by_class_sizes(self, workload):
+        from repro.anonymize.engine import recode_node
+        from repro.core.properties import breach_probability
+
+        data, hierarchies = workload
+        for node in ((0, 0, 0), (1, 2, 1), (5, 4, 1)):
+            release = recode_node(data, hierarchies, node)
+            risks = prosecutor_risks(release, hierarchies=hierarchies)
+            structural = breach_probability(release)
+            assert all(
+                risk <= struct + 1e-12
+                for risk, struct in zip(risks, structural)
+            )
+
+    def test_generalizing_never_increases_risk(self, workload):
+        from repro.anonymize.engine import recode_node
+
+        data, hierarchies = workload
+        lower = recode_node(data, hierarchies, (1, 1, 0))
+        upper = recode_node(data, hierarchies, (3, 2, 1))
+        lower_risks = prosecutor_risks(lower, hierarchies=hierarchies)
+        upper_risks = prosecutor_risks(upper, hierarchies=hierarchies)
+        assert all(
+            up <= low + 1e-12 for up, low in zip(upper_risks, lower_risks)
+        )
+
+    def test_composition_with_self_is_identity(self, workload):
+        from repro.anonymize.engine import recode_node
+        from repro.attack import composition_risks
+
+        data, hierarchies = workload
+        release = recode_node(data, hierarchies, (2, 1, 0))
+        single = prosecutor_risks(release, hierarchies=hierarchies)
+        joint = composition_risks([release, release], hierarchies=hierarchies)
+        assert joint.as_tuple() == pytest.approx(single.as_tuple())

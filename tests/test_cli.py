@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import adult_schema, read_csv
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "data.csv"
+        code = main(["generate", str(output), "--rows", "30", "--seed", "1"])
+        assert code == 0
+        restored = read_csv(output, adult_schema())
+        assert len(restored) == 30
+        assert "wrote 30 rows" in capsys.readouterr().out
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", str(a), "--rows", "20", "--seed", "9"])
+        main(["generate", str(b), "--rows", "20", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestAnonymize:
+    def test_mondrian_release(self, tmp_path, capsys):
+        output = tmp_path / "release.csv"
+        code = main([
+            "anonymize", str(output),
+            "--algorithm", "mondrian", "--k", "5", "--rows", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mondrian" in out
+        assert output.exists()
+
+    def test_unknown_algorithm_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["anonymize", str(tmp_path / "x.csv"), "--algorithm", "bogus"])
+
+
+class TestCompare:
+    def test_report_printed(self, capsys):
+        code = main([
+            "compare", "--algorithms", "datafly", "mondrian",
+            "--k", "5", "--rows", "80",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Anonymization comparison report" in out
+        assert "equivalence-class-size" in out
+
+
+class TestAudit:
+    def test_audit_printed(self, capsys):
+        code = main(["audit", "--algorithm", "datafly", "--k", "5",
+                     "--rows", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gini=" in out
+
+
+class TestPaper:
+    def test_paper_tables_printed(self, capsys):
+        code = main(["paper"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "13053" in out
+        assert "T3a (k=3)" in out
+        assert "T4 (k=4)" in out
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSweep:
+    def test_sweep_printed(self, capsys):
+        code = main(["sweep", "--algorithm", "mondrian", "--ks", "2", "5",
+                     "--rows", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k_achieved" in out
+        assert "class_gini" in out
+
+
+class TestAttack:
+    def test_attack_printed(self, capsys):
+        code = main(["attack", "--algorithm", "mondrian", "--k", "5",
+                     "--rows", "60", "--trials", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prosecutor" in out
+        assert "Monte Carlo" in out

@@ -1,0 +1,212 @@
+"""Tests for strict dominance (Table 4) and ▶-better comparators (Section 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.comparators import (
+    CoverageBetter,
+    HypervolumeBetter,
+    MinBetter,
+    RankBetter,
+    Relation,
+    SpreadBetter,
+    default_comparators,
+    dominance_relation,
+    non_dominated,
+    set_dominance_relation,
+    set_non_dominated,
+    set_strongly_dominates,
+    set_weakly_dominates,
+    strongly_dominates,
+    weakly_dominates,
+)
+from repro.core.vector import PropertyVector, PropertyVectorError
+
+
+@st.composite
+def paired(draw):
+    size = draw(st.integers(min_value=1, max_value=12))
+    element = st.floats(min_value=0.1, max_value=50, allow_nan=False)
+    a = draw(st.lists(element, min_size=size, max_size=size))
+    b = draw(st.lists(element, min_size=size, max_size=size))
+    return PropertyVector(a), PropertyVector(b)
+
+
+S = PropertyVector((3, 3, 3, 3, 4, 4, 4, 3, 3, 4), "T3a")
+T = PropertyVector((3, 7, 7, 3, 7, 7, 7, 3, 7, 7), "T3b")
+T4V = PropertyVector((4, 6, 4, 4, 6, 6, 6, 4, 6, 6), "T4")
+
+
+class TestDominance:
+    def test_t3b_strongly_dominates_t3a(self):
+        # Every tuple of T3b has class size >= its T3a counterpart.
+        assert weakly_dominates(T, S)
+        assert strongly_dominates(T, S)
+        assert not weakly_dominates(S, T)
+
+    def test_t3b_and_t4_incomparable(self):
+        assert non_dominated(T, T4V)
+        assert dominance_relation(T, T4V) is Relation.INCOMPARABLE
+
+    def test_self_equivalence(self):
+        assert weakly_dominates(S, S)
+        assert not strongly_dominates(S, S)
+        assert dominance_relation(S, S) is Relation.EQUIVALENT
+
+    def test_relation_flipped(self):
+        assert dominance_relation(S, T) is Relation.WORSE
+        assert dominance_relation(T, S) is Relation.BETTER
+        assert Relation.BETTER.flipped() is Relation.WORSE
+        assert Relation.INCOMPARABLE.flipped() is Relation.INCOMPARABLE
+
+    @given(paired())
+    def test_trichotomy_of_relations(self, pair):
+        a, b = pair
+        relation = dominance_relation(a, b)
+        assert dominance_relation(b, a) is relation.flipped()
+
+    @given(paired())
+    def test_strong_implies_weak(self, pair):
+        a, b = pair
+        if strongly_dominates(a, b):
+            assert weakly_dominates(a, b)
+            assert not weakly_dominates(b, a) or not strongly_dominates(a, b)
+
+    @given(paired())
+    def test_non_dominance_symmetric(self, pair):
+        a, b = pair
+        assert non_dominated(a, b) == non_dominated(b, a)
+
+    def test_orientation_respected(self):
+        low_loss = PropertyVector([0.1, 0.1], higher_is_better=False)
+        high_loss = PropertyVector([0.9, 0.9], higher_is_better=False)
+        assert strongly_dominates(low_loss, high_loss)
+
+
+class TestSetDominance:
+    def test_paired_by_property(self):
+        first = (PropertyVector([2, 2]), PropertyVector([5, 5]))
+        second = (PropertyVector([1, 1]), PropertyVector([5, 5]))
+        assert set_weakly_dominates(first, second)
+        assert set_strongly_dominates(first, second)
+        assert not set_strongly_dominates(second, first)
+
+    def test_incomparable_sets(self):
+        first = (PropertyVector([2, 2]), PropertyVector([1, 1]))
+        second = (PropertyVector([1, 1]), PropertyVector([2, 2]))
+        assert set_non_dominated(first, second)
+        assert set_dominance_relation(first, second) is Relation.INCOMPARABLE
+
+    def test_equivalent_sets(self):
+        first = (PropertyVector([2, 2]),)
+        assert set_dominance_relation(first, first) is Relation.EQUIVALENT
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(PropertyVectorError):
+            set_weakly_dominates((S,), (S, T))
+
+    def test_empty_rejected(self):
+        with pytest.raises(PropertyVectorError):
+            set_weakly_dominates((), ())
+
+
+class TestMinBetter:
+    def test_paper_min_comparator(self):
+        # ▶min: T4 (min 4) beats both 3-anonymous tables.
+        comparator = MinBetter()
+        assert comparator.relation(T4V, S) is Relation.BETTER
+        assert comparator.relation(T4V, T) is Relation.BETTER
+        assert comparator.relation(S, T) is Relation.EQUIVALENT
+
+    def test_blind_to_bias(self):
+        # The aggregate comparator cannot distinguish T3a from T3b even
+        # though T3b strongly dominates — the paper's core criticism.
+        assert MinBetter().relation(T, S) is Relation.EQUIVALENT
+        assert strongly_dominates(T, S)
+
+
+class TestRankBetter:
+    def test_ranks_toward_ideal(self):
+        comparator = RankBetter(ideal=10.0)
+        assert comparator.relation(T, S) is Relation.BETTER
+        assert comparator.relation(S, T) is Relation.WORSE
+
+    def test_epsilon_equivalence(self):
+        comparator = RankBetter(ideal=10.0, epsilon=100.0)
+        assert comparator.relation(T, S) is Relation.EQUIVALENT
+
+
+class TestCoverageBetter:
+    def test_paper_chain(self):
+        # Section 5.2: T4 ▶cov T3a and T3b ▶cov T4.
+        comparator = CoverageBetter()
+        assert comparator.relation(T4V, S) is Relation.BETTER
+        assert comparator.relation(T, T4V) is Relation.BETTER
+
+    def test_tie(self):
+        d1 = PropertyVector((2, 2, 3, 4, 5))
+        d2 = PropertyVector((3, 2, 4, 2, 3))
+        assert CoverageBetter().relation(d1, d2) is Relation.EQUIVALENT
+
+    def test_strict_variant(self):
+        d1 = PropertyVector((2, 2, 3, 4, 5))
+        d2 = PropertyVector((3, 2, 4, 2, 3))
+        assert CoverageBetter(strict=True).relation(d1, d2) is Relation.EQUIVALENT
+
+    @given(paired())
+    def test_antisymmetric(self, pair):
+        a, b = pair
+        comparator = CoverageBetter()
+        assert comparator.relation(a, b) is comparator.relation(b, a).flipped()
+
+
+class TestSpreadBetter:
+    def test_breaks_coverage_tie(self):
+        # Section 5.3: with P_cov tied, spread picks D1.
+        d1 = PropertyVector((2, 2, 3, 4, 5))
+        d2 = PropertyVector((3, 2, 4, 2, 3))
+        assert SpreadBetter().relation(d1, d2) is Relation.BETTER
+
+    @given(paired())
+    def test_antisymmetric(self, pair):
+        a, b = pair
+        comparator = SpreadBetter()
+        assert comparator.relation(a, b) is comparator.relation(b, a).flipped()
+
+
+class TestHypervolumeBetter:
+    def test_paper_example(self):
+        s = PropertyVector((3, 3, 3, 5, 5, 5, 5, 5))
+        t = PropertyVector((4,) * 8)
+        assert HypervolumeBetter().relation(s, t) is Relation.BETTER
+
+    def test_reference_point(self):
+        a = PropertyVector([3, 3])
+        b = PropertyVector([2, 4])
+        assert HypervolumeBetter(reference=2.0).relation(a, b) is Relation.BETTER
+
+    @given(paired())
+    def test_antisymmetric(self, pair):
+        a, b = pair
+        comparator = HypervolumeBetter()
+        assert comparator.relation(a, b) is comparator.relation(b, a).flipped()
+
+    @given(paired())
+    def test_strong_dominance_never_loses(self, pair):
+        a, b = pair
+        if strongly_dominates(a, b):
+            assert HypervolumeBetter().relation(a, b) in (
+                Relation.BETTER,
+                Relation.EQUIVALENT,
+            )
+
+
+class TestDefaultSuite:
+    def test_keys(self):
+        suite = default_comparators(ideal=10.0)
+        assert set(suite) == {"min", "rank", "cov", "spr", "hv"}
+
+    def test_better_helper(self):
+        assert CoverageBetter().better(T, S)
+        assert not CoverageBetter().better(S, T)

@@ -1,0 +1,120 @@
+"""Tests for composition attacks and the classification metric."""
+
+import pytest
+
+from repro.attack import (
+    AttackError,
+    composition_k,
+    composition_risks,
+    intersection_match_set,
+    prosecutor_risks,
+)
+from repro.datasets import paper_tables
+from repro.utility import (
+    classification_metric,
+    cm_vector,
+    tuple_classification_penalties,
+)
+
+SENSITIVE = paper_tables.SENSITIVE_ATTRIBUTE
+PAPER_H = {SENSITIVE: paper_tables.marital_hierarchy()}
+
+
+class TestIntersection:
+    def test_intersection_never_larger(self, t3a, t3b, table1):
+        qi = table1.schema.quasi_identifier_indices
+        for row_index in range(len(table1)):
+            record = [table1[row_index][p] for p in qi]
+            joint = intersection_match_set([t3a, t3b], record, PAPER_H)
+            single = prosecutor_risks(t3a, hierarchies=PAPER_H)
+            assert len(joint) <= round(1 / single[row_index])
+            assert row_index in joint
+
+    def test_needs_two_releases(self, t3a, table1):
+        record = list(table1[0])
+        with pytest.raises(AttackError, match="two releases"):
+            intersection_match_set([t3a], record, PAPER_H)
+
+    def test_mismatched_originals_rejected(self, t3a, table1):
+        from repro.datasets import paper_tables as pt
+
+        other = pt.t3a(table1.head(5).replace_rows(table1.rows[:5]))
+        with pytest.raises(AttackError, match="same original"):
+            intersection_match_set([t3a, other], list(table1[0]), PAPER_H)
+
+
+class TestCompositionRisks:
+    def test_pair_dominates_singles(self, t3a, t3b):
+        joint = composition_risks([t3a, t3b], hierarchies=PAPER_H)
+        for release in (t3a, t3b):
+            single = prosecutor_risks(release, hierarchies=PAPER_H)
+            # Joint risk is at least each single-release risk (lower-is-
+            # better vectors: joint values >= single values).
+            assert all(j >= s - 1e-12 for j, s in zip(joint, single))
+
+    def test_t3b_t4_composition_breaks_k(self, t3b, t4):
+        # Each release alone is >=3-anonymous; together they isolate an
+        # individual completely.
+        assert t3b.k() == 3 and t4.k() == 4
+        assert composition_k([t3b, t4], PAPER_H) == 1
+
+    def test_t3a_t3b_composition_keeps_k(self, t3a, t3b):
+        # T3a's classes refine T3b's, so the intersection adds nothing.
+        assert composition_k([t3a, t3b], PAPER_H) == 3
+
+    def test_orientation(self, t3a, t3b):
+        assert not composition_risks(
+            [t3a, t3b], hierarchies=PAPER_H
+        ).higher_is_better
+
+
+class TestClassificationMetric:
+    def test_t3a_penalties(self, t3a):
+        # Classes (marital as label): {1,4,8} majority CF-Spouse -> tuple 8
+        # damaged; {2,3,9} majority Separated -> tuple 3 damaged;
+        # {5,6,7,10} majority Divorced -> tuples 6, 10 damaged.
+        penalties = tuple_classification_penalties(t3a, SENSITIVE)
+        assert penalties == [0, 0, 1, 0, 0, 1, 0, 1, 0, 1]
+        assert classification_metric(t3a, SENSITIVE) == pytest.approx(0.4)
+
+    def test_suppressed_rows_damaged(self, table1):
+        from repro.anonymize.engine import recode
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            SENSITIVE: paper_tables.marital_hierarchy(),
+        }
+        release = recode(
+            table1,
+            hierarchies,
+            {"Zip Code": 1, "Age": 1, SENSITIVE: 1},
+            suppress=[0],
+        )
+        assert tuple_classification_penalties(release, SENSITIVE)[0] == 1
+
+    def test_vector_orientation(self, t3a):
+        vector = cm_vector(t3a, SENSITIVE)
+        assert not vector.higher_is_better
+        assert set(vector.as_tuple()) <= {0.0, 1.0}
+
+    def test_homogeneous_classes_undamaged(self, table1):
+        from repro.anonymize.engine import recode
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            SENSITIVE: paper_tables.marital_hierarchy(),
+        }
+        raw = recode(
+            table1, hierarchies, {"Zip Code": 0, "Age": 0, SENSITIVE: 0}
+        )
+        # Singleton classes: every tuple is its own majority.
+        assert classification_metric(raw, SENSITIVE) == 0.0
+
+    def test_cm_monotone_under_coarsening_on_example(self, t3a, t4):
+        # Coarser grouping can only merge boundaries: CM(T4) >= ... not a
+        # theorem in general, but holds on the running example.
+        assert classification_metric(t4, SENSITIVE) >= classification_metric(
+            t3a, SENSITIVE
+        ) - 1e-12

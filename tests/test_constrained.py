@@ -1,0 +1,124 @@
+"""Tests for the multi-model constrained lattice search, including the
+monotonicity assumptions it relies on."""
+
+import pytest
+
+from repro.anonymize.algorithms import AlgorithmError, ConstrainedLattice
+from repro.anonymize.algorithms.base import RecodingWorkspace
+from repro.anonymize.engine import recode_node
+from repro.datasets import paper_tables
+from repro.privacy import (
+    DistinctLDiversity,
+    EntropyLDiversity,
+    KAnonymity,
+    PSensitiveKAnonymity,
+    RecursiveCLDiversity,
+    TCloseness,
+)
+
+SENSITIVE = paper_tables.SENSITIVE_ATTRIBUTE
+
+
+def paper_hierarchies():
+    return {
+        "Zip Code": paper_tables.zip_hierarchy(),
+        "Age": paper_tables.age_hierarchy(10, 5),
+        SENSITIVE: paper_tables.marital_hierarchy(),
+    }
+
+
+ALL_MODELS = [
+    KAnonymity(3),
+    DistinctLDiversity(2, SENSITIVE),
+    EntropyLDiversity(1.5, SENSITIVE),
+    RecursiveCLDiversity(3.0, 2, SENSITIVE),
+    TCloseness(0.5, SENSITIVE),
+    TCloseness(0.5, SENSITIVE, taxonomy=paper_tables.marital_hierarchy()),
+    PSensitiveKAnonymity(2, 3, SENSITIVE),
+]
+
+
+class TestModelMonotonicity:
+    """The search assumes each model's measure never degrades when the
+    recoding is generalized; verify exhaustively on the paper lattice."""
+
+    @pytest.mark.parametrize(
+        "model", ALL_MODELS, ids=[model.name for model in ALL_MODELS]
+    )
+    def test_monotone_along_lattice(self, table1, model):
+        hierarchies = paper_hierarchies()
+        workspace = RecodingWorkspace(table1, hierarchies)
+        lattice = workspace.lattice
+        measures = {
+            node: model.measure(recode_node(table1, hierarchies, node))
+            for node in lattice.nodes()
+        }
+        for node in lattice.nodes():
+            for successor in lattice.successors(node):
+                assert measures[successor] >= measures[node] - 1e-9, (
+                    f"{model.name} degraded from {node} to {successor}"
+                )
+
+
+class TestConstrainedSearch:
+    def test_single_model_matches_k_anonymity(self, table1):
+        hierarchies = paper_hierarchies()
+        release = ConstrainedLattice([KAnonymity(3)]).anonymize(
+            table1, hierarchies
+        )
+        assert release.k() >= 3
+
+    def test_all_constraints_satisfied(self, table1):
+        hierarchies = paper_hierarchies()
+        models = [
+            KAnonymity(3),
+            DistinctLDiversity(2, SENSITIVE),
+            TCloseness(0.5, SENSITIVE),
+        ]
+        release = ConstrainedLattice(models).anonymize(table1, hierarchies)
+        for model in models:
+            assert model.satisfied_by(release), model.name
+
+    def test_extra_constraints_cost_utility(self, table1):
+        from repro.utility import general_loss
+
+        hierarchies = paper_hierarchies()
+        k_only = ConstrainedLattice([KAnonymity(3)]).anonymize(
+            table1, hierarchies
+        )
+        k_and_t = ConstrainedLattice(
+            [KAnonymity(3), TCloseness(0.2, SENSITIVE)]
+        ).anonymize(table1, hierarchies)
+        assert general_loss(k_and_t, hierarchies) >= general_loss(
+            k_only, hierarchies
+        )
+
+    def test_frontier_nodes_minimal(self, table1):
+        hierarchies = paper_hierarchies()
+        algorithm = ConstrainedLattice([KAnonymity(3)])
+        frontier = algorithm.satisfying_frontier(table1, hierarchies)
+        workspace = RecodingWorkspace(table1, hierarchies)
+        assert frontier
+        for node in frontier:
+            for predecessor in workspace.lattice.predecessors(node):
+                release = recode_node(table1, hierarchies, predecessor)
+                assert not all(
+                    model.satisfied_by(release) for model in algorithm.models
+                )
+
+    def test_unsatisfiable_raises(self, table1):
+        hierarchies = paper_hierarchies()
+        with pytest.raises(AlgorithmError, match="no full-domain"):
+            ConstrainedLattice([KAnonymity(11)]).anonymize(table1, hierarchies)
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(AlgorithmError):
+            ConstrainedLattice([])
+
+    def test_adult_workload(self, adult_small, adult_h):
+        models = [KAnonymity(5), DistinctLDiversity(3, "occupation")]
+        release = ConstrainedLattice(models).anonymize(
+            adult_small.head(150), adult_h
+        )
+        for model in models:
+            assert model.satisfied_by(release)

@@ -1,0 +1,265 @@
+"""Tests for hierarchy cuts, Top-Down Specialization and Bottom-Up
+Generalization."""
+
+import pytest
+
+from repro.anonymize.algorithms import (
+    BottomUpGeneralization,
+    CutError,
+    LevelCut,
+    TaxonomyCut,
+    TopDownSpecialization,
+)
+from repro.anonymize.algorithms.cuts import (
+    apply_cuts,
+    bottom_cuts,
+    cut_total_loss,
+    cut_violations,
+    top_cuts,
+)
+from repro.datasets import paper_tables
+from repro.hierarchy import SUPPRESSED, TaxonomyHierarchy
+from repro.utility import general_loss
+
+
+def paper_hierarchies():
+    return {
+        "Zip Code": paper_tables.zip_hierarchy(),
+        "Age": paper_tables.age_hierarchy(10, 5),
+        "Marital Status": paper_tables.marital_hierarchy(),
+    }
+
+
+@pytest.fixture
+def marital():
+    return paper_tables.marital_hierarchy()
+
+
+class TestTaxonomyNavigation:
+    def test_level_of(self, marital):
+        assert marital.level_of("Divorced") == 0
+        assert marital.level_of("Married") == 1
+        assert marital.level_of(SUPPRESSED) == 2
+
+    def test_level_of_unknown(self, marital):
+        with pytest.raises(Exception):
+            marital.level_of("Widowed")
+
+    def test_parent(self, marital):
+        assert marital.parent("Divorced") == "Not Married"
+        assert marital.parent("Married") == SUPPRESSED
+        with pytest.raises(Exception):
+            marital.parent(SUPPRESSED)
+
+    def test_children(self, marital):
+        assert set(marital.children("Married")) == {
+            "CF-Spouse", "Spouse Present",
+        }
+        assert set(marital.children(SUPPRESSED)) == {"Married", "Not Married"}
+        with pytest.raises(Exception):
+            marital.children("Divorced")
+
+    def test_leaves_under(self, marital):
+        assert set(marital.leaves_under("Not Married")) == {
+            "Separated", "Never Married", "Divorced", "Spouse Absent",
+        }
+        assert marital.leaves_under("Divorced") == ["Divorced"]
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(Exception, match="collides"):
+            TaxonomyHierarchy("x", {"a": ("b",), "b": ("c",), "c": ("c",)})
+
+    def test_alias_of_own_leaf_allowed(self):
+        hierarchy = TaxonomyHierarchy("x", {"a": ("a",), "b": ("g",)})
+        assert hierarchy.generalize("a", 1) == "a"
+
+
+class TestTaxonomyCut:
+    def test_top_cut_maps_to_suppressed(self, marital):
+        cut = TaxonomyCut(marital, {SUPPRESSED})
+        assert cut.map_value("Divorced") == SUPPRESSED
+
+    def test_leaf_cut_identity(self, marital):
+        cut = TaxonomyCut(marital, set(marital.leaves))
+        assert cut.map_value("Divorced") == "Divorced"
+
+    def test_mixed_cut(self, marital):
+        cut = TaxonomyCut(
+            marital,
+            {"Married", "Separated", "Never Married", "Divorced",
+             "Spouse Absent"},
+        )
+        assert cut.map_value("CF-Spouse") == "Married"
+        assert cut.map_value("Divorced") == "Divorced"
+
+    def test_invalid_cut_undercover(self, marital):
+        with pytest.raises(CutError, match="0 times"):
+            TaxonomyCut(marital, {"Married"})
+
+    def test_invalid_cut_overcover(self, marital):
+        with pytest.raises(CutError, match="2 times"):
+            TaxonomyCut(marital, {"Married", "CF-Spouse", "Not Married"})
+
+    def test_specialize(self, marital):
+        cut = TaxonomyCut(marital, {SUPPRESSED})
+        finer = cut.specialize(SUPPRESSED)
+        assert finer.tokens == {"Married", "Not Married"}
+
+    def test_specialize_leaf_rejected(self, marital):
+        cut = TaxonomyCut(marital, set(marital.leaves))
+        assert cut.specializations() == []
+
+    def test_generalize_round_trip(self, marital):
+        cut = TaxonomyCut(marital, {"Married", "Not Married"})
+        merged = cut.generalize(SUPPRESSED)
+        assert merged.tokens == {SUPPRESSED}
+
+    def test_partial_sibling_group_not_mergeable(self, marital):
+        cut = TaxonomyCut(
+            marital,
+            {"Married", "Separated", "Never Married", "Divorced",
+             "Spouse Absent"},
+        )
+        # "Not Married" is mergeable (all 4 leaves present); top is not
+        # (Married's sibling "Not Married" missing from the cut).
+        assert cut.generalizations() == ["Not Married"]
+
+    def test_generalize_invalid_parent(self, marital):
+        cut = TaxonomyCut(marital, {SUPPRESSED})
+        with pytest.raises(CutError):
+            cut.generalize("Married")
+
+    def test_alias_cut_operations(self):
+        hierarchy = TaxonomyHierarchy(
+            "work",
+            {"Private": ("Private",), "Fed": ("Gov",), "State": ("Gov",)},
+        )
+        leaf_cut = TaxonomyCut(hierarchy, {"Private", "Fed", "State"})
+        # Merging Gov's children must work despite the Private alias.
+        assert set(leaf_cut.generalizations()) == {"Gov"}
+        merged = leaf_cut.generalize("Gov")
+        assert merged.tokens == {"Private", "Gov"}
+        # The merged cut can then reach the top.
+        assert set(merged.generalizations()) == {SUPPRESSED}
+
+    def test_loss(self, marital):
+        cut = TaxonomyCut(marital, {"Married", "Not Married"})
+        assert cut.loss("Divorced") == pytest.approx(3 / 5)
+
+
+class TestLevelCut:
+    def test_map_and_loss(self):
+        hierarchy = paper_tables.age_hierarchy(10, 5)
+        cut = LevelCut(hierarchy, 1)
+        assert str(cut.map_value(28)) == "(25,35]"
+        assert cut.loss(28) == pytest.approx(10 / 120)
+
+    def test_specialize_and_generalize(self):
+        hierarchy = paper_tables.age_hierarchy(10, 5)
+        cut = LevelCut(hierarchy, 1)
+        assert cut.specialize().level == 0
+        assert cut.generalize().level == 2
+        with pytest.raises(CutError):
+            LevelCut(hierarchy, 0).specialize()
+        with pytest.raises(CutError):
+            LevelCut(hierarchy, hierarchy.height).generalize()
+
+    def test_candidate_lists(self):
+        hierarchy = paper_tables.age_hierarchy(10, 5)
+        assert LevelCut(hierarchy, 0).specializations() == []
+        assert LevelCut(hierarchy, hierarchy.height).generalizations() == []
+
+
+class TestCutHelpers:
+    def test_top_and_bottom(self, table1):
+        hierarchies = paper_hierarchies()
+        top = top_cuts(table1, hierarchies)
+        bottom = bottom_cuts(table1, hierarchies)
+        assert cut_total_loss(table1, top) == pytest.approx(3.0 * len(table1))
+        assert cut_total_loss(table1, bottom) == 0.0
+        assert cut_violations(table1, top, 10) == 0
+        assert cut_violations(table1, bottom, 2) == 10
+
+    def test_apply_cuts_release(self, table1):
+        hierarchies = paper_hierarchies()
+        release = apply_cuts(table1, top_cuts(table1, hierarchies), "top")
+        assert release.k() == len(table1)
+
+    def test_missing_cut_rejected(self, table1):
+        hierarchies = paper_hierarchies()
+        cuts = top_cuts(table1, hierarchies)
+        del cuts["Age"]
+        with pytest.raises(CutError, match="missing"):
+            apply_cuts(table1, cuts, "broken")
+
+
+class TestTopDown:
+    def test_achieves_k(self, table1):
+        release = TopDownSpecialization(3).anonymize(
+            table1, paper_hierarchies()
+        )
+        assert release.k() >= 3
+        assert not release.suppressed
+
+    def test_never_leaves_k_region(self, table1):
+        # Every prefix of the search is k-anonymous by construction; check
+        # the final cut explicitly.
+        algorithm = TopDownSpecialization(3)
+        cuts = algorithm.search_cuts(table1, paper_hierarchies())
+        assert cut_violations(table1, cuts, 3) == 0
+
+    def test_max_specializations_cap(self, table1):
+        capped = TopDownSpecialization(2, max_specializations=1)
+        free = TopDownSpecialization(2)
+        hierarchies = paper_hierarchies()
+        assert cut_total_loss(
+            table1, capped.search_cuts(table1, hierarchies)
+        ) >= cut_total_loss(table1, free.search_cuts(table1, hierarchies))
+
+    def test_adult_workload(self, adult_small, adult_h):
+        release = TopDownSpecialization(5).anonymize(adult_small, adult_h)
+        assert release.k() >= 5
+
+    def test_cut_recoding_beats_or_matches_full_domain(
+        self, adult_small, adult_h
+    ):
+        from repro.anonymize.algorithms import Samarati
+
+        tds = TopDownSpecialization(5).anonymize(adult_small, adult_h)
+        samarati = Samarati(5, suppression_limit=0.0).anonymize(
+            adult_small, adult_h
+        )
+        # Cuts are a superset of full-domain recodings under greedy search;
+        # allow a small slack for greedy misses.
+        assert general_loss(tds, adult_h) <= general_loss(
+            samarati, adult_h
+        ) * 1.1
+
+    def test_too_small_dataset(self, table1):
+        with pytest.raises(ValueError):
+            TopDownSpecialization(11).anonymize(table1, paper_hierarchies())
+
+
+class TestBottomUp:
+    def test_achieves_k(self, table1):
+        release = BottomUpGeneralization(3).anonymize(
+            table1, paper_hierarchies()
+        )
+        assert release.k() >= 3
+        assert not release.suppressed
+
+    def test_adult_workload(self, adult_small, adult_h):
+        release = BottomUpGeneralization(5).anonymize(
+            adult_small.head(150), adult_h
+        )
+        assert release.k() >= 5
+
+    def test_terminates_at_top_for_extreme_k(self, table1):
+        release = BottomUpGeneralization(10).anonymize(
+            table1, paper_hierarchies()
+        )
+        assert release.k() == 10
+
+    def test_too_small_dataset(self, table1):
+        with pytest.raises(ValueError):
+            BottomUpGeneralization(11).anonymize(table1, paper_hierarchies())

@@ -1,0 +1,186 @@
+"""Tests for comparator diagnostics and release provenance."""
+
+import pytest
+
+from repro.analysis import (
+    audit_comparator,
+    condorcet_cycle_example,
+    find_cycles,
+)
+from repro.anonymize import (
+    AnonymizationError,
+    provenance_record,
+    read_release,
+    write_release,
+)
+from repro.core.comparators import (
+    CoverageBetter,
+    MinBetter,
+    RankBetter,
+    Relation,
+    SpreadBetter,
+)
+from repro.core.vector import PropertyVector
+
+
+class TestAuditComparator:
+    def test_builtin_comparators_lawful(self):
+        vectors = {
+            "a": PropertyVector([3, 3, 4]),
+            "b": PropertyVector([4, 3, 3]),
+            "c": PropertyVector([3, 4, 3]),
+        }
+        for comparator in (
+            MinBetter(),
+            RankBetter(ideal=5.0),
+            CoverageBetter(),
+            SpreadBetter(),
+        ):
+            diagnostics = audit_comparator(comparator, vectors)
+            assert diagnostics.lawful, diagnostics.describe()
+
+    def test_coverage_condorcet_cycle_detected(self):
+        diagnostics = audit_comparator(
+            CoverageBetter(), condorcet_cycle_example()
+        )
+        assert diagnostics.lawful           # pairwise laws hold...
+        assert diagnostics.cycles == [("a", "b", "c")]  # ...but it cycles
+
+    def test_rank_comparator_never_cycles(self):
+        # ▶rank is induced by a scalar index, hence acyclic.
+        diagnostics = audit_comparator(
+            RankBetter(ideal=5.0), condorcet_cycle_example()
+        )
+        assert diagnostics.cycles == []
+
+    def test_spread_breaks_the_coverage_cycle(self):
+        # On the cycle example all pairwise sums are equal, so ▶spr calls
+        # every pair equivalent — no cycle.
+        diagnostics = audit_comparator(
+            SpreadBetter(), condorcet_cycle_example()
+        )
+        assert diagnostics.cycles == []
+
+    def test_describe(self):
+        diagnostics = audit_comparator(
+            CoverageBetter(), condorcet_cycle_example()
+        )
+        assert "cycles=1" in diagnostics.describe()
+
+
+class TestFindCycles:
+    def test_simple_triangle(self):
+        relations = {
+            ("a", "b"): Relation.BETTER,
+            ("b", "c"): Relation.BETTER,
+            ("c", "a"): Relation.BETTER,
+            ("b", "a"): Relation.WORSE,
+            ("c", "b"): Relation.WORSE,
+            ("a", "c"): Relation.WORSE,
+        }
+        assert find_cycles(relations, ["a", "b", "c"]) == [("a", "b", "c")]
+
+    def test_acyclic_chain(self):
+        relations = {
+            ("a", "b"): Relation.BETTER,
+            ("b", "c"): Relation.BETTER,
+            ("a", "c"): Relation.BETTER,
+            ("b", "a"): Relation.WORSE,
+            ("c", "b"): Relation.WORSE,
+            ("c", "a"): Relation.WORSE,
+        }
+        assert find_cycles(relations, ["a", "b", "c"]) == []
+
+    def test_cycle_reported_once(self):
+        relations = {
+            ("a", "b"): Relation.BETTER,
+            ("b", "c"): Relation.BETTER,
+            ("c", "a"): Relation.BETTER,
+        }
+        cycles = find_cycles(relations, ["a", "b", "c"])
+        assert len(cycles) == 1
+
+
+class TestProvenance:
+    def test_record_contents(self, t3a):
+        record = provenance_record(t3a)
+        assert record["name"] == "T3a"
+        assert record["rows"] == 10
+        assert record["k_achieved"] == 3
+        assert record["levels"] == {
+            "Zip Code": 1, "Age": 1, "Marital Status": 1,
+        }
+        assert record["suppressed"] == []
+
+    def test_full_domain_round_trip(self, t3a, table1, tmp_path):
+        write_release(t3a, tmp_path / "t3a.csv")
+        restored = read_release(tmp_path / "t3a.csv", table1)
+        assert restored.released == t3a.released
+        assert restored.levels == t3a.levels
+        assert restored.k() == 3
+
+    def test_local_recoding_round_trip(self, adult_small, adult_h, tmp_path):
+        from repro import Mondrian
+
+        release = Mondrian(5).anonymize(adult_small, adult_h)
+        write_release(release, tmp_path / "release.csv")
+        restored = read_release(tmp_path / "release.csv", adult_small)
+        assert restored.released == release.released
+        assert restored.levels is None
+
+    def test_suppressed_rows_round_trip(self, table1, tmp_path):
+        from repro.anonymize.engine import recode
+        from repro.datasets import paper_tables
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            "Marital Status": paper_tables.marital_hierarchy(),
+        }
+        release = recode(
+            table1,
+            hierarchies,
+            {"Zip Code": 1, "Age": 1, "Marital Status": 1},
+            suppress=[2, 7],
+        )
+        write_release(release, tmp_path / "sup.csv")
+        restored = read_release(tmp_path / "sup.csv", table1)
+        assert restored.suppressed == frozenset({2, 7})
+
+    def test_missing_sidecar_rejected(self, table1, tmp_path):
+        from repro.datasets import write_csv
+
+        write_csv(table1, tmp_path / "bare.csv")
+        with pytest.raises(AnonymizationError, match="sidecar"):
+            read_release(tmp_path / "bare.csv", table1)
+
+    def test_shape_mismatch_rejected(self, t3a, table1, tmp_path):
+        write_release(t3a, tmp_path / "t3a.csv")
+        with pytest.raises(AnonymizationError, match="rows"):
+            read_release(tmp_path / "t3a.csv", table1.head(5))
+
+
+class TestSetAndSpanCells:
+    def test_frozenset_round_trip(self, tmp_path):
+        from repro.datasets import Dataset, read_csv, write_csv
+        from repro.datasets.schema import AttributeKind, Schema, quasi_identifier
+
+        schema = Schema.of(quasi_identifier("c", AttributeKind.CATEGORICAL))
+        data = Dataset(schema, [(frozenset({"x", "y"}),), ("plain",)])
+        write_csv(data, tmp_path / "sets.csv")
+        restored = read_csv(tmp_path / "sets.csv", schema)
+        assert restored[0][0] == frozenset({"x", "y"})
+        assert restored[1][0] == "plain"
+
+    def test_span_round_trip(self, tmp_path):
+        from repro.datasets import Dataset, read_csv, write_csv
+        from repro.datasets.schema import AttributeKind, Schema, quasi_identifier
+        from repro.hierarchy import Span
+
+        schema = Schema.of(quasi_identifier("n", AttributeKind.NUMERIC))
+        data = Dataset(schema, [(Span(10, 20),), (Span(-5, 3),), (7,)])
+        write_csv(data, tmp_path / "spans.csv")
+        restored = read_csv(tmp_path / "spans.csv", schema)
+        assert restored[0][0] == Span(10, 20)
+        assert restored[1][0] == Span(-5, 3)
+        assert restored[2][0] == 7

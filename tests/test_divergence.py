@@ -1,0 +1,103 @@
+"""Tests for marginal reconstruction divergence."""
+
+import math
+
+import pytest
+
+from repro.anonymize.engine import recode
+from repro.datasets import paper_tables
+from repro.utility import (
+    marginal_divergence,
+    reconstructed_marginal,
+    total_marginal_divergence,
+)
+
+
+@pytest.fixture
+def hierarchies():
+    return {
+        "Zip Code": paper_tables.zip_hierarchy(),
+        "Age": paper_tables.age_hierarchy(10, 5),
+        "Marital Status": paper_tables.marital_hierarchy(),
+    }
+
+
+@pytest.fixture
+def raw(table1, hierarchies):
+    return recode(
+        table1, hierarchies, {"Zip Code": 0, "Age": 0, "Marital Status": 0}
+    )
+
+
+class TestReconstruction:
+    def test_raw_release_exact(self, raw, table1):
+        reconstruction = reconstructed_marginal(raw, "Age")
+        column = table1.column("Age")
+        for value, probability in reconstruction.items():
+            assert probability == pytest.approx(column.count(value) / 10)
+
+    def test_probabilities_sum_to_one(self, t3a, hierarchies):
+        for attribute in ("Zip Code", "Age", "Marital Status"):
+            reconstruction = reconstructed_marginal(
+                t3a, attribute, hierarchies[attribute]
+            )
+            assert sum(reconstruction.values()) == pytest.approx(1.0)
+
+    def test_taxonomy_token_spreads_uniformly(self, t3a, hierarchies):
+        reconstruction = reconstructed_marginal(
+            t3a, "Marital Status", hierarchies["Marital Status"]
+        )
+        # 3 "Married" cells spread over {CF-Spouse, Spouse Present}; the two
+        # married leaves end up equal.
+        assert reconstruction["CF-Spouse"] == pytest.approx(
+            reconstruction["Spouse Present"]
+        )
+
+    def test_masked_zip_spreads_over_prefix(self, t3b):
+        reconstruction = reconstructed_marginal(t3b, "Zip Code")
+        # 130** covers {13053, 13052}: 3 cells over 2 values.
+        assert reconstruction["13053"] == pytest.approx(reconstruction["13052"])
+
+
+class TestDivergence:
+    def test_raw_release_zero(self, raw, hierarchies):
+        assert total_marginal_divergence(raw, hierarchies) == pytest.approx(0.0)
+
+    def test_bounded(self, t3a, hierarchies):
+        for attribute in ("Zip Code", "Age", "Marital Status"):
+            divergence = marginal_divergence(
+                t3a, attribute, hierarchies[attribute]
+            )
+            assert 0.0 <= divergence <= math.log(2) + 1e-12
+
+    def test_generalization_increases_divergence(self, raw, t4, hierarchies):
+        hierarchies_t4 = dict(hierarchies, Age=paper_tables.age_hierarchy(20, 0))
+        assert total_marginal_divergence(
+            t4, hierarchies_t4
+        ) > total_marginal_divergence(raw, hierarchies)
+
+    def test_uniform_marginal_survives_generalization(self, table1, hierarchies):
+        # Age bands of equal occupancy reconstruct a near-uniform marginal;
+        # divergence stays small relative to the full t4 distortion.
+        t3a = paper_tables.t3a()
+        age_divergence = marginal_divergence(t3a, "Age", hierarchies["Age"])
+        assert age_divergence < 0.05
+
+    def test_mondrian_preserves_marginals_better(self, adult_small, adult_h):
+        from repro import Datafly, Mondrian
+
+        mondrian = Mondrian(5).anonymize(adult_small, adult_h)
+        datafly = Datafly(5).anonymize(adult_small, adult_h)
+        assert total_marginal_divergence(
+            mondrian, adult_h
+        ) <= total_marginal_divergence(datafly, adult_h) + 1e-9
+
+    def test_no_qi_returns_zero(self, table1):
+        from repro.datasets.schema import AttributeRole
+
+        roles = {name: AttributeRole.INSENSITIVE for name in table1.schema.names}
+        relabeled = table1.with_roles(roles)
+        from repro.anonymize.engine import Anonymization
+
+        identity = Anonymization(relabeled, relabeled)
+        assert total_marginal_divergence(identity) == 0.0

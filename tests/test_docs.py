@@ -1,0 +1,55 @@
+"""Documentation conformance: the import blocks in docs/api.md must work.
+
+A stale API tour is worse than none; every ``from repro... import ...``
+line in the docs is executed here.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+IMPORT_PATTERN = re.compile(
+    r"^(?:from\s+repro[\w.]*\s+import\s+\(?[^)]*?\)?|import\s+repro[\w.]*)\s*$",
+    re.MULTILINE,
+)
+
+
+def _import_statements(text: str) -> list[str]:
+    def strip_comment(line: str) -> str:
+        return line.split("#", 1)[0].rstrip()
+
+    statements = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        stripped = strip_comment(lines[index]).strip()
+        if stripped.startswith(("from repro", "import repro")):
+            statement = stripped
+            while statement.count("(") > statement.count(")") and (
+                index + 1 < len(lines)
+            ):
+                index += 1
+                statement += " " + strip_comment(lines[index]).strip()
+            statements.append(statement)
+        index += 1
+    return statements
+
+
+@pytest.mark.parametrize(
+    "document",
+    sorted(DOCS.glob("*.md")) + [README],
+    ids=lambda path: path.name,
+)
+def test_documented_imports_resolve(document):
+    statements = _import_statements(document.read_text())
+    for statement in statements:
+        exec(statement, {})  # noqa: S102 — the docs are ours
+
+
+def test_docs_exist():
+    expected = {"api.md", "algorithms.md", "paper_mapping.md", "tutorial.md"}
+    assert {path.name for path in DOCS.glob("*.md")} >= expected

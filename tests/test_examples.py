@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+promise.  Each runs in a subprocess with small workload arguments where
+the script supports them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> argv (small workloads keep the suite fast).
+CASES = {
+    "quickstart.py": [],
+    "compare_algorithms.py": ["150", "5"],
+    "personalized_privacy.py": [],
+    "bias_audit.py": ["150", "5"],
+    "linkage_attack.py": [],
+    "paper_figures.py": [],
+    "multiobjective_frontier.py": ["120"],
+    "custom_data_workflow.py": [],
+    "full_study.py": ["150", "5"],
+    "hospital_discharge.py": ["100", "5"],
+}
+
+
+def run_example(script: str, argv: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_every_example_has_a_case():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples and smoke-test cases out of sync: "
+        f"{scripts.symmetric_difference(set(CASES))}"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    result = run_example(script, CASES[script])
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reproduces_paper_numbers():
+    result = run_example("quickstart.py", [])
+    assert "P_binary(s, t) = 0" in result.stdout
+    assert "P_binary(t, s) = 7" in result.stdout
+    assert "P_s-avg(T3a)  = 3.4" in result.stdout

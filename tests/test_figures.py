@@ -1,0 +1,66 @@
+"""Tests for plain-text figure rendering."""
+
+import pytest
+
+from repro.analysis import bar_chart, scatter_plot
+from repro.core.vector import PropertyVector
+from repro.datasets import paper_tables
+
+
+class TestBarChart:
+    def test_figure1_series_render(self):
+        chart = bar_chart({
+            "T3a": PropertyVector(paper_tables.CLASS_SIZE_T3A),
+            "T3b": PropertyVector(paper_tables.CLASS_SIZE_T3B),
+            "T4": PropertyVector(paper_tables.CLASS_SIZE_T4),
+        })
+        assert "tuple  1" in chart
+        assert chart.count("T3a") == 10
+        assert "#" in chart
+
+    def test_scaling_to_peak(self):
+        chart = bar_chart({"a": [1.0, 2.0]}, width=10)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            bar_chart({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_custom_labels(self):
+        chart = bar_chart({"a": [1.0]}, labels=["only"])
+        assert "tuple only" in chart
+
+    def test_wrong_label_count(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart({"a": [1.0, 2.0]}, labels=["x"])
+
+    def test_all_zero_series(self):
+        chart = bar_chart({"a": [0.0, 0.0]})
+        assert "#" not in chart
+
+
+class TestScatterPlot:
+    def test_corners_plotted(self):
+        plot = scatter_plot([(0, 0), (1, 1)], width=10, height=5)
+        rows = [line for line in plot.splitlines() if line.startswith("|")]
+        assert rows[0][10] == "*"   # top-right: max y at max x
+        assert rows[-1][1] == "*"   # bottom-left
+
+    def test_axis_labels(self):
+        plot = scatter_plot([(0, 1), (2, 3)], x_label="loss", y_label="priv")
+        assert "loss (0 .. 2)" in plot
+        assert "priv (1 .. 3)" in plot
+
+    def test_degenerate_point(self):
+        plot = scatter_plot([(1, 1)])
+        assert "*" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot([])

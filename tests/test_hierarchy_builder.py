@@ -1,0 +1,148 @@
+"""Tests for automatic hierarchy construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hierarchy import (
+    HierarchyError,
+    SUPPRESSED,
+    categorical_hierarchy_from_data,
+    infer_hierarchies,
+    numeric_hierarchy_from_data,
+    string_hierarchy_from_data,
+)
+
+
+class TestNumericBuilder:
+    def test_domain_covers_values(self):
+        values = [17, 25, 40, 88]
+        hierarchy = numeric_hierarchy_from_data("age", values, levels=3)
+        for value in values:
+            for level in range(hierarchy.height + 1):
+                hierarchy.generalize(value, level)  # must not raise
+
+    def test_height(self):
+        hierarchy = numeric_hierarchy_from_data("age", [1, 100], levels=4)
+        assert hierarchy.height == 5
+
+    def test_top_band_covers_everything(self):
+        hierarchy = numeric_hierarchy_from_data("age", [0, 64], levels=3)
+        # Level `levels` is suppression; level levels-1 has 2 bands.
+        band_low = hierarchy.generalize(1, 3)
+        band_high = hierarchy.generalize(63, 3)
+        assert band_low != band_high
+        assert band_low.width == pytest.approx(32)
+
+    def test_constant_column(self):
+        hierarchy = numeric_hierarchy_from_data("x", [5, 5, 5], levels=2)
+        hierarchy.generalize(5, 1)  # in-domain despite zero range
+
+    def test_padding_extends_domain(self):
+        hierarchy = numeric_hierarchy_from_data("x", [10, 20], padding=5)
+        hierarchy.generalize(24, 1)  # within padded bounds
+
+    def test_no_numeric_values_rejected(self):
+        with pytest.raises(HierarchyError):
+            numeric_hierarchy_from_data("x", ["a"])
+
+    def test_invalid_levels(self):
+        with pytest.raises(HierarchyError):
+            numeric_hierarchy_from_data("x", [1, 2], levels=0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_every_observed_value_generalizable(self, values, levels):
+        hierarchy = numeric_hierarchy_from_data("x", values, levels=levels)
+        for value in values:
+            assert hierarchy.loss(value, hierarchy.height) == 1.0
+            assert hierarchy.generalize(value, 0) == value
+
+
+class TestCategoricalBuilder:
+    def test_single_value(self):
+        hierarchy = categorical_hierarchy_from_data("c", ["only", "only"])
+        assert hierarchy.height == 1
+        assert hierarchy.generalize("only", 1) == SUPPRESSED
+
+    def test_groups_cover_all_values(self):
+        values = list("abcdefgh") * 3
+        hierarchy = categorical_hierarchy_from_data("c", values, fanout=3)
+        for value in set(values):
+            for level in range(hierarchy.height + 1):
+                hierarchy.generalize(value, level)
+
+    def test_group_labels_namespaced(self):
+        hierarchy = categorical_hierarchy_from_data("c", list("abcdef"))
+        token = hierarchy.generalize("a", 1)
+        assert str(token).startswith("c:L1:")
+
+    def test_height_grows_with_domain(self):
+        small = categorical_hierarchy_from_data("c", list("abc"), fanout=3)
+        large = categorical_hierarchy_from_data(
+            "c", [f"v{i}" for i in range(27)], fanout=3
+        )
+        assert large.height > small.height
+
+    def test_invalid_fanout(self):
+        with pytest.raises(HierarchyError):
+            categorical_hierarchy_from_data("c", ["a"], fanout=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(HierarchyError):
+            categorical_hierarchy_from_data("c", [])
+
+    @given(
+        st.lists(
+            st.sampled_from("abcdefghijkl"), min_size=1, max_size=60
+        ),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_uniform_depth_always(self, values, fanout):
+        hierarchy = categorical_hierarchy_from_data("c", values, fanout=fanout)
+        depths = {
+            len(hierarchy.generalizations(value)) for value in set(values)
+        }
+        assert len(depths) == 1
+
+
+class TestStringBuilder:
+    def test_masking_from_codes(self):
+        hierarchy = string_hierarchy_from_data("zip", ["13053", "13268"])
+        assert hierarchy.generalize("13053", 1) == "1305*"
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(HierarchyError, match="mixed"):
+            string_hierarchy_from_data("zip", ["123", "1234"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(HierarchyError):
+            string_hierarchy_from_data("zip", [])
+
+
+class TestInferHierarchies:
+    def test_adult_inference_end_to_end(self, adult_small):
+        hierarchies = infer_hierarchies(adult_small)
+        assert set(hierarchies) == set(
+            adult_small.schema.quasi_identifier_names
+        )
+        # And a real algorithm runs on the inferred hierarchies.
+        from repro.anonymize.algorithms import Datafly
+
+        release = Datafly(5).anonymize(adult_small, hierarchies)
+        classes = release.equivalence_classes
+        for row in range(len(release)):
+            if row not in release.suppressed:
+                assert classes.size_of(row) >= 5
+
+    def test_paper_table_inference(self, table1):
+        hierarchies = infer_hierarchies(table1)
+        assert hierarchies["Zip Code"].generalize("13053", 1) == "1305*"
+        hierarchies["Age"].generalize(28, 1)
+        hierarchies["Marital Status"].generalize("Divorced", 1)

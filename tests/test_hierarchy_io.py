@@ -1,0 +1,80 @@
+"""Tests for hierarchy JSON serialization."""
+
+import pytest
+
+from repro.datasets import adult_hierarchies, paper_tables
+from repro.hierarchy import (
+    HierarchyError,
+    SUPPRESSED,
+    hierarchy_from_spec,
+    hierarchy_to_spec,
+    load_hierarchies,
+    save_hierarchies,
+)
+
+
+class TestSpecRoundTrip:
+    def test_taxonomy(self):
+        original = paper_tables.marital_hierarchy()
+        restored = hierarchy_from_spec(hierarchy_to_spec(original))
+        assert restored.height == original.height
+        for leaf in original.leaves:
+            assert restored.generalizations(leaf) == original.generalizations(leaf)
+
+    def test_interval(self):
+        original = paper_tables.age_hierarchy(10, 5)
+        restored = hierarchy_from_spec(hierarchy_to_spec(original))
+        assert restored.height == original.height
+        assert restored.bounds == original.bounds
+        assert restored.generalize(28, 1) == original.generalize(28, 1)
+
+    def test_masking(self):
+        original = paper_tables.zip_hierarchy()
+        restored = hierarchy_from_spec(hierarchy_to_spec(original))
+        assert restored.generalize("13053", 2) == "130**"
+        assert restored.domain == original.domain
+
+    def test_masking_without_domain(self):
+        from repro.hierarchy import MaskingHierarchy
+
+        original = MaskingHierarchy("zip", 4)
+        restored = hierarchy_from_spec(hierarchy_to_spec(original))
+        assert restored.domain is None
+        assert restored.generalize("1234", 1) == "123*"
+
+    def test_flat_taxonomy(self):
+        from repro.hierarchy import TaxonomyHierarchy
+
+        original = TaxonomyHierarchy("sex", {"Male": (), "Female": ()})
+        restored = hierarchy_from_spec(hierarchy_to_spec(original))
+        assert restored.generalize("Male", 1) == SUPPRESSED
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HierarchyError, match="unknown"):
+            hierarchy_from_spec({"kind": "bogus", "name": "x"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(HierarchyError, match="missing"):
+            hierarchy_from_spec({"kind": "taxonomy"})
+
+
+class TestFileRoundTrip:
+    def test_adult_hierarchy_map(self, tmp_path):
+        original = adult_hierarchies()
+        path = tmp_path / "hierarchies.json"
+        save_hierarchies(original, path)
+        restored = load_hierarchies(path)
+        assert set(restored) == set(original)
+        assert restored["age"].generalize(37, 2) == original["age"].generalize(37, 2)
+        assert restored["education"].generalize(
+            "Masters", 1
+        ) == original["education"].generalize("Masters", 1)
+
+    def test_algorithms_run_on_restored(self, tmp_path, adult_small):
+        from repro.anonymize.algorithms import Datafly
+
+        path = tmp_path / "hierarchies.json"
+        save_hierarchies(adult_hierarchies(), path)
+        restored = load_hierarchies(path)
+        release = Datafly(5).anonymize(adult_small, restored)
+        assert len(release) == len(adult_small)

@@ -1,0 +1,136 @@
+"""Tests for the hospital workload and the k-member clustering anonymizer."""
+
+import pytest
+
+from repro.anonymize.algorithms import AlgorithmError, KMemberClustering
+from repro.datasets import (
+    diagnosis_taxonomy,
+    hospital_dataset,
+    hospital_hierarchies,
+    hospital_schema,
+)
+from repro.hierarchy import Span
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return hospital_dataset(120, seed=3)
+
+
+@pytest.fixture(scope="module")
+def hierarchies():
+    return hospital_hierarchies()
+
+
+class TestHospitalWorkload:
+    def test_deterministic(self):
+        assert hospital_dataset(30, seed=1).rows == hospital_dataset(30, seed=1).rows
+
+    def test_schema_roles(self):
+        schema = hospital_schema()
+        assert schema.quasi_identifier_names == ("zip", "age", "sex")
+        assert schema.sensitive_names == ("diagnosis",)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            hospital_dataset(-1)
+
+    def test_hierarchies_cover_values(self, hospital, hierarchies):
+        for name in hospital.schema.quasi_identifier_names:
+            hierarchy = hierarchies[name]
+            for value in hospital.distinct(name):
+                for level in range(hierarchy.height + 1):
+                    hierarchy.generalize(value, level)
+
+    def test_age_diagnosis_correlation(self):
+        data = hospital_dataset(2000, seed=5)
+        by_chapter = {}
+        taxonomy = diagnosis_taxonomy()
+        for row in data:
+            chapter = taxonomy.generalize(row[3], 1)
+            by_chapter.setdefault(chapter, []).append(row[1])
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(by_chapter["Circulatory"]) > mean(by_chapter["Injury"]) + 15
+
+    def test_diagnosis_taxonomy_usable_in_models(self, hospital, hierarchies):
+        from repro import Datafly, TCloseness
+
+        release = Datafly(5).anonymize(hospital, hierarchies)
+        model = TCloseness(0.9, "diagnosis", taxonomy=diagnosis_taxonomy())
+        distances = model.class_distances(release)
+        assert all(0.0 <= d <= 1.0 for d in distances)
+
+    def test_guarding_nodes_on_chapters(self, hospital, hierarchies):
+        from repro import Datafly, PersonalizedPrivacy
+
+        release = Datafly(10).anonymize(hospital, hierarchies)
+        taxonomy = diagnosis_taxonomy()
+        # Everyone guards their diagnosis chapter.
+        guarding = [
+            taxonomy.generalize(row[3], 1) for row in hospital
+        ]
+        model = PersonalizedPrivacy(
+            taxonomy, guarding, bound=1.0, sensitive_attribute="diagnosis"
+        )
+        probabilities = model.breach_probabilities(release)
+        assert all(0.0 <= p <= 1.0 for p in probabilities)
+
+
+class TestKMemberClustering:
+    def test_achieves_k(self, hospital, hierarchies):
+        release = KMemberClustering(5).anonymize(hospital, hierarchies)
+        assert release.k() >= 5
+        assert not release.suppressed
+
+    def test_clusters_partition_rows(self, hospital, hierarchies):
+        clusters = KMemberClustering(5).clusters(hospital, hierarchies)
+        seen = sorted(row for cluster in clusters for row in cluster)
+        assert seen == list(range(len(hospital)))
+        assert all(len(cluster) >= 5 for cluster in clusters)
+
+    def test_numeric_cells_are_cluster_spans(self, hospital, hierarchies):
+        release = KMemberClustering(5).anonymize(hospital, hierarchies)
+        position = hospital.schema.index_of("age")
+        for row_index, row in enumerate(release.released):
+            cell = row[position]
+            raw = hospital[row_index][position]
+            if isinstance(cell, Span):
+                assert raw in cell
+            else:
+                assert cell == raw
+
+    def test_categorical_cells_cover_raw(self, hospital, hierarchies):
+        from repro.attack import cell_matches
+
+        release = KMemberClustering(5).anonymize(hospital, hierarchies)
+        position = hospital.schema.index_of("zip")
+        zip_hierarchy = hierarchies["zip"]
+        for row_index, row in enumerate(release.released):
+            assert cell_matches(
+                row[position], hospital[row_index][position], zip_hierarchy
+            )
+
+    def test_clustering_beats_full_domain_on_utility(
+        self, hospital, hierarchies
+    ):
+        from repro import Datafly
+        from repro.utility import general_loss
+
+        clustered = KMemberClustering(5).anonymize(hospital, hierarchies)
+        full_domain = Datafly(5, suppression_limit=0.0).anonymize(
+            hospital, hierarchies
+        )
+        assert general_loss(clustered, hierarchies) < general_loss(
+            full_domain, hierarchies
+        )
+
+    def test_too_small_dataset(self, hierarchies):
+        with pytest.raises(AlgorithmError):
+            KMemberClustering(11).anonymize(
+                hospital_dataset(10, seed=1), hierarchies
+            )
+
+    def test_deterministic(self, hospital, hierarchies):
+        first = KMemberClustering(4).anonymize(hospital, hierarchies)
+        second = KMemberClustering(4).anonymize(hospital, hierarchies)
+        assert first.released.rows == second.released.rows

@@ -1,0 +1,157 @@
+"""Tests for multi-property indices: P_WTD, P_LEX, P_GOAL (Sections 5.5-5.7)."""
+
+import pytest
+
+from repro.core.indices.binary import coverage, spread
+from repro.core.indices.multi import (
+    goal,
+    goal_from_unary,
+    lexicographic,
+    weighted,
+)
+from repro.core.indices.unary import MeanIndex, MinimumIndex
+from repro.core.vector import PropertyVector, PropertyVectorError
+
+# Paper Section 5.5: privacy (class size) and utility vectors for T3a / T3b.
+P_A = PropertyVector((3, 3, 3, 3, 4, 4, 4, 3, 3, 4), "privacy")
+P_B = PropertyVector((3, 7, 7, 3, 7, 7, 7, 3, 7, 7), "privacy")
+U_A = PropertyVector(
+    (2.03, 1.7, 1.7, 2.03, 1.6, 1.6, 1.6, 2.03, 1.7, 1.6), "utility"
+)
+U_B = PropertyVector(
+    (2.03, 0.97, 0.97, 2.03, 0.97, 0.97, 0.97, 2.03, 0.97, 0.97), "utility"
+)
+
+UPSILON_A = (P_A, U_A)
+UPSILON_B = (P_B, U_B)
+
+
+class TestWeighted:
+    def test_paper_section55_equal_weights_tie(self):
+        # P_cov(p_a,p_b)=0.3, P_cov(u_a,u_b)=1 -> 0.65 both ways: the paper's
+        # conclusion that with equal weights T3a and T3b are equally good.
+        forward = weighted(UPSILON_A, UPSILON_B, weights=[0.5, 0.5])
+        backward = weighted(UPSILON_B, UPSILON_A, weights=[0.5, 0.5])
+        assert forward == pytest.approx(0.65)
+        assert backward == pytest.approx(0.65)
+
+    def test_paper_coverage_components(self):
+        assert coverage(P_A, P_B) == pytest.approx(0.3)
+        assert coverage(P_B, P_A) == pytest.approx(1.0)
+        assert coverage(U_A, U_B) == pytest.approx(1.0)
+        assert coverage(U_B, U_A) == pytest.approx(0.3)
+
+    def test_privacy_weighting_prefers_t3b(self):
+        weights = [0.9, 0.1]
+        assert weighted(UPSILON_B, UPSILON_A, weights) > weighted(
+            UPSILON_A, UPSILON_B, weights
+        )
+
+    def test_utility_weighting_prefers_t3a(self):
+        weights = [0.1, 0.9]
+        assert weighted(UPSILON_A, UPSILON_B, weights) > weighted(
+            UPSILON_B, UPSILON_A, weights
+        )
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(PropertyVectorError, match="sum to 1"):
+            weighted(UPSILON_A, UPSILON_B, weights=[0.5, 0.6])
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(PropertyVectorError, match="positive"):
+            weighted(UPSILON_A, UPSILON_B, weights=[1.0, 0.0])
+
+    def test_weight_count_checked(self):
+        with pytest.raises(PropertyVectorError, match="weights"):
+            weighted(UPSILON_A, UPSILON_B, weights=[1.0])
+
+    def test_set_size_mismatch(self):
+        with pytest.raises(PropertyVectorError, match="sizes"):
+            weighted((P_A,), UPSILON_B, weights=[1.0])
+
+    def test_per_property_indices(self):
+        value = weighted(
+            UPSILON_A, UPSILON_B, weights=[0.5, 0.5], index=[coverage, spread]
+        )
+        assert value == pytest.approx(0.5 * 0.3 + 0.5 * spread(U_A, U_B))
+
+
+class TestLexicographic:
+    def test_privacy_first_prefers_t3b(self):
+        # Privacy ordered first: T3b is superior on property 1.
+        assert lexicographic(UPSILON_B, UPSILON_A) == 1
+        # T3a is superior only on property 2 (utility).
+        assert lexicographic(UPSILON_A, UPSILON_B) == 2
+        # So T3b ▶LEX T3a.
+        assert lexicographic(UPSILON_B, UPSILON_A) < lexicographic(
+            UPSILON_A, UPSILON_B
+        )
+
+    def test_epsilon_tolerance_skips_insignificant_wins(self):
+        # With a huge tolerance on privacy, T3b's privacy win is treated as
+        # insignificant; T3b is superior nowhere (returns r+1) while T3a's
+        # utility win on property 2 now decides: T3a ▶LEX T3b.
+        assert lexicographic(UPSILON_B, UPSILON_A, epsilons=[1.0, 0.0]) == 3
+        assert lexicographic(UPSILON_A, UPSILON_B, epsilons=[1.0, 0.0]) == 2
+
+    def test_no_superior_property_returns_r_plus_one(self):
+        assert lexicographic(UPSILON_A, UPSILON_A) == 3
+
+    def test_scalar_epsilon_broadcast(self):
+        assert lexicographic(UPSILON_B, UPSILON_A, epsilons=0.0) == 1
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(PropertyVectorError, match="non-negative"):
+            lexicographic(UPSILON_A, UPSILON_B, epsilons=[-0.1, 0.0])
+
+    def test_epsilon_count_checked(self):
+        with pytest.raises(PropertyVectorError, match="epsilons"):
+            lexicographic(UPSILON_A, UPSILON_B, epsilons=[0.0])
+
+
+class TestGoal:
+    def test_perfect_goal_scores_zero(self):
+        goals = [coverage(P_A, P_B), coverage(U_A, U_B)]
+        assert goal(UPSILON_A, UPSILON_B, goals) == pytest.approx(0.0)
+
+    def test_closer_to_goal_wins(self):
+        goals = [1.0, 1.0]  # want full coverage on both properties
+        score_b = goal(UPSILON_B, UPSILON_A, goals)
+        score_a = goal(UPSILON_A, UPSILON_B, goals)
+        # T3b fully covers privacy, T3a fully covers utility: symmetric...
+        assert score_a == pytest.approx(score_b)
+
+    def test_asymmetric_goal(self):
+        goals = [1.0, 0.0]  # demand privacy coverage, ignore utility
+        assert goal(UPSILON_B, UPSILON_A, goals) < goal(UPSILON_A, UPSILON_B, goals)
+
+    def test_goal_count_checked(self):
+        with pytest.raises(PropertyVectorError, match="goals"):
+            goal(UPSILON_A, UPSILON_B, goals=[1.0])
+
+    def test_goal_from_unary(self):
+        # Goal property vectors: perfect privacy of 10 everywhere, mean
+        # utility of 2.
+        goal_privacy = PropertyVector([10.0] * 10)
+        goal_utility = PropertyVector([2.0] * 10)
+        score_a = goal_from_unary(
+            UPSILON_A,
+            (goal_privacy, goal_utility),
+            (MinimumIndex(), MeanIndex()),
+        )
+        score_b = goal_from_unary(
+            UPSILON_B,
+            (goal_privacy, goal_utility),
+            (MinimumIndex(), MeanIndex()),
+        )
+        # Both have min privacy 3 (same distance from 10); T3a has mean
+        # utility closer to 2 than T3b -> T3a scores lower (better).
+        assert score_a < score_b
+
+    def test_goal_from_unary_length_checked(self):
+        with pytest.raises(PropertyVectorError, match="equal lengths"):
+            goal_from_unary(UPSILON_A, (P_B,), (MinimumIndex(), MeanIndex()))
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(PropertyVectorError, match="non-empty"):
+            goal((), (), goals=[])

@@ -1,0 +1,81 @@
+"""Tests for per-individual preference analysis."""
+
+import pytest
+
+from repro.analysis import individual_preferences, preference_table
+from repro.core.properties import equivalence_class_size
+from repro.core.vector import PropertyVector
+from repro.datasets import paper_tables
+
+
+@pytest.fixture
+def paper_vectors():
+    return {
+        name: equivalence_class_size(release)
+        for name, release in paper_tables.all_generalizations().items()
+    }
+
+
+class TestIndividualPreferences:
+    def test_section2_user_choices(self, paper_vectors):
+        preferences = individual_preferences(paper_vectors)
+        # User 8 (index 7) prefers T4; user 3 (index 2) prefers T3b.
+        assert preferences.winners[7] == ("T4",)
+        assert preferences.winners[2] == ("T3b",)
+
+    def test_win_counts(self, paper_vectors):
+        preferences = individual_preferences(paper_vectors)
+        assert preferences.win_counts() == {"T3a": 0, "T3b": 7, "T4": 3}
+
+    def test_sole_win_counts(self, paper_vectors):
+        preferences = individual_preferences(paper_vectors)
+        # No ties in the paper example: sole wins equal joint wins.
+        assert preferences.sole_win_counts() == preferences.win_counts()
+
+    def test_contested(self, paper_vectors):
+        assert individual_preferences(paper_vectors).contested() == 10
+
+    def test_ties_shared(self):
+        vectors = {
+            "a": PropertyVector([1, 5]),
+            "b": PropertyVector([1, 3]),
+        }
+        preferences = individual_preferences(vectors)
+        assert preferences.winners[0] == ("a", "b")
+        assert preferences.winners[1] == ("a",)
+        assert preferences.contested() == 1
+        assert preferences.sole_win_counts() == {"a": 1, "b": 0}
+
+    def test_lower_is_better_orientation(self):
+        vectors = {
+            "a": PropertyVector([0.1, 0.9], higher_is_better=False),
+            "b": PropertyVector([0.5, 0.5], higher_is_better=False),
+        }
+        preferences = individual_preferences(vectors)
+        assert preferences.winners[0] == ("a",)
+        assert preferences.winners[1] == ("b",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            individual_preferences({})
+
+    def test_single_candidate_uncontested(self):
+        preferences = individual_preferences({"only": PropertyVector([1, 2])})
+        assert preferences.contested() == 0
+
+
+class TestPreferenceTable:
+    def test_rendering(self, paper_vectors):
+        text = preference_table(paper_vectors)
+        assert "T3b: 7" in text
+        assert "contested tuples: 10/10" in text
+
+    def test_custom_labels(self, paper_vectors):
+        text = preference_table(
+            paper_vectors, labels=[f"u{i}" for i in range(1, 11)]
+        )
+        assert "u8" in text
+
+    def test_wrong_label_count(self, paper_vectors):
+        with pytest.raises(ValueError, match="labels"):
+            preference_table(paper_vectors, labels=["x"])

@@ -1,0 +1,142 @@
+"""Integration tests: algorithms × the property-vector framework.
+
+These exercise the paper's central claim end-to-end on census-like data:
+two anonymizations can satisfy the same scalar privacy requirement and
+still distribute privacy very differently across tuples — and the vector
+machinery detects it where the scalar cannot.
+"""
+
+import pytest
+
+from repro import (
+    CoverageBetter,
+    Datafly,
+    KAnonymity,
+    MinBetter,
+    Mondrian,
+    OptimalLattice,
+    Relation,
+    Samarati,
+    bias_summary,
+    comparison_report,
+    privacy_profile,
+)
+from repro.core.indices.binary import coverage, spread
+from repro.core.properties import equivalence_class_size, tuple_loss
+from repro.datasets import paper_tables
+
+
+@pytest.fixture(scope="module")
+def releases(adult_small_module, adult_h_module):
+    data, hierarchies = adult_small_module, adult_h_module
+    return {
+        "datafly": Datafly(5).anonymize(data, hierarchies),
+        "samarati": Samarati(5).anonymize(data, hierarchies),
+        "mondrian": Mondrian(5).anonymize(data, hierarchies),
+        "optimal": OptimalLattice(5).anonymize(data, hierarchies),
+    }
+
+
+@pytest.fixture(scope="module")
+def adult_small_module():
+    from repro.datasets import adult_dataset
+
+    return adult_dataset(300, seed=11)
+
+
+@pytest.fixture(scope="module")
+def adult_h_module():
+    from repro.datasets import adult_hierarchies
+
+    return adult_hierarchies()
+
+
+def non_suppressed_k(anonymization):
+    classes = anonymization.equivalence_classes
+    return min(
+        classes.size_of(i)
+        for i in range(len(anonymization))
+        if i not in anonymization.suppressed
+    )
+
+
+class TestSameScalarDifferentBias:
+    def test_all_algorithms_meet_k(self, releases):
+        for release in releases.values():
+            assert non_suppressed_k(release) >= 5
+
+    def test_scalar_model_cannot_distinguish(self, releases):
+        # Suppressed rows are excluded so every subject presents the same
+        # "k >= 5" scalar story.
+        ks = {name: non_suppressed_k(r) for name, r in releases.items()}
+        assert all(k >= 5 for k in ks.values())
+
+    def test_vectors_do_distinguish(self, releases):
+        vectors = {
+            name: equivalence_class_size(release)
+            for name, release in releases.items()
+        }
+        distinct_vectors = {vector.as_tuple() for vector in vectors.values()}
+        assert len(distinct_vectors) > 1
+
+    def test_bias_differs_between_algorithms(self, releases):
+        summaries = {
+            name: bias_summary(equivalence_class_size(release))
+            for name, release in releases.items()
+        }
+        ginis = {round(s.gini, 6) for s in summaries.values()}
+        assert len(ginis) > 1
+
+    def test_coverage_detects_asymmetry(self, releases):
+        mondrian = equivalence_class_size(releases["mondrian"])
+        datafly = equivalence_class_size(releases["datafly"])
+        forward = coverage(datafly, mondrian)
+        backward = coverage(mondrian, datafly)
+        assert forward != backward  # somebody protects more individuals
+
+    def test_full_report_renders(self, releases):
+        profile = privacy_profile("occupation")
+        text = comparison_report(list(releases.values()), profile)
+        assert "equivalence-class-size" in text
+
+
+class TestPrivacyUtilityTension:
+    def test_datafly_more_private_mondrian_more_useful(
+        self, releases, adult_h_module
+    ):
+        # Full-domain recoding creates huge classes (more collective
+        # privacy by class size) while Mondrian keeps classes tight (more
+        # utility).  Verify the tension is visible in the vectors.
+        datafly_privacy = equivalence_class_size(releases["datafly"])
+        mondrian_privacy = equivalence_class_size(releases["mondrian"])
+        datafly_losses = tuple_loss(releases["datafly"], adult_h_module)
+        mondrian_losses = tuple_loss(releases["mondrian"], adult_h_module)
+        assert coverage(datafly_privacy, mondrian_privacy) > 0.5
+        # Mondrian wins utility for the majority of tuples.
+        assert coverage(mondrian_losses, datafly_losses) > 0.5
+
+    def test_min_better_vs_coverage_better_can_disagree(self, t3b, t4):
+        s_t3b = equivalence_class_size(t3b)
+        s_t4 = equivalence_class_size(t4)
+        # ▶min prefers T4 (k=4 vs 3) while ▶cov prefers T3b — the paper's
+        # Section 2 example of "better" being disrupted.
+        assert MinBetter().relation(s_t4, s_t3b) is Relation.BETTER
+        assert CoverageBetter().relation(s_t3b, s_t4) is Relation.BETTER
+
+
+class TestModelsAcrossAlgorithms:
+    def test_k_anonymity_model_agrees_with_class_sizes(self, releases):
+        for release in releases.items():
+            name, anonymization = release
+            model = KAnonymity(5)
+            vector = model.property_vector(anonymization)
+            assert model.measure(anonymization) == vector.min()
+
+    def test_paper_table_chain_consistency(self, t3a, t3b, t4):
+        # Section 5.2's chain under ▶cov: T3b > T4 > T3a.
+        comparator = CoverageBetter()
+        s = {name: equivalence_class_size(a) for name, a in
+             paper_tables.all_generalizations().items()}
+        assert comparator.relation(s["T3b"], s["T4"]) is Relation.BETTER
+        assert comparator.relation(s["T4"], s["T3a"]) is Relation.BETTER
+        assert comparator.relation(s["T3b"], s["T3a"]) is Relation.BETTER

@@ -1,0 +1,62 @@
+"""Tests for CSV round-trips."""
+
+import pytest
+
+from repro.datasets import paper_tables, read_csv, write_csv
+from repro.datasets.dataset import DatasetError
+from repro.hierarchy import Interval
+
+
+class TestRoundTrip:
+    def test_raw_table(self, table1, tmp_path):
+        path = tmp_path / "t1.csv"
+        write_csv(table1, path)
+        restored = read_csv(path, table1.schema)
+        assert restored == table1
+
+    def test_generalized_release(self, t3a, tmp_path):
+        path = tmp_path / "t3a.csv"
+        write_csv(t3a.released, path)
+        restored = read_csv(path, t3a.released.schema)
+        assert restored.value(0, "Age") == Interval(25, 35)
+        assert restored.value(0, "Zip Code") == "1305*"
+
+    def test_suppressed_numeric_cell(self, table1, tmp_path):
+        from repro.anonymize.engine import recode
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            "Marital Status": paper_tables.marital_hierarchy(),
+        }
+        anonymization = recode(
+            table1,
+            hierarchies,
+            {"Zip Code": 1, "Age": 1, "Marital Status": 1},
+            suppress=[0],
+        )
+        path = tmp_path / "sup.csv"
+        write_csv(anonymization.released, path)
+        restored = read_csv(path, anonymization.released.schema)
+        assert restored.value(0, "Age") == "*"
+
+    def test_header_mismatch_rejected(self, table1, tmp_path):
+        path = tmp_path / "t1.csv"
+        write_csv(table1, path)
+        other_schema = table1.project(["Age", "Zip Code"]).schema
+        with pytest.raises(DatasetError, match="header"):
+            read_csv(path, other_schema)
+
+    def test_empty_file_rejected(self, table1, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="empty"):
+            read_csv(path, table1.schema)
+
+    def test_float_age_parsing(self, tmp_path, table1):
+        path = tmp_path / "float.csv"
+        path.write_text(
+            "Zip Code,Age,Marital Status\n13053,28.5,CF-Spouse\n"
+        )
+        restored = read_csv(path, table1.schema)
+        assert restored.value(0, "Age") == 28.5

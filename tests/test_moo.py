@@ -1,0 +1,212 @@
+"""Tests for the multi-objective extension (Pareto utilities + NSGA-II)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.anonymize.algorithms.base import RecodingWorkspace
+from repro.datasets import paper_tables
+from repro.moo import (
+    Nsga2Search,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    hypervolume_2d,
+    non_dominated,
+    normalized,
+    privacy_rank_objective,
+    utility_loss_objective,
+    weighted_sum_search,
+)
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def paper_hierarchies():
+    return {
+        "Zip Code": paper_tables.zip_hierarchy(),
+        "Age": paper_tables.age_hierarchy(10, 5),
+        "Marital Status": paper_tables.marital_hierarchy(),
+    }
+
+
+class TestDominance:
+    def test_basic(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 2), (2, 1))
+        assert not dominates((1, 1), (1, 1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    @given(points_strategy)
+    def test_non_dominated_members_mutually_incomparable(self, points):
+        front = non_dominated(points)
+        for i in front:
+            for j in front:
+                if i != j:
+                    assert not dominates(points[i], points[j])
+
+    @given(points_strategy)
+    def test_every_point_dominated_by_or_in_front(self, points):
+        front = set(non_dominated(points))
+        for index, point in enumerate(points):
+            if index not in front:
+                assert any(dominates(points[i], point) for i in front) or any(
+                    points[i] == point for i in front
+                )
+
+
+class TestSorting:
+    def test_fronts_partition_points(self):
+        points = [(1, 1), (2, 2), (1, 2), (2, 1), (3, 3)]
+        fronts = fast_non_dominated_sort(points)
+        flattened = sorted(index for front in fronts for index in front)
+        assert flattened == list(range(len(points)))
+
+    def test_first_front_is_non_dominated_set(self):
+        points = [(1, 3), (3, 1), (2, 2), (4, 4)]
+        fronts = fast_non_dominated_sort(points)
+        assert sorted(fronts[0]) == sorted(non_dominated(points))
+
+    def test_crowding_boundaries_infinite(self):
+        points = [(0.0, 3.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.0)]
+        front = [0, 1, 2, 3]
+        distances = crowding_distance(points, front)
+        assert distances[0] == float("inf")
+        assert distances[3] == float("inf")
+        assert 0 < distances[1] < float("inf")
+
+    def test_crowding_small_front(self):
+        points = [(1, 1), (2, 2)]
+        assert crowding_distance(points, [0, 1]) == {
+            0: float("inf"),
+            1: float("inf"),
+        }
+
+
+class TestHypervolume2d:
+    def test_single_point(self):
+        assert hypervolume_2d([(1.0, 1.0)], (3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_staircase(self):
+        points = [(1.0, 2.0), (2.0, 1.0)]
+        # Union of two boxes wrt (3,3): 2*1 + 1*2 - overlap 1*1 ... computed
+        # by sweep: (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3.
+        assert hypervolume_2d(points, (3.0, 3.0)) == pytest.approx(3.0)
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume_2d([(4.0, 4.0)], (3.0, 3.0)) == 0.0
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d([(1.0, 1.0, 1.0)], (2.0, 2.0))
+
+    def test_normalized(self):
+        grid = normalized([(0, 10), (10, 0)])
+        assert grid.min() == 0.0
+        assert grid.max() == 1.0
+
+
+class TestObjectives:
+    def test_privacy_rank_zero_at_top(self, table1):
+        workspace = RecodingWorkspace(table1, paper_hierarchies())
+        top = workspace.lattice.top
+        assert privacy_rank_objective(workspace, top) == pytest.approx(0.0)
+
+    def test_privacy_rank_maximal_at_bottom(self, table1):
+        workspace = RecodingWorkspace(table1, paper_hierarchies())
+        bottom = workspace.lattice.bottom
+        top = workspace.lattice.top
+        assert privacy_rank_objective(workspace, bottom) > privacy_rank_objective(
+            workspace, top
+        )
+
+    def test_utility_loss_monotone(self, table1):
+        workspace = RecodingWorkspace(table1, paper_hierarchies())
+        assert utility_loss_objective(workspace, workspace.lattice.bottom) == 0.0
+        assert utility_loss_objective(
+            workspace, workspace.lattice.top
+        ) == pytest.approx(3.0 * len(table1))
+
+
+class TestNsga2:
+    def test_front_is_non_dominated(self, table1):
+        search = Nsga2Search(population_size=16, generations=8, seed=4)
+        result = search.search(table1, paper_hierarchies())
+        assert len(result) >= 1
+        for i, a in enumerate(result.objectives):
+            for j, b in enumerate(result.objectives):
+                if i != j:
+                    assert not dominates(a, b)
+
+    def test_deterministic(self, table1):
+        def run():
+            return Nsga2Search(population_size=8, generations=4, seed=2).search(
+                table1, paper_hierarchies()
+            )
+
+        assert run().nodes == run().nodes
+
+    def test_front_contains_extremes_eventually(self, table1):
+        # With enough budget on this tiny lattice, the front should span
+        # from low-loss to low-privacy-distance corners.
+        search = Nsga2Search(population_size=24, generations=20, seed=0)
+        result = search.search(table1, paper_hierarchies())
+        losses = [objectives[1] for objectives in result.objectives]
+        assert min(losses) == pytest.approx(0.0)  # the raw release survives
+
+    def test_materialize(self, table1):
+        hierarchies = paper_hierarchies()
+        search = Nsga2Search(population_size=8, generations=4, seed=2)
+        result = search.search(table1, hierarchies)
+        workspace = RecodingWorkspace(table1, hierarchies)
+        releases = result.materialize(workspace)
+        assert len(releases) == len(result)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Nsga2Search(population_size=3)
+        with pytest.raises(ValueError):
+            Nsga2Search(population_size=7)
+        with pytest.raises(ValueError):
+            Nsga2Search(objectives=(privacy_rank_objective,))
+
+
+class TestWeightedSumBaseline:
+    def test_extreme_weights(self, table1):
+        hierarchies = paper_hierarchies()
+        privacy_node, _ = weighted_sum_search(table1, hierarchies, weight=1.0)
+        utility_node, _ = weighted_sum_search(table1, hierarchies, weight=0.0)
+        workspace = RecodingWorkspace(table1, hierarchies)
+        assert privacy_rank_objective(workspace, privacy_node) <= (
+            privacy_rank_objective(workspace, utility_node)
+        )
+        assert utility_loss_objective(workspace, utility_node) == 0.0
+
+    def test_weighted_optimum_on_pareto_front(self, table1):
+        # A weighted-sum optimum is always Pareto-optimal.
+        hierarchies = paper_hierarchies()
+        node, objectives = weighted_sum_search(table1, hierarchies, weight=0.5)
+        workspace = RecodingWorkspace(table1, hierarchies)
+        all_points = [
+            (
+                privacy_rank_objective(workspace, other),
+                utility_loss_objective(workspace, other),
+            )
+            for other in workspace.lattice.nodes()
+        ]
+        assert not any(dominates(point, objectives) for point in all_points)
+
+    def test_invalid_weight(self, table1):
+        with pytest.raises(ValueError):
+            weighted_sum_search(table1, paper_hierarchies(), weight=1.5)

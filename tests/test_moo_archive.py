@@ -1,0 +1,178 @@
+"""Tests for Pareto archives, ε-dominance and knee selection, plus the
+Mondrian l-diversity variant."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.moo import EpsilonParetoArchive, ParetoArchive, knee_point
+from repro.moo.pareto import dominates
+
+points = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestParetoArchive:
+    def test_accepts_non_dominated(self):
+        archive = ParetoArchive()
+        assert archive.add("a", (1, 3))
+        assert archive.add("b", (3, 1))
+        assert len(archive) == 2
+
+    def test_rejects_dominated(self):
+        archive = ParetoArchive()
+        archive.add("a", (1, 1))
+        assert not archive.add("b", (2, 2))
+        assert len(archive) == 1
+
+    def test_rejects_duplicate_objectives(self):
+        archive = ParetoArchive()
+        archive.add("a", (1, 1))
+        assert not archive.add("b", (1, 1))
+
+    def test_evicts_dominated_members(self):
+        archive = ParetoArchive()
+        archive.add("a", (2, 2))
+        archive.add("b", (3, 1))
+        # (1,1) dominates both existing members and evicts them.
+        assert archive.add("c", (1, 1))
+        assert "a" not in archive
+        assert "b" not in archive
+        assert len(archive) == 1
+
+    def test_eviction_keeps_incomparable(self):
+        archive = ParetoArchive()
+        archive.add("a", (2, 2))
+        archive.add("b", (0, 5))
+        assert archive.add("c", (1, 1))  # dominates a, not b
+        assert "b" in archive
+        assert len(archive) == 2
+
+    def test_payload_listing(self):
+        archive = ParetoArchive()
+        archive.add("a", (1, 3))
+        archive.add("b", (3, 1))
+        assert set(archive.payloads) == {"a", "b"}
+        assert len(archive.objectives) == 2
+
+    @given(points)
+    def test_archive_members_mutually_non_dominated(self, candidates):
+        archive = ParetoArchive()
+        for index, point in enumerate(candidates):
+            archive.add(index, point)
+        members = archive.objectives
+        for i, a in enumerate(members):
+            for j, b in enumerate(members):
+                if i != j:
+                    assert not dominates(a, b)
+
+    @given(points)
+    def test_every_candidate_dominated_or_archived(self, candidates):
+        archive = ParetoArchive()
+        for index, point in enumerate(candidates):
+            archive.add(index, point)
+        for point in candidates:
+            point = tuple(map(float, point))
+            assert any(
+                member == point or dominates(member, point)
+                for member in archive.objectives
+            )
+
+
+class TestEpsilonArchive:
+    def test_box_deduplication(self):
+        archive = EpsilonParetoArchive(epsilon=1.0)
+        assert archive.add("a", (0.9, 0.9))
+        # Same box, farther from the corner: rejected.
+        assert not archive.add("b", (0.95, 0.95))
+        # Same box, closer to the corner: replaces.
+        assert archive.add("c", (0.1, 0.1))
+        assert len(archive) == 1
+        assert "c" in archive
+
+    def test_bounded_size(self):
+        archive = EpsilonParetoArchive(epsilon=2.0)
+        for i in range(100):
+            archive.add(i, (i * 0.1, 10 - i * 0.1))
+        # At most ceil(10/2)+1 boxes can coexist along the front.
+        assert len(archive) <= 6
+
+    def test_box_domination(self):
+        archive = EpsilonParetoArchive(epsilon=1.0)
+        archive.add("a", (0.5, 0.5))     # box (0,0)
+        assert not archive.add("b", (1.5, 1.5))  # box (1,1), box-dominated
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonParetoArchive(epsilon=0.0)
+
+
+class TestKneePoint:
+    def test_balanced_member_wins(self):
+        archive = ParetoArchive()
+        archive.add("extreme-a", (0.0, 10.0))
+        archive.add("extreme-b", (10.0, 0.0))
+        archive.add("knee", (3.0, 3.0))
+        assert knee_point(archive) == "knee"
+
+    def test_single_member(self):
+        archive = ParetoArchive()
+        archive.add("only", (1.0, 2.0))
+        assert knee_point(archive) == "only"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point(ParetoArchive())
+
+    def test_accepts_raw_sequences(self):
+        entries = [("a", (0.0, 1.0)), ("b", (1.0, 0.0)), ("c", (0.4, 0.4))]
+        assert knee_point(entries) == "c"
+
+
+class TestMondrianDiversity:
+    def test_variant_guarantees_l(self):
+        from repro import DistinctLDiversity, Mondrian
+        from repro.datasets import skewed_dataset, synthetic_hierarchies
+
+        data = skewed_dataset(400, 1.5, seed=5)
+        hierarchies = synthetic_hierarchies()
+        model = DistinctLDiversity(4, "condition")
+        plain = Mondrian(5).anonymize(data, hierarchies)
+        diverse = Mondrian(
+            5, l_diversity=4, sensitive_attribute="condition"
+        ).anonymize(data, hierarchies)
+        assert not model.satisfied_by(plain)  # the gap the variant closes
+        assert model.satisfied_by(diverse)
+        assert diverse.k() >= 5
+
+    def test_diversity_costs_utility(self):
+        from repro import Mondrian
+        from repro.datasets import skewed_dataset, synthetic_hierarchies
+        from repro.utility import general_loss
+
+        data = skewed_dataset(400, 1.5, seed=5)
+        hierarchies = synthetic_hierarchies()
+        plain = Mondrian(5).anonymize(data, hierarchies)
+        diverse = Mondrian(
+            5, l_diversity=4, sensitive_attribute="condition"
+        ).anonymize(data, hierarchies)
+        assert general_loss(diverse, hierarchies) >= general_loss(
+            plain, hierarchies
+        )
+
+    def test_invalid_l(self):
+        from repro import Mondrian
+
+        with pytest.raises(ValueError):
+            Mondrian(5, l_diversity=0)
+
+    def test_name_mentions_l(self):
+        from repro import Mondrian
+
+        assert "l=3" in Mondrian(5, l_diversity=3).name

@@ -1,0 +1,117 @@
+"""Tests for set-level ▶WTD / ▶LEX / ▶GOAL comparator objects and the
+weighted-k objective."""
+
+import pytest
+
+from repro.core import (
+    GoalBetter,
+    LexicographicBetter,
+    Relation,
+    WeightedBetter,
+)
+from repro.core.indices.binary import spread
+from repro.core.vector import PropertyVector
+from repro.datasets import paper_tables
+
+P_A = PropertyVector(paper_tables.CLASS_SIZE_T3A, "privacy")
+P_B = PropertyVector(paper_tables.CLASS_SIZE_T3B, "privacy")
+U_A = PropertyVector(paper_tables.PAPER_UTILITY_T3A, "utility")
+U_B = PropertyVector(paper_tables.PAPER_UTILITY_T3B, "utility")
+
+UPSILON_A = (P_A, U_A)
+UPSILON_B = (P_B, U_B)
+
+
+class TestWeightedBetter:
+    def test_equal_weights_tie(self):
+        comparator = WeightedBetter([0.5, 0.5])
+        assert comparator.relation(UPSILON_A, UPSILON_B) is Relation.EQUIVALENT
+
+    def test_privacy_weighting(self):
+        comparator = WeightedBetter([0.9, 0.1])
+        assert comparator.relation(UPSILON_B, UPSILON_A) is Relation.BETTER
+        assert comparator.relation(UPSILON_A, UPSILON_B) is Relation.WORSE
+
+    def test_utility_weighting(self):
+        comparator = WeightedBetter([0.1, 0.9])
+        assert comparator.better(UPSILON_A, UPSILON_B)
+
+    def test_custom_index(self):
+        comparator = WeightedBetter([0.5, 0.5], index=spread)
+        assert comparator.relation(UPSILON_B, UPSILON_A) in (
+            Relation.BETTER, Relation.WORSE, Relation.EQUIVALENT,
+        )
+
+
+class TestLexicographicBetter:
+    def test_privacy_first(self):
+        comparator = LexicographicBetter()
+        assert comparator.relation(UPSILON_B, UPSILON_A) is Relation.BETTER
+
+    def test_self_equivalent(self):
+        comparator = LexicographicBetter()
+        assert comparator.relation(UPSILON_A, UPSILON_A) is Relation.EQUIVALENT
+
+    def test_epsilon_flips_decision(self):
+        # Huge tolerance on privacy: the utility property (where T3a wins)
+        # decides instead.
+        comparator = LexicographicBetter(epsilons=[1.0, 0.0])
+        assert comparator.relation(UPSILON_A, UPSILON_B) is Relation.BETTER
+
+
+class TestGoalBetter:
+    def test_privacy_goal(self):
+        comparator = GoalBetter(goals=[1.0, 0.0])
+        assert comparator.relation(UPSILON_B, UPSILON_A) is Relation.BETTER
+
+    def test_symmetric_goal_ties(self):
+        comparator = GoalBetter(goals=[1.0, 1.0])
+        assert comparator.relation(UPSILON_A, UPSILON_B) is Relation.EQUIVALENT
+
+
+class TestWeightedKObjective:
+    def test_matches_mean_class_size(self, table1):
+        from repro.anonymize.algorithms.base import RecodingWorkspace
+        from repro.moo import weighted_k_objective
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            paper_tables.SENSITIVE_ATTRIBUTE: paper_tables.marital_hierarchy(),
+        }
+        workspace = RecodingWorkspace(table1, hierarchies)
+        # At the T3a node, weighted k = P_s-avg = 3.4 (Section 3).
+        assert weighted_k_objective(workspace, (1, 1, 1)) == pytest.approx(-3.4)
+
+    def test_monotone_toward_top(self, table1):
+        from repro.anonymize.algorithms.base import RecodingWorkspace
+        from repro.moo import weighted_k_objective
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            paper_tables.SENSITIVE_ATTRIBUTE: paper_tables.marital_hierarchy(),
+        }
+        workspace = RecodingWorkspace(table1, hierarchies)
+        top = workspace.lattice.top
+        bottom = workspace.lattice.bottom
+        assert weighted_k_objective(workspace, top) < weighted_k_objective(
+            workspace, bottom
+        )
+
+    def test_usable_in_nsga2(self, table1):
+        from repro.moo import Nsga2Search, utility_loss_objective, weighted_k_objective
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            paper_tables.SENSITIVE_ATTRIBUTE: paper_tables.marital_hierarchy(),
+        }
+        search = Nsga2Search(
+            objectives=(weighted_k_objective, utility_loss_objective),
+            population_size=8,
+            generations=4,
+            seed=5,
+        )
+        result = search.search(table1, hierarchies)
+        assert len(result) >= 1

@@ -1,0 +1,133 @@
+"""Tests for NumericSplitCut and flexible-numeric TDS."""
+
+import pytest
+
+from repro.anonymize.algorithms import TopDownSpecialization
+from repro.anonymize.algorithms.cuts import CutError, NumericSplitCut
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import AttributeKind, Schema, quasi_identifier, sensitive
+from repro.hierarchy import Banding, IntervalHierarchy, Span
+from repro.utility import general_loss
+
+
+class TestNumericSplitCut:
+    def test_no_splits_single_segment(self):
+        cut = NumericSplitCut((0.0, 100.0))
+        assert cut.segments() == [Span(0, 100)]
+        assert cut.map_value(50) == Span(0, 100)
+        assert cut.loss(50) == 1.0
+
+    def test_split_partitions(self):
+        cut = NumericSplitCut((0.0, 100.0), (40.0,))
+        assert cut.segments() == [Span(0, 40), Span(40, 100)]
+        assert cut.map_value(39.9) == Span(0, 40)
+        assert cut.map_value(40.0) == Span(40, 100)  # left-closed segments
+        assert cut.map_value(100.0) == Span(40, 100)
+
+    def test_loss_proportional_to_width(self):
+        cut = NumericSplitCut((0.0, 100.0), (40.0,))
+        assert cut.loss(10) == pytest.approx(0.4)
+        assert cut.loss(90) == pytest.approx(0.6)
+
+    def test_out_of_bounds_rejected(self):
+        cut = NumericSplitCut((0.0, 100.0))
+        with pytest.raises(CutError):
+            cut.map_value(101)
+        with pytest.raises(CutError):
+            cut.map_value("x")
+
+    def test_invalid_splits_rejected(self):
+        with pytest.raises(CutError):
+            NumericSplitCut((0.0, 100.0), (0.0,))
+        with pytest.raises(CutError):
+            NumericSplitCut((10.0, 5.0))
+
+    def test_splits_sorted_and_deduplicated(self):
+        cut = NumericSplitCut((0.0, 100.0), (60.0, 20.0, 60.0))
+        assert cut.splits == (20.0, 60.0)
+
+    def test_specialize(self):
+        cut = NumericSplitCut((0.0, 100.0))
+        finer = cut.specialize(30.0)
+        assert finer.splits == (30.0,)
+        with pytest.raises(CutError):
+            finer.specialize(30.0)
+
+    def test_generalize(self):
+        cut = NumericSplitCut((0.0, 100.0), (20.0, 60.0))
+        coarser = cut.generalize(0)
+        assert coarser.splits == (60.0,)
+        with pytest.raises(CutError):
+            coarser.generalize(5)
+
+    def test_split_value_median(self):
+        cut = NumericSplitCut((0.0, 100.0))
+        values = [10.0, 20.0, 30.0, 40.0]
+        split = cut.split_value(0, values)
+        assert split == 30.0  # upper median
+
+    def test_split_value_degenerate(self):
+        cut = NumericSplitCut((0.0, 100.0))
+        assert cut.split_value(0, [50.0, 50.0]) is None
+        assert cut.split_value(0, []) is None
+
+    def test_split_value_skips_minimum(self):
+        cut = NumericSplitCut((0.0, 100.0))
+        # Median equals the min; the split must still separate something.
+        split = cut.split_value(0, [5.0, 5.0, 5.0, 80.0])
+        assert split == 80.0
+        finer = cut.specialize(split)
+        assert finer.map_value(5.0) != finer.map_value(80.0)
+
+
+def numeric_only_dataset() -> tuple[Dataset, dict]:
+    schema = Schema.of(
+        quasi_identifier("x", AttributeKind.NUMERIC),
+        sensitive("s"),
+    )
+    # Two clusters: fixed hierarchy bands straddle them; adaptive splits
+    # can separate exactly at the gap.
+    rows = [(float(v), "a") for v in list(range(0, 20)) + list(range(80, 100))]
+    hierarchies = {
+        "x": IntervalHierarchy("x", [Banding(30), Banding(60)], (0, 100)),
+    }
+    return Dataset(schema, rows), hierarchies
+
+
+class TestFlexibleTds:
+    def test_flexible_beats_fixed_bands(self):
+        data, hierarchies = numeric_only_dataset()
+        fixed = TopDownSpecialization(10).anonymize(data, hierarchies)
+        flexible = TopDownSpecialization(10, flexible_numeric=True).anonymize(
+            data, hierarchies
+        )
+        assert flexible.k() >= 10
+        assert general_loss(flexible, hierarchies) < general_loss(
+            fixed, hierarchies
+        )
+
+    def test_flexible_release_cells_are_spans(self):
+        data, hierarchies = numeric_only_dataset()
+        release = TopDownSpecialization(10, flexible_numeric=True).anonymize(
+            data, hierarchies
+        )
+        cells = set(release.released.column("x"))
+        assert all(isinstance(cell, Span) for cell in cells)
+        assert len(cells) >= 2
+
+    def test_flexible_respects_k(self):
+        data, hierarchies = numeric_only_dataset()
+        release = TopDownSpecialization(5, flexible_numeric=True).anonymize(
+            data, hierarchies
+        )
+        assert release.k() >= 5
+
+    def test_flexible_on_adult_matches_or_beats(self, adult_small, adult_h):
+        fixed = TopDownSpecialization(5).anonymize(adult_small, adult_h)
+        flexible = TopDownSpecialization(5, flexible_numeric=True).anonymize(
+            adult_small, adult_h
+        )
+        assert flexible.k() >= 5
+        assert general_loss(flexible, adult_h) <= general_loss(
+            fixed, adult_h
+        ) + 1e-9

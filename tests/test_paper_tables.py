@@ -1,0 +1,91 @@
+"""The paper's Tables 1-3 reproduced exactly (experiment ids T1, T2, T3)."""
+
+import pytest
+
+from repro.datasets import paper_tables
+from repro.hierarchy import Interval
+
+
+class TestTable1:
+    def test_shape(self, table1):
+        assert len(table1) == 10
+        assert table1.schema.names == ("Zip Code", "Age", "Marital Status")
+
+    def test_exact_rows(self, table1):
+        assert table1[0] == ("13053", 28, "CF-Spouse")
+        assert table1[4] == ("13253", 50, "Divorced")
+        assert table1[9] == ("13250", 47, "Separated")
+
+    def test_sensitive_attribute_constant(self):
+        assert paper_tables.SENSITIVE_ATTRIBUTE == "Marital Status"
+
+
+class TestTable2:
+    def test_t3a_is_3_anonymous(self, t3a):
+        assert t3a.k() == 3
+
+    def test_t3b_is_3_anonymous(self, t3b):
+        assert t3b.k() == 3
+
+    def test_t3a_released_cells(self, t3a):
+        # First row of the left table of Table 2.
+        assert t3a.released[0] == ("1305*", Interval(25, 35), "Married")
+        # Tuple 5 (row index 4).
+        assert t3a.released[4] == ("1325*", Interval(45, 55), "Not Married")
+
+    def test_t3b_released_cells(self, t3b):
+        assert t3b.released[0] == ("130**", Interval(15, 35), "Married")
+        assert t3b.released[4] == ("132**", Interval(35, 55), "Not Married")
+
+    def test_t3a_class_structure(self, t3a):
+        classes = t3a.equivalence_classes
+        assert sorted(map(sorted, classes)) == [
+            [0, 3, 7],
+            [1, 2, 8],
+            [4, 5, 6, 9],
+        ]
+
+    def test_t3b_class_structure(self, t3b):
+        classes = t3b.equivalence_classes
+        assert sorted(map(sorted, classes)) == [
+            [0, 3, 7],
+            [1, 2, 4, 5, 6, 8, 9],
+        ]
+
+    def test_class_size_vectors_match_paper(self, t3a, t3b):
+        assert tuple(t3a.equivalence_classes.sizes()) == paper_tables.CLASS_SIZE_T3A
+        assert tuple(t3b.equivalence_classes.sizes()) == paper_tables.CLASS_SIZE_T3B
+
+
+class TestTable3:
+    def test_t4_is_4_anonymous(self, t4):
+        assert t4.k() == 4
+
+    def test_t4_released_cells(self, t4):
+        assert t4.released[0] == ("13***", Interval(20, 40), "*")
+        assert t4.released[1] == ("13***", Interval(40, 60), "*")
+
+    def test_t4_class_structure(self, t4):
+        classes = t4.equivalence_classes
+        assert sorted(map(sorted, classes)) == [
+            [0, 2, 3, 7],
+            [1, 4, 5, 6, 8, 9],
+        ]
+
+    def test_class_size_vector_matches_paper(self, t4):
+        assert tuple(t4.equivalence_classes.sizes()) == paper_tables.CLASS_SIZE_T4
+
+
+class TestSensitiveCounts:
+    def test_t3a_sensitive_count_vector(self, t3a, table1):
+        counts = t3a.equivalence_classes.sensitive_value_counts(
+            table1.column("Marital Status")
+        )
+        assert tuple(counts) == paper_tables.SENSITIVE_COUNT_T3A
+
+
+class TestNoSuppression:
+    @pytest.mark.parametrize("name", ["T3a", "T3b", "T4"])
+    def test_paper_generalizations_suppress_nothing(self, name):
+        anonymization = paper_tables.all_generalizations()[name]
+        assert not anonymization.suppressed

@@ -1,0 +1,318 @@
+"""Tests for privacy models: k-anonymity, l-diversity, t-closeness,
+p-sensitive k-anonymity, personalized privacy."""
+
+import math
+
+import pytest
+
+from repro.datasets import paper_tables
+from repro.privacy import (
+    DistinctLDiversity,
+    EntropyLDiversity,
+    KAnonymity,
+    PersonalizedPrivacy,
+    PrivacyModelError,
+    PSensitiveKAnonymity,
+    RecursiveCLDiversity,
+    TCloseness,
+    equal_distance_emd,
+    ordered_distance_emd,
+)
+
+SENSITIVE = paper_tables.SENSITIVE_ATTRIBUTE
+
+
+class TestKAnonymity:
+    def test_measures(self, t3a, t3b, t4):
+        assert KAnonymity(3).measure(t3a) == 3
+        assert KAnonymity(3).measure(t3b) == 3
+        assert KAnonymity(4).measure(t4) == 4
+
+    def test_satisfaction(self, t3a, t4):
+        assert KAnonymity(3).satisfied_by(t3a)
+        assert not KAnonymity(4).satisfied_by(t3a)
+        assert KAnonymity(4).satisfied_by(t4)
+
+    def test_property_vector(self, t3a):
+        vector = KAnonymity(3).property_vector(t3a)
+        assert vector.as_tuple() == tuple(map(float, paper_tables.CLASS_SIZE_T3A))
+
+    def test_invalid_k(self):
+        with pytest.raises(PrivacyModelError):
+            KAnonymity(0)
+
+
+class TestDistinctLDiversity:
+    def test_t3a_is_2_diverse(self, t3a):
+        model = DistinctLDiversity(2, SENSITIVE)
+        assert model.measure(t3a) == 2
+        assert model.satisfied_by(t3a)
+        assert not DistinctLDiversity(3, SENSITIVE).satisfied_by(t3a)
+
+    def test_property_vector(self, t3a):
+        vector = DistinctLDiversity(2, SENSITIVE).property_vector(t3a)
+        assert vector[0] == 2  # class {1,4,8}
+        assert vector[4] == 3  # class {5,6,7,10}
+
+    def test_invalid_l(self):
+        with pytest.raises(PrivacyModelError):
+            DistinctLDiversity(0)
+
+
+class TestEntropyLDiversity:
+    def test_uniform_class_reaches_distinct_count(self, t3b):
+        model = EntropyLDiversity(1.5, SENSITIVE)
+        measured = model.measure(t3b)
+        # Entropy-l is at most the distinct count of the weakest class.
+        distinct = DistinctLDiversity(1, SENSITIVE).measure(t3b)
+        assert 1.0 <= measured <= distinct + 1e-9
+
+    def test_single_value_class_gives_one(self, table1):
+        from repro.anonymize.engine import recode
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            SENSITIVE: paper_tables.marital_hierarchy(),
+        }
+        # No generalization: every class is a single row -> entropy 0, l=1.
+        raw = recode(
+            table1, hierarchies, {"Zip Code": 0, "Age": 0, SENSITIVE: 0}
+        )
+        assert EntropyLDiversity(1.0, SENSITIVE).measure(raw) == pytest.approx(1.0)
+
+    def test_property_vector_constant_within_class(self, t3a):
+        model = EntropyLDiversity(1.0, SENSITIVE)
+        vector = model.property_vector(t3a)
+        classes = t3a.equivalence_classes
+        for class_members in classes:
+            values = {round(vector[i], 9) for i in class_members}
+            assert len(values) == 1
+
+    def test_invalid_l(self):
+        with pytest.raises(PrivacyModelError):
+            EntropyLDiversity(0.5)
+
+
+class TestRecursiveCLDiversity:
+    def test_margin_computation(self, t3a):
+        model = RecursiveCLDiversity(2.0, 2, SENSITIVE)
+        # Weakest class {1,4,8}: counts (2,1); margin = 2*1/2 = 1.0 -> fails.
+        assert model.measure(t3a) == pytest.approx(1.0)
+        assert not model.satisfied_by(t3a)
+
+    def test_larger_c_satisfies(self, t3a):
+        model = RecursiveCLDiversity(3.0, 2, SENSITIVE)
+        assert model.measure(t3a) == pytest.approx(1.5)
+        assert model.satisfied_by(t3a)
+
+    def test_too_few_distinct_values(self, t3a):
+        model = RecursiveCLDiversity(10.0, 4, SENSITIVE)
+        assert model.measure(t3a) == 0.0
+        assert not model.satisfied_by(t3a)
+
+    def test_property_vector_orientation(self, t3a):
+        vector = RecursiveCLDiversity(2.0, 2, SENSITIVE).property_vector(t3a)
+        assert vector.higher_is_better
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyModelError):
+            RecursiveCLDiversity(0, 2)
+        with pytest.raises(PrivacyModelError):
+            RecursiveCLDiversity(1.0, 0)
+
+
+class TestEmd:
+    def test_equal_distance_total_variation(self):
+        assert equal_distance_emd([1, 0], [0, 1]) == 1.0
+        assert equal_distance_emd([0.5, 0.5], [0.5, 0.5]) == 0.0
+        assert equal_distance_emd([0.7, 0.3], [0.3, 0.7]) == pytest.approx(0.4)
+
+    def test_ordered_distance(self):
+        # Mass moved across the whole ordered support costs the most.
+        far = ordered_distance_emd([1, 0, 0], [0, 0, 1])
+        near = ordered_distance_emd([1, 0, 0], [0, 1, 0])
+        assert far == pytest.approx(1.0)
+        assert near == pytest.approx(0.5)
+
+    def test_single_support(self):
+        assert ordered_distance_emd([1.0], [1.0]) == 0.0
+
+    def test_mismatched_supports_rejected(self):
+        with pytest.raises(PrivacyModelError):
+            equal_distance_emd([1.0], [0.5, 0.5])
+        with pytest.raises(PrivacyModelError):
+            ordered_distance_emd([1.0], [0.5, 0.5])
+
+
+class TestTCloseness:
+    def test_fully_generalized_is_0_close(self, table1):
+        from repro.anonymize.engine import recode
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            SENSITIVE: paper_tables.marital_hierarchy(),
+        }
+        top = recode(table1, hierarchies, {"Zip Code": 5, "Age": 2, SENSITIVE: 2})
+        model = TCloseness(0.0, SENSITIVE)
+        assert model.measure(top) == pytest.approx(1.0)
+        assert model.satisfied_by(top)
+
+    def test_t3a_distance_positive(self, t3a):
+        model = TCloseness(0.1, SENSITIVE)
+        distances = model.class_distances(t3a)
+        assert all(distance >= 0 for distance in distances)
+        assert max(distances) > 0.1
+        assert not model.satisfied_by(t3a)
+
+    def test_loose_t_satisfied(self, t3a):
+        assert TCloseness(1.0, SENSITIVE).satisfied_by(t3a)
+
+    def test_property_vector_orientation(self, t3a):
+        vector = TCloseness(0.5, SENSITIVE).property_vector(t3a)
+        assert not vector.higher_is_better
+        assert len(vector) == 10
+
+    def test_ordered_variant_on_numeric(self, t3a):
+        model = TCloseness(0.5, "Age", ordered=True)
+        distances = model.class_distances(t3a)
+        assert all(0 <= distance <= 1 for distance in distances)
+
+    def test_invalid_t(self):
+        with pytest.raises(PrivacyModelError):
+            TCloseness(1.5)
+
+
+class TestPSensitive:
+    def test_t3a_is_2_sensitive_3_anonymous(self, t3a):
+        model = PSensitiveKAnonymity(2, 3, SENSITIVE)
+        assert model.measure(t3a) == pytest.approx(1.0)
+        assert model.satisfied_by(t3a)
+
+    def test_fails_on_higher_p(self, t3a):
+        assert not PSensitiveKAnonymity(3, 3, SENSITIVE).satisfied_by(t3a)
+
+    def test_property_vector_margin(self, t3a):
+        vector = PSensitiveKAnonymity(2, 3, SENSITIVE).property_vector(t3a)
+        # Class {5,6,7,10}: size 4, 3 distinct -> min(4/3, 3/2) = 4/3.
+        assert vector[4] == pytest.approx(4 / 3)
+
+    def test_invalid_p(self):
+        with pytest.raises(PrivacyModelError):
+            PSensitiveKAnonymity(0, 3)
+
+
+class TestPersonalized:
+    @pytest.fixture
+    def taxonomy(self):
+        return paper_tables.marital_hierarchy()
+
+    def test_leaf_guarding_nodes(self, t3a, taxonomy, table1):
+        # Everyone guards their exact marital status.
+        nodes = list(table1.column(SENSITIVE))
+        model = PersonalizedPrivacy(taxonomy, nodes, bound=0.7, sensitive_attribute=SENSITIVE)
+        probabilities = model.breach_probabilities(t3a)
+        # Tuple 1 (CF-Spouse in class {1,4,8} with 2 CF-Spouse): 2/3.
+        assert probabilities[0] == pytest.approx(2 / 3)
+        assert model.satisfied_by(t3a)
+
+    def test_internal_guarding_node(self, t3a, taxonomy):
+        # Tuple 1 guards the whole "Married" subtree: its class {1,4,8} is
+        # all Married, so breach probability is 1.
+        nodes = ["Married"] + ["*"] * 9
+        model = PersonalizedPrivacy(taxonomy, nodes, bound=0.9, sensitive_attribute=SENSITIVE)
+        probabilities = model.breach_probabilities(t3a)
+        assert probabilities[0] == pytest.approx(1.0)
+        assert probabilities[1] == 0.0  # root guarding node: no requirement
+        assert not model.satisfied_by(t3a)
+
+    def test_bias_visible_in_property_vector(self, t3b, taxonomy, table1):
+        # Section 2: personalized privacy still biases — equal guarding
+        # nodes, unequal probabilities.
+        nodes = list(table1.column(SENSITIVE))
+        model = PersonalizedPrivacy(taxonomy, nodes, bound=1.0, sensitive_attribute=SENSITIVE)
+        vector = model.property_vector(t3b)
+        assert not vector.higher_is_better
+        assert len(set(vector.as_tuple())) > 1
+
+    def test_unknown_guarding_node_rejected(self, t3a, taxonomy):
+        model = PersonalizedPrivacy(
+            taxonomy, ["Nonsense"] + ["*"] * 9, bound=0.5, sensitive_attribute=SENSITIVE
+        )
+        with pytest.raises(PrivacyModelError, match="guarding node"):
+            model.breach_probabilities(t3a)
+
+    def test_wrong_node_count_rejected(self, t3a, taxonomy):
+        model = PersonalizedPrivacy(taxonomy, ["*"], bound=0.5, sensitive_attribute=SENSITIVE)
+        with pytest.raises(PrivacyModelError, match="guarding nodes"):
+            model.breach_probabilities(t3a)
+
+    def test_invalid_bound(self, taxonomy):
+        with pytest.raises(PrivacyModelError):
+            PersonalizedPrivacy(taxonomy, ["*"], bound=0.0)
+
+
+class TestHierarchicalEmd:
+    @pytest.fixture
+    def taxonomy(self):
+        return paper_tables.marital_hierarchy()
+
+    def test_identical_distributions_zero(self, taxonomy):
+        from repro.privacy import hierarchical_distance_emd
+
+        p = {"CF-Spouse": 0.5, "Divorced": 0.5}
+        assert hierarchical_distance_emd(p, dict(p), taxonomy) == pytest.approx(0.0)
+
+    def test_sibling_move_costs_one_level(self, taxonomy):
+        from repro.privacy import hierarchical_distance_emd
+
+        # CF-Spouse and Spouse Present share the "Married" parent at level
+        # 1 of height 2: moving all mass costs 1/2.
+        d = hierarchical_distance_emd(
+            {"CF-Spouse": 1.0}, {"Spouse Present": 1.0}, taxonomy
+        )
+        assert d == pytest.approx(0.5)
+
+    def test_cross_subtree_move_costs_full_height(self, taxonomy):
+        from repro.privacy import hierarchical_distance_emd
+
+        d = hierarchical_distance_emd(
+            {"CF-Spouse": 1.0}, {"Divorced": 1.0}, taxonomy
+        )
+        assert d == pytest.approx(1.0)
+
+    def test_symmetry(self, taxonomy):
+        from repro.privacy import hierarchical_distance_emd
+
+        p = {"CF-Spouse": 0.7, "Separated": 0.3}
+        q = {"Divorced": 0.4, "Spouse Present": 0.6}
+        assert hierarchical_distance_emd(p, q, taxonomy) == pytest.approx(
+            hierarchical_distance_emd(q, p, taxonomy)
+        )
+
+    def test_at_most_equal_distance_scaled(self, taxonomy):
+        from repro.privacy import (
+            equal_distance_emd,
+            hierarchical_distance_emd,
+        )
+
+        # Hierarchical cost per unit mass is <= 1, like equal distance; for
+        # mass staying inside a subtree it is strictly cheaper.
+        p = {"CF-Spouse": 1.0}
+        q = {"Spouse Present": 1.0}
+        hierarchical = hierarchical_distance_emd(p, q, taxonomy)
+        support = ["CF-Spouse", "Spouse Present"]
+        equal = equal_distance_emd([1.0, 0.0], [0.0, 1.0])
+        assert hierarchical < equal
+
+    def test_model_with_taxonomy(self, t3a, taxonomy):
+        model = TCloseness(0.8, SENSITIVE, taxonomy=taxonomy)
+        distances = model.class_distances(t3a)
+        assert all(0.0 <= d <= 1.0 for d in distances)
+        assert model.satisfied_by(t3a)
+        assert not TCloseness(0.3, SENSITIVE, taxonomy=taxonomy).satisfied_by(t3a)
+
+    def test_ordered_and_taxonomy_mutually_exclusive(self, taxonomy):
+        with pytest.raises(PrivacyModelError):
+            TCloseness(0.5, SENSITIVE, ordered=True, taxonomy=taxonomy)

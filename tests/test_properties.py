@@ -1,0 +1,122 @@
+"""Tests for property extractors (anonymization -> property vector)."""
+
+import pytest
+
+from repro.core.properties import (
+    breach_probability,
+    discernibility_penalty,
+    distinct_sensitive_values,
+    equivalence_class_size,
+    sensitive_value_count,
+    sensitive_value_fraction,
+    tuple_loss,
+    tuple_utility,
+)
+from repro.datasets import paper_tables
+from repro.datasets.schema import SchemaError
+
+
+def paper_hierarchies():
+    return {
+        "Zip Code": paper_tables.zip_hierarchy(),
+        "Age": paper_tables.age_hierarchy(10, 5),
+        "Marital Status": paper_tables.marital_hierarchy(),
+    }
+
+
+class TestClassSizeProperties:
+    def test_t3a_vector(self, t3a):
+        vector = equivalence_class_size(t3a)
+        assert vector.as_tuple() == tuple(map(float, paper_tables.CLASS_SIZE_T3A))
+        assert vector.higher_is_better
+
+    def test_breach_probability_reciprocal(self, t3a):
+        sizes = equivalence_class_size(t3a)
+        breaches = breach_probability(t3a)
+        assert not breaches.higher_is_better
+        for size, breach in zip(sizes, breaches):
+            assert breach == pytest.approx(1.0 / size)
+
+    def test_t3b_breach_matches_paper(self, t3b):
+        # Section 1: tuples {2,3,5,6,7,9,10} have breach probability 1/7.
+        breaches = breach_probability(t3b)
+        for row in (1, 2, 4, 5, 6, 8, 9):
+            assert breaches[row] == pytest.approx(1 / 7)
+
+
+class TestSensitiveProperties:
+    def test_count_vector_matches_paper(self, t3a):
+        vector = sensitive_value_count(t3a, paper_tables.SENSITIVE_ATTRIBUTE)
+        assert vector.as_tuple() == tuple(
+            map(float, paper_tables.SENSITIVE_COUNT_T3A)
+        )
+
+    def test_fraction_lower_is_better(self, t3a):
+        vector = sensitive_value_fraction(t3a, paper_tables.SENSITIVE_ATTRIBUTE)
+        assert not vector.higher_is_better
+        # Tuple 1: 2 of 3 in its class share CF-Spouse.
+        assert vector[0] == pytest.approx(2 / 3)
+
+    def test_distinct_values(self, t3a):
+        vector = distinct_sensitive_values(t3a, paper_tables.SENSITIVE_ATTRIBUTE)
+        # Class {1,4,8}: CF-Spouse x2, Spouse Present -> 2 distinct.
+        assert vector[0] == 2
+        # Class {5,6,7,10}: Divorced x2, Spouse Absent, Separated -> 3.
+        assert vector[4] == 3
+
+    def test_default_sensitive_requires_unique(self, t3a):
+        # The paper schema declares marital as a QI, so the default lookup
+        # must fail loudly instead of guessing.
+        with pytest.raises(SchemaError, match="sensitive"):
+            sensitive_value_count(t3a)
+
+
+class TestUtilityProperties:
+    def test_loss_orientation(self, t3a):
+        vector = tuple_loss(t3a, paper_hierarchies())
+        assert not vector.higher_is_better
+        assert all(0.0 <= value <= 3.0 for value in vector)
+
+    def test_utility_complements_loss(self, t3a):
+        hierarchies = paper_hierarchies()
+        losses = tuple_loss(t3a, hierarchies)
+        utilities = tuple_utility(t3a, hierarchies)
+        for loss, utility in zip(losses, utilities):
+            assert loss + utility == pytest.approx(3.0)
+
+    def test_t3a_has_higher_utility_than_t3b(self, t3a, t3b):
+        # The paper's Section 5.5 shape: T3a is less generalized, so every
+        # tuple keeps at least as much utility, most strictly more.
+        hierarchies_a = paper_hierarchies()
+        hierarchies_b = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(20, 15),
+            "Marital Status": paper_tables.marital_hierarchy(),
+        }
+        u_a = tuple_utility(t3a, hierarchies_a)
+        u_b = tuple_utility(t3b, hierarchies_b)
+        from repro.core.comparators import strongly_dominates
+
+        assert strongly_dominates(u_a, u_b)
+
+    def test_discernibility_penalty(self, t3a):
+        vector = discernibility_penalty(t3a)
+        assert not vector.higher_is_better
+        assert vector.as_tuple() == tuple(map(float, paper_tables.CLASS_SIZE_T3A))
+
+
+class TestSuppressedRows:
+    def test_suppressed_rows_score_worst(self, table1):
+        from repro.anonymize.engine import recode
+
+        hierarchies = paper_hierarchies()
+        anonymization = recode(
+            table1,
+            hierarchies,
+            {"Zip Code": 1, "Age": 1, "Marital Status": 1},
+            suppress=[0],
+        )
+        losses = tuple_loss(anonymization, hierarchies)
+        assert losses[0] == pytest.approx(3.0)
+        penalties = discernibility_penalty(anonymization)
+        assert penalties[0] == len(table1)

@@ -1,0 +1,216 @@
+"""Hypothesis property tests over randomized datasets and recodings.
+
+These test the *engine-level* invariants the framework rests on:
+
+* equivalence classes partition the rows;
+* k-anonymity is monotone along the generalization lattice;
+* per-tuple LM loss is monotone along the lattice;
+* property vectors from any recoding are index-aligned with the data;
+* coverage/dominance laws hold on extracted (not synthetic) vectors.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize.algorithms.base import RecodingWorkspace
+from repro.anonymize.engine import recode_node
+from repro.core.comparators import weakly_dominates
+from repro.core.indices.binary import coverage, spread
+from repro.core.properties import equivalence_class_size, tuple_loss
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import AttributeKind, Schema, quasi_identifier, sensitive
+from repro.hierarchy.categorical import TaxonomyHierarchy
+from repro.hierarchy.numeric import Banding, IntervalHierarchy
+
+SCHEMA = Schema.of(
+    quasi_identifier("num", AttributeKind.NUMERIC),
+    quasi_identifier("cat", AttributeKind.CATEGORICAL),
+    sensitive("sens", AttributeKind.CATEGORICAL),
+)
+
+CATEGORIES = ["a", "b", "c", "d", "e", "f"]
+HIERARCHIES = {
+    "num": IntervalHierarchy("num", [Banding(5), Banding(20)], (0, 100)),
+    "cat": TaxonomyHierarchy(
+        "cat",
+        {
+            "a": ("left",), "b": ("left",), "c": ("left",),
+            "d": ("right",), "e": ("right",), "f": ("right",),
+        },
+    ),
+}
+
+
+@st.composite
+def datasets(draw):
+    size = draw(st.integers(min_value=1, max_value=40))
+    rows = []
+    for _ in range(size):
+        rows.append((
+            draw(st.integers(min_value=0, max_value=100)),
+            draw(st.sampled_from(CATEGORIES)),
+            draw(st.sampled_from(["s1", "s2", "s3"])),
+        ))
+    return Dataset(SCHEMA, rows)
+
+
+@st.composite
+def dataset_and_node(draw):
+    data = draw(datasets())
+    node = (
+        draw(st.integers(min_value=0, max_value=3)),
+        draw(st.integers(min_value=0, max_value=2)),
+    )
+    return data, node
+
+
+common = settings(
+    max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+class TestPartitionInvariants:
+    @common
+    @given(dataset_and_node())
+    def test_classes_partition_rows(self, case):
+        data, node = case
+        release = recode_node(data, HIERARCHIES, node)
+        classes = release.equivalence_classes
+        seen = sorted(row for members in classes for row in members)
+        assert seen == list(range(len(data)))
+
+    @common
+    @given(dataset_and_node())
+    def test_class_sizes_sum_to_n(self, case):
+        data, node = case
+        release = recode_node(data, HIERARCHIES, node)
+        assert sum(release.equivalence_classes.class_sizes()) == len(data)
+
+    @common
+    @given(dataset_and_node())
+    def test_property_vectors_index_aligned(self, case):
+        data, node = case
+        release = recode_node(data, HIERARCHIES, node)
+        sizes = equivalence_class_size(release)
+        classes = release.equivalence_classes
+        for row in range(len(data)):
+            assert sizes[row] == classes.size_of(row)
+
+
+class TestLatticeMonotonicity:
+    @common
+    @given(datasets())
+    def test_k_monotone_upward(self, data):
+        workspace = RecodingWorkspace(data, HIERARCHIES)
+        lattice = workspace.lattice
+        for node in lattice.nodes():
+            k_here = min(workspace.group_sizes(node).values())
+            for successor in lattice.successors(node):
+                k_up = min(workspace.group_sizes(successor).values())
+                assert k_up >= k_here
+
+    @common
+    @given(datasets())
+    def test_loss_monotone_upward(self, data):
+        workspace = RecodingWorkspace(data, HIERARCHIES)
+        lattice = workspace.lattice
+        for node in lattice.nodes():
+            loss_here = workspace.node_loss(node)
+            for successor in lattice.successors(node):
+                assert workspace.node_loss(successor) >= loss_here - 1e-12
+
+    @common
+    @given(datasets())
+    def test_class_size_vector_dominance_along_lattice(self, data):
+        # Generalizing can only merge classes: the class-size property
+        # vector of an ancestor weakly dominates the descendant's.
+        lower = recode_node(data, HIERARCHIES, (0, 0))
+        upper = recode_node(data, HIERARCHIES, (3, 2))
+        assert weakly_dominates(
+            equivalence_class_size(upper), equivalence_class_size(lower)
+        )
+
+    @common
+    @given(datasets())
+    def test_loss_vector_dominance_along_lattice(self, data):
+        lower = recode_node(data, HIERARCHIES, (0, 0))
+        upper = recode_node(data, HIERARCHIES, (3, 2))
+        assert weakly_dominates(
+            tuple_loss(lower, HIERARCHIES), tuple_loss(upper, HIERARCHIES)
+        )
+
+
+class TestIndexLawsOnExtractedVectors:
+    @common
+    @given(dataset_and_node(), dataset_and_node())
+    def test_coverage_laws(self, first_case, second_case):
+        data, first_node = first_case
+        _, second_node = second_case
+        a = equivalence_class_size(recode_node(data, HIERARCHIES, first_node))
+        b = equivalence_class_size(recode_node(data, HIERARCHIES, second_node))
+        assert coverage(a, b) + coverage(b, a) >= 1.0 - 1e-12
+        assert (spread(a, b) == 0.0) == weakly_dominates(b, a)
+
+    @common
+    @given(datasets())
+    def test_full_generalization_single_class(self, data):
+        release = recode_node(data, HIERARCHIES, (3, 2))
+        assert release.k() == len(data)
+        assert len(release.equivalence_classes) == 1
+
+
+class TestUtilityMetricInvariants:
+    @common
+    @given(dataset_and_node())
+    def test_general_loss_in_unit_interval(self, case):
+        from repro.utility import general_loss
+
+        data, node = case
+        release = recode_node(data, HIERARCHIES, node)
+        assert 0.0 <= general_loss(release, HIERARCHIES) <= 1.0 + 1e-12
+
+    @common
+    @given(dataset_and_node())
+    def test_precision_in_unit_interval(self, case):
+        from repro.utility import precision
+
+        data, node = case
+        release = recode_node(data, HIERARCHIES, node)
+        assert 0.0 <= precision(release, HIERARCHIES) <= 1.0 + 1e-12
+
+    @common
+    @given(dataset_and_node())
+    def test_discernibility_bounds(self, case):
+        from repro.utility import discernibility
+
+        data, node = case
+        release = recode_node(data, HIERARCHIES, node)
+        n = len(data)
+        # DM is at least N (all singletons) and at most N^2 (one class).
+        assert n <= discernibility(release) <= n * n
+
+    @common
+    @given(dataset_and_node())
+    def test_gcp_matches_normalized_lm(self, case):
+        from repro.utility import general_loss, global_certainty_penalty
+
+        data, node = case
+        release = recode_node(data, HIERARCHIES, node)
+        assert global_certainty_penalty(release, HIERARCHIES) == pytest.approx(
+            general_loss(release, HIERARCHIES)
+        )
+
+    @common
+    @given(dataset_and_node())
+    def test_marginal_divergence_bounds(self, case):
+        import math
+
+        from repro.utility import total_marginal_divergence
+
+        data, node = case
+        release = recode_node(data, HIERARCHIES, node)
+        divergence = total_marginal_divergence(release, HIERARCHIES)
+        assert 0.0 <= divergence <= math.log(2) + 1e-9

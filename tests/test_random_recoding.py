@@ -1,0 +1,83 @@
+"""Tests for the random satisfying recoding baseline."""
+
+import pytest
+
+from repro.anonymize.algorithms import AlgorithmError, RandomRecoding
+
+
+def non_suppressed_k(release):
+    classes = release.equivalence_classes
+    return min(
+        classes.size_of(i)
+        for i in range(len(release))
+        if i not in release.suppressed
+    )
+
+
+class TestRandomRecoding:
+    def test_satisfies_k(self, adult_small, adult_h):
+        release = RandomRecoding(5, seed=3).anonymize(adult_small, adult_h)
+        assert non_suppressed_k(release) >= 5
+        assert release.suppression_fraction() <= 0.02 + 1e-9
+
+    def test_deterministic_per_seed(self, adult_small, adult_h):
+        first = RandomRecoding(5, seed=9).anonymize(adult_small, adult_h)
+        second = RandomRecoding(5, seed=9).anonymize(adult_small, adult_h)
+        assert first.levels == second.levels
+
+    def test_seeds_explore_different_nodes(self, adult_small, adult_h):
+        nodes = {
+            tuple(
+                RandomRecoding(5, seed=seed)
+                .anonymize(adult_small, adult_h)
+                .levels.items()
+            )
+            for seed in range(6)
+        }
+        assert len(nodes) > 1
+
+    def test_exhaustive_fallback(self, table1):
+        from repro.datasets import paper_tables
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            "Marital Status": paper_tables.marital_hierarchy(),
+        }
+        # attempts=1 will almost surely miss; the fallback must still
+        # return a valid release.
+        release = RandomRecoding(
+            3, suppression_limit=0.0, seed=0, attempts=1
+        ).anonymize(table1, hierarchies)
+        assert non_suppressed_k(release) >= 3
+
+    def test_unsatisfiable_raises(self, table1):
+        from repro.datasets import paper_tables
+
+        hierarchies = {
+            "Zip Code": paper_tables.zip_hierarchy(),
+            "Age": paper_tables.age_hierarchy(10, 5),
+            "Marital Status": paper_tables.marital_hierarchy(),
+        }
+        with pytest.raises(AlgorithmError):
+            RandomRecoding(11, suppression_limit=0.0, attempts=1).anonymize(
+                table1, hierarchies
+            )
+
+    def test_invalid_attempts(self):
+        with pytest.raises(AlgorithmError):
+            RandomRecoding(5, attempts=0)
+
+    def test_worse_or_equal_utility_than_search(self, adult_small, adult_h):
+        from repro.anonymize.algorithms import OptimalLattice
+        from repro.utility import general_loss
+
+        optimal = OptimalLattice(5, suppression_limit=0.0).anonymize(
+            adult_small, adult_h
+        )
+        random_release = RandomRecoding(
+            5, suppression_limit=0.0, seed=4
+        ).anonymize(adult_small, adult_h)
+        assert general_loss(optimal, adult_h) <= general_loss(
+            random_release, adult_h
+        ) + 1e-12

@@ -1,0 +1,91 @@
+"""Tests for repro.datasets.schema."""
+
+import pytest
+
+from repro.datasets.schema import (
+    Attribute,
+    AttributeKind,
+    AttributeRole,
+    Schema,
+    SchemaError,
+    insensitive,
+    quasi_identifier,
+    sensitive,
+)
+
+
+def make_schema() -> Schema:
+    return Schema.of(
+        quasi_identifier("zip", AttributeKind.STRING),
+        quasi_identifier("age", AttributeKind.NUMERIC),
+        sensitive("disease"),
+        insensitive("note"),
+    )
+
+
+class TestAttribute:
+    def test_role_predicates(self):
+        assert quasi_identifier("a").is_quasi_identifier
+        assert not quasi_identifier("a").is_sensitive
+        assert sensitive("b").is_sensitive
+        assert not insensitive("c").is_quasi_identifier
+
+    def test_default_role_is_insensitive(self):
+        assert Attribute("x").role is AttributeRole.INSENSITIVE
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            quasi_identifier("a").name = "b"
+
+
+class TestSchema:
+    def test_length_and_iteration(self):
+        schema = make_schema()
+        assert len(schema) == 4
+        assert [a.name for a in schema] == ["zip", "age", "disease", "note"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of(quasi_identifier("a"), sensitive("a"))
+
+    def test_index_of(self):
+        schema = make_schema()
+        assert schema.index_of("age") == 1
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.index_of("nope")
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "zip" in schema
+        assert "nope" not in schema
+
+    def test_attribute_lookup(self):
+        schema = make_schema()
+        assert schema.attribute("disease").is_sensitive
+
+    def test_quasi_identifier_views(self):
+        schema = make_schema()
+        assert schema.quasi_identifier_names == ("zip", "age")
+        assert schema.quasi_identifier_indices == (0, 1)
+        assert [a.name for a in schema.quasi_identifiers] == ["zip", "age"]
+
+    def test_sensitive_views(self):
+        schema = make_schema()
+        assert schema.sensitive_names == ("disease",)
+
+    def test_names(self):
+        assert make_schema().names == ("zip", "age", "disease", "note")
+
+    def test_with_roles_reassigns(self):
+        schema = make_schema().with_roles({"note": AttributeRole.QUASI_IDENTIFIER})
+        assert "note" in schema.quasi_identifier_names
+        # Original untouched (schemas are immutable).
+        assert "note" not in make_schema().quasi_identifier_names
+
+    def test_with_roles_unknown_attribute(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            make_schema().with_roles({"nope": AttributeRole.SENSITIVE})
+
+    def test_with_roles_preserves_kind(self):
+        schema = make_schema().with_roles({"age": AttributeRole.SENSITIVE})
+        assert schema.attribute("age").kind is AttributeKind.NUMERIC

@@ -1,0 +1,76 @@
+"""Tests for the skew-controllable synthetic workload."""
+
+import pytest
+
+from repro.analysis import gini_coefficient
+from repro.datasets import skewed_dataset, synthetic_hierarchies, synthetic_schema
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert skewed_dataset(40, 1.0, seed=2).rows == skewed_dataset(
+            40, 1.0, seed=2
+        ).rows
+
+    def test_schema(self):
+        schema = synthetic_schema()
+        assert schema.quasi_identifier_names == ("x", "y", "group", "region")
+        assert schema.sensitive_names == ("condition",)
+
+    def test_size(self):
+        assert len(skewed_dataset(77, 0.5)) == 77
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            skewed_dataset(-1, 0.0)
+        with pytest.raises(ValueError):
+            skewed_dataset(10, -0.5)
+
+    def test_skew_zero_roughly_uniform_categories(self):
+        data = skewed_dataset(3000, 0.0, seed=4)
+        counts = {}
+        for value in data.column("group"):
+            counts[value] = counts.get(value, 0) + 1
+        import numpy as np
+
+        assert gini_coefficient(np.array(list(counts.values()))) < 0.15
+
+    def test_higher_skew_more_concentrated(self):
+        import numpy as np
+
+        def category_gini(skew):
+            data = skewed_dataset(3000, skew, seed=4)
+            counts = {}
+            for value in data.column("group"):
+                counts[value] = counts.get(value, 0) + 1
+            full = [counts.get(f"g{i}", 0) for i in range(12)]
+            return gini_coefficient(np.array(full, dtype=float))
+
+        assert category_gini(0.0) < category_gini(1.0) < category_gini(2.0)
+
+    def test_numeric_within_bounds(self):
+        data = skewed_dataset(500, 2.0, seed=9)
+        assert all(0.0 <= x <= 100.0 for x in data.column("x"))
+
+
+class TestHierarchies:
+    def test_cover_all_values(self):
+        data = skewed_dataset(300, 1.5, seed=1)
+        hierarchies = synthetic_hierarchies()
+        for name in data.schema.quasi_identifier_names:
+            hierarchy = hierarchies[name]
+            for value in data.distinct(name):
+                for level in range(hierarchy.height + 1):
+                    hierarchy.generalize(value, level)
+
+    def test_algorithms_run(self):
+        from repro.anonymize.algorithms import Datafly, Mondrian
+
+        data = skewed_dataset(200, 1.0, seed=6)
+        hierarchies = synthetic_hierarchies()
+        for algorithm in (Datafly(5), Mondrian(5)):
+            release = algorithm.anonymize(data, hierarchies)
+            classes = release.equivalence_classes
+            for row in range(len(release)):
+                if row not in release.suppressed:
+                    assert classes.size_of(row) >= 5

@@ -1,0 +1,144 @@
+"""Tests for utility metrics: LM, DM, precision, class-size summaries."""
+
+import pytest
+
+from repro.anonymize.engine import recode
+from repro.datasets import paper_tables
+from repro.utility import (
+    average_tuple_class_size,
+    cell_losses,
+    discernibility,
+    general_loss,
+    normalized_average_class_size,
+    precision,
+    tuple_losses,
+    tuple_penalties,
+    tuple_precisions,
+    tuple_utilities,
+)
+
+
+@pytest.fixture
+def hierarchies():
+    return {
+        "Zip Code": paper_tables.zip_hierarchy(),
+        "Age": paper_tables.age_hierarchy(10, 5),
+        "Marital Status": paper_tables.marital_hierarchy(),
+    }
+
+
+@pytest.fixture
+def raw(table1, hierarchies):
+    return recode(table1, hierarchies, {"Zip Code": 0, "Age": 0, "Marital Status": 0})
+
+
+@pytest.fixture
+def top(table1, hierarchies):
+    return recode(table1, hierarchies, {"Zip Code": 5, "Age": 2, "Marital Status": 2})
+
+
+class TestLossMetric:
+    def test_raw_release_loses_nothing(self, raw, hierarchies):
+        assert tuple_losses(raw, hierarchies) == [0.0] * 10
+        assert general_loss(raw, hierarchies) == 0.0
+
+    def test_top_release_loses_everything(self, top, hierarchies):
+        assert tuple_losses(top, hierarchies) == [3.0] * 10
+        assert general_loss(top, hierarchies) == 1.0
+
+    def test_t3a_cell_losses(self, t3a, hierarchies):
+        losses = cell_losses(t3a, hierarchies)
+        # Tuple 1: zip 1305* covers {13053,13052} of 6 -> 1/5;
+        # age band width 10 over domain 120 -> 1/12;
+        # Married covers 2 of 6 -> 1/5.
+        assert losses[0]["Zip Code"] == pytest.approx(1 / 5)
+        assert losses[0]["Age"] == pytest.approx(10 / 120)
+        assert losses[0]["Marital Status"] == pytest.approx(1 / 5)
+
+    def test_utilities_complement(self, t3a, hierarchies):
+        losses = tuple_losses(t3a, hierarchies)
+        utilities = tuple_utilities(t3a, hierarchies)
+        assert all(
+            utility == pytest.approx(3.0 - loss)
+            for loss, utility in zip(losses, utilities)
+        )
+
+    def test_monotone_in_generalization(self, t3a, t3b, hierarchies):
+        hierarchies_b = dict(hierarchies, Age=paper_tables.age_hierarchy(20, 15))
+        a_losses = tuple_losses(t3a, hierarchies)
+        b_losses = tuple_losses(t3b, hierarchies_b)
+        assert all(a <= b + 1e-12 for a, b in zip(a_losses, b_losses))
+
+    def test_missing_hierarchy(self, t3a, hierarchies):
+        from repro.anonymize.engine import AnonymizationError
+
+        del hierarchies["Age"]
+        with pytest.raises(AnonymizationError, match="missing"):
+            tuple_losses(t3a, hierarchies)
+
+
+class TestDiscernibility:
+    def test_per_tuple_is_class_size(self, t3a):
+        assert tuple_penalties(t3a) == list(paper_tables.CLASS_SIZE_T3A)
+
+    def test_scalar_dm(self, t3a):
+        # Sum of class size squared: 3^2 + 3^2 + 4^2 ... per class.
+        assert discernibility(t3a) == 3 * 3 + 3 * 3 + 4 * 4
+
+    def test_suppressed_rows_charged_n(self, table1, raw, hierarchies):
+        suppressed = recode(
+            table1,
+            hierarchies,
+            {"Zip Code": 0, "Age": 0, "Marital Status": 0},
+            suppress=[0, 1],
+        )
+        penalties = tuple_penalties(suppressed)
+        assert penalties[0] == penalties[1] == 10
+
+    def test_raw_release_dm_is_n(self, raw):
+        assert discernibility(raw) == 10  # every class is a singleton
+
+
+class TestPrecision:
+    def test_raw_release_full_precision(self, raw, hierarchies):
+        assert precision(raw, hierarchies) == 1.0
+
+    def test_top_release_zero_precision(self, top, hierarchies):
+        assert precision(top, hierarchies) == pytest.approx(0.0)
+
+    def test_t3a_precision(self, t3a, hierarchies):
+        # Heights: zip 5, age 2, marital 2; all at level 1 ->
+        # climbed fractions 1/5, 1/2, 1/2.
+        expected = 1.0 - (1 / 5 + 1 / 2 + 1 / 2) / 3
+        assert precision(t3a, hierarchies) == pytest.approx(expected)
+
+    def test_suppressed_rows_zero_precision(self, table1, hierarchies):
+        anonymization = recode(
+            table1,
+            hierarchies,
+            {"Zip Code": 1, "Age": 1, "Marital Status": 1},
+            suppress=[3],
+        )
+        values = tuple_precisions(anonymization, hierarchies)
+        assert values[3] == pytest.approx(0.0)
+        assert values[0] > 0
+
+    def test_local_recoding_fallback(self, table1, hierarchies):
+        from repro.anonymize.algorithms import Mondrian
+
+        anonymization = Mondrian(2).anonymize(table1, hierarchies)
+        values = tuple_precisions(anonymization, hierarchies)
+        assert all(0.0 <= value <= 1.0 for value in values)
+
+
+class TestClassSizeSummaries:
+    def test_paper_s_avg(self, t3a):
+        assert average_tuple_class_size(t3a) == pytest.approx(3.4)
+
+    def test_c_avg(self, t3a):
+        # 10 rows, 3 classes, k=3 -> 10/9.
+        assert normalized_average_class_size(t3a, 3) == pytest.approx(10 / 9)
+
+    def test_c_avg_invalid_k(self, t3a):
+        with pytest.raises(ValueError):
+            normalized_average_class_size(t3a, 0)

@@ -1,0 +1,146 @@
+"""Tests for the extended utility metrics: NCP/GCP and query error."""
+
+import pytest
+
+from repro.anonymize.algorithms import Datafly, Mondrian
+from repro.anonymize.engine import recode
+from repro.datasets import paper_tables
+from repro.utility import (
+    QueryError,
+    RangePredicate,
+    ValuePredicate,
+    estimated_count,
+    global_certainty_penalty,
+    mean_workload_error,
+    ncp_vector,
+    random_range_workload,
+    relative_query_error,
+    true_count,
+)
+
+
+@pytest.fixture
+def hierarchies():
+    return {
+        "Zip Code": paper_tables.zip_hierarchy(),
+        "Age": paper_tables.age_hierarchy(10, 5),
+        "Marital Status": paper_tables.marital_hierarchy(),
+    }
+
+
+@pytest.fixture
+def raw(table1, hierarchies):
+    return recode(
+        table1, hierarchies, {"Zip Code": 0, "Age": 0, "Marital Status": 0}
+    )
+
+
+class TestCertaintyPenalty:
+    def test_raw_release_zero(self, raw, hierarchies):
+        assert global_certainty_penalty(raw, hierarchies) == 0.0
+
+    def test_fully_generalized_one(self, table1, hierarchies):
+        top = recode(
+            table1, hierarchies, {"Zip Code": 5, "Age": 2, "Marital Status": 2}
+        )
+        assert global_certainty_penalty(top, hierarchies) == pytest.approx(1.0)
+
+    def test_ncp_vector_orientation(self, t3a, hierarchies):
+        vector = ncp_vector(t3a, hierarchies)
+        assert not vector.higher_is_better
+        assert all(0.0 <= value <= 1.0 for value in vector)
+
+    def test_mondrian_lower_gcp_than_datafly(self, adult_small, adult_h):
+        mondrian = Mondrian(5).anonymize(adult_small, adult_h)
+        datafly = Datafly(5).anonymize(adult_small, adult_h)
+        assert global_certainty_penalty(
+            mondrian, adult_h
+        ) < global_certainty_penalty(datafly, adult_h)
+
+
+class TestTrueCount:
+    def test_range(self, table1):
+        predicate = RangePredicate("Age", 26, 31)
+        assert true_count(table1, [predicate]) == 3  # ages 28, 26, 31
+
+    def test_point(self, table1):
+        predicate = ValuePredicate("Marital Status", "Separated")
+        assert true_count(table1, [predicate]) == 3
+
+    def test_conjunction(self, table1):
+        predicates = [
+            RangePredicate("Age", 40, 55),
+            ValuePredicate("Marital Status", "Divorced"),
+        ]
+        assert true_count(table1, predicates) == 2
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("Age", 10, 5)
+
+
+class TestEstimatedCount:
+    def test_raw_release_exact(self, raw, table1, hierarchies):
+        predicate = RangePredicate("Age", 26, 31)
+        assert estimated_count(raw, [predicate], hierarchies) == pytest.approx(
+            true_count(table1, [predicate])
+        )
+
+    def test_uniformity_on_intervals(self, t3a, hierarchies):
+        # Ages 26..31 fall in band (25,35]; a query covering half the band
+        # counts half of each matching tuple.
+        predicate = RangePredicate("Age", 25, 30)
+        estimate = estimated_count(t3a, [predicate], hierarchies)
+        assert estimate == pytest.approx(3 * 0.5)
+
+    def test_categorical_token_split(self, t3a, hierarchies):
+        # "Married" covers 2 leaves; a point query on one of them counts
+        # each Married cell at 1/2.
+        predicate = ValuePredicate("Marital Status", "CF-Spouse")
+        estimate = estimated_count(t3a, [predicate], hierarchies)
+        assert estimate == pytest.approx(3 * 0.5)
+
+    def test_masked_zip_split(self, t3a, hierarchies):
+        # 1305* covers {13053, 13052}: each of the 3 cells counts 1/2.
+        predicate = ValuePredicate("Zip Code", "13053")
+        estimate = estimated_count(t3a, [predicate], hierarchies)
+        assert estimate == pytest.approx(1.5)
+
+    def test_empty_query_rejected(self, t3a):
+        with pytest.raises(QueryError):
+            estimated_count(t3a, [])
+
+
+class TestRelativeError:
+    def test_raw_release_zero_error(self, raw, hierarchies):
+        predicate = RangePredicate("Age", 26, 50)
+        assert relative_query_error(raw, [predicate], hierarchies) == 0.0
+
+    def test_generalization_increases_error(self, raw, t4, hierarchies):
+        hierarchies_t4 = dict(hierarchies, Age=paper_tables.age_hierarchy(20, 0))
+        predicate = RangePredicate("Age", 26, 31)
+        assert relative_query_error(
+            t4, [predicate], hierarchies_t4
+        ) > relative_query_error(raw, [predicate], hierarchies)
+
+    def test_workload(self, adult_small, adult_h):
+        workload = random_range_workload(adult_small, "age", queries=20, seed=3)
+        mondrian = Mondrian(5).anonymize(adult_small, adult_h)
+        datafly = Datafly(5).anonymize(adult_small, adult_h)
+        mondrian_error = mean_workload_error(mondrian, workload, adult_h)
+        datafly_error = mean_workload_error(datafly, workload, adult_h)
+        # Mondrian's headline: better query answering at the same k.
+        assert mondrian_error < datafly_error
+
+    def test_workload_deterministic(self, adult_small):
+        first = random_range_workload(adult_small, "age", queries=5, seed=1)
+        second = random_range_workload(adult_small, "age", queries=5, seed=1)
+        assert first == second
+
+    def test_invalid_selectivity(self, adult_small):
+        with pytest.raises(QueryError):
+            random_range_workload(adult_small, "age", selectivity=0.0)
+
+    def test_empty_workload_rejected(self, t3a):
+        with pytest.raises(QueryError):
+            mean_workload_error(t3a, [])

@@ -1,0 +1,148 @@
+"""Tests for PropertyVector, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vector import (
+    PropertyVector,
+    PropertyVectorError,
+    check_all_comparable,
+    check_comparable,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.lists(finite_floats, min_size=1, max_size=30)
+
+
+class TestConstruction:
+    def test_basic(self):
+        vector = PropertyVector([1, 2, 3], "sizes")
+        assert len(vector) == 3
+        assert vector.name == "sizes"
+        assert vector.higher_is_better
+
+    def test_empty_rejected(self):
+        with pytest.raises(PropertyVectorError, match="non-empty"):
+            PropertyVector([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(PropertyVectorError, match="finite"):
+            PropertyVector([1.0, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(PropertyVectorError, match="finite"):
+            PropertyVector([float("inf")])
+
+    def test_2d_rejected(self):
+        with pytest.raises(PropertyVectorError, match="1-D"):
+            PropertyVector(np.zeros((2, 2)))
+
+    def test_values_read_only(self):
+        vector = PropertyVector([1, 2, 3])
+        with pytest.raises(ValueError):
+            vector.values[0] = 9
+
+    def test_source_array_not_aliased(self):
+        source = np.array([1.0, 2.0])
+        vector = PropertyVector(source)
+        source[0] = 99
+        assert vector[0] == 1.0
+
+
+class TestOrientation:
+    def test_oriented_identity_when_higher_better(self):
+        vector = PropertyVector([1, 2], higher_is_better=True)
+        assert list(vector.oriented) == [1, 2]
+
+    def test_oriented_negates_when_lower_better(self):
+        vector = PropertyVector([1, 2], higher_is_better=False)
+        assert list(vector.oriented) == [-1, -2]
+
+    def test_negated_round_trip(self):
+        vector = PropertyVector([1, 2], "loss", higher_is_better=False)
+        flipped = vector.negated()
+        assert flipped.higher_is_better
+        assert list(flipped.oriented) == list(vector.oriented)
+
+    @given(vectors)
+    def test_negation_preserves_orientation_semantics(self, values):
+        vector = PropertyVector(values, higher_is_better=True)
+        assert np.array_equal(vector.negated().oriented, vector.oriented)
+
+
+class TestProtocol:
+    def test_getitem_and_iter(self):
+        vector = PropertyVector([5, 7])
+        assert vector[1] == 7
+        assert list(vector) == [5, 7]
+
+    def test_equality(self):
+        assert PropertyVector([1, 2]) == PropertyVector([1, 2])
+        assert PropertyVector([1, 2]) != PropertyVector([2, 1])
+        assert PropertyVector([1, 2]) != PropertyVector(
+            [1, 2], higher_is_better=False
+        )
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(PropertyVector([1, 2], "a")) == hash(PropertyVector([1, 2], "a"))
+
+    def test_as_tuple(self):
+        assert PropertyVector([1, 2]).as_tuple() == (1.0, 2.0)
+
+    def test_renamed(self):
+        assert PropertyVector([1], "a").renamed("b").name == "b"
+
+    def test_repr_shows_direction(self):
+        assert "↓" in repr(PropertyVector([1], higher_is_better=False))
+
+
+class TestStatistics:
+    def test_summaries(self):
+        vector = PropertyVector([3, 3, 3, 3, 4, 4, 4, 3, 3, 4])
+        assert vector.min() == 3
+        assert vector.max() == 4
+        assert vector.mean() == pytest.approx(3.4)
+        assert vector.quantile(0.5) == 3
+
+
+class TestComparability:
+    def test_size_mismatch(self):
+        with pytest.raises(PropertyVectorError, match="sizes"):
+            check_comparable(PropertyVector([1]), PropertyVector([1, 2]))
+
+    def test_orientation_mismatch(self):
+        with pytest.raises(PropertyVectorError, match="orientation"):
+            check_comparable(
+                PropertyVector([1]), PropertyVector([1], higher_is_better=False)
+            )
+
+    def test_check_all(self):
+        family = [PropertyVector([1, 2]), PropertyVector([3, 4])]
+        check_all_comparable(family)
+        family.append(PropertyVector([1]))
+        with pytest.raises(PropertyVectorError):
+            check_all_comparable(family)
+
+
+class TestNormalization:
+    def test_minmax_to_unit_interval(self):
+        vector = PropertyVector([2, 4, 6])
+        scaled = vector.normalized()
+        assert scaled.as_tuple() == (0.0, 0.5, 1.0)
+        assert scaled.higher_is_better
+
+    def test_constant_vector_all_zero(self):
+        assert PropertyVector([5, 5]).normalized().as_tuple() == (0.0, 0.0)
+
+    def test_lower_is_better_orientation_flipped(self):
+        losses = PropertyVector([0.2, 0.8], higher_is_better=False)
+        scaled = losses.normalized()
+        # Best (lowest loss) tuple maps to 1.
+        assert scaled.as_tuple() == (1.0, 0.0)
+
+    def test_name_suffix(self):
+        assert "[normalized]" in PropertyVector([1, 2], "x").normalized().name
