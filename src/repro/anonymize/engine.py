@@ -20,6 +20,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..datasets.dataset import Dataset
 from ..hierarchy.base import SUPPRESSED, Hierarchy
+from ..lint.api import ensure_valid_hierarchies
 from .equivalence import EquivalenceClasses
 
 Levels = Mapping[str, int]
@@ -174,6 +175,13 @@ def recode(
     missing_levels = set(qi_names) - set(levels)
     if missing_levels:
         raise AnonymizationError(f"missing levels for {sorted(missing_levels)}")
+    # Static artifact gate: a hierarchy with a broken generalization chain
+    # or non-monotone levels would recode *wrongly*, not loudly — refuse
+    # up front (memoized per hierarchy object, so lattice searches pay
+    # this once).  Raises repro.lint.LintError with the diagnostics.
+    ensure_valid_hierarchies(
+        {attribute: hierarchies[attribute] for attribute in qi_names}
+    )
     for attribute in qi_names:
         hierarchies[attribute].check_level(levels[attribute])
 

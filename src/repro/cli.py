@@ -7,7 +7,8 @@ Subcommands mirror the workflow of the examples:
 * ``repro compare`` — run several algorithms and print the full
   vector-based comparison report;
 * ``repro audit`` — bias-audit one algorithm's release;
-* ``repro paper`` — regenerate the paper's running example tables.
+* ``repro paper`` — regenerate the paper's running example tables;
+* ``repro lint`` — static analysis (codebase rules + artifact checks).
 
 Invoke as ``python -m repro.cli <command> ...`` (or the module's
 :func:`main` programmatically).  Only the synthetic Adult workload is
@@ -34,6 +35,7 @@ from .core.properties import breach_probability, equivalence_class_size
 from .core.rproperty import privacy_profile
 from .datasets import adult_dataset, adult_hierarchies, write_csv
 from .datasets import paper_tables
+from .lint import cli as lint_cli
 from .utility import discernibility, general_loss
 
 ALGORITHMS = {
@@ -127,6 +129,12 @@ def _parser() -> argparse.ArgumentParser:
     attack.add_argument("--rows", type=int, default=300)
     attack.add_argument("--seed", type=int, default=42)
     attack.add_argument("--trials", type=int, default=1000)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis: REP00x codebase rules and artifact checks",
+    )
+    lint_cli.configure_parser(lint)
     return parser
 
 
@@ -224,6 +232,7 @@ _HANDLERS = {
     "paper": _cmd_paper,
     "sweep": _cmd_sweep,
     "attack": _cmd_attack,
+    "lint": lint_cli.run,
 }
 
 

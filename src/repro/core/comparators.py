@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 import enum
+import math
 from typing import Sequence
 
 import numpy as np
@@ -274,7 +275,9 @@ class LeastBiasedBetter(MetricComparator):
         check_comparable(first, second)
         floor_first = float(first.oriented.min())
         floor_second = float(second.oriented.min())
-        if floor_first != floor_second:
+        if not math.isclose(
+            floor_first, floor_second, rel_tol=1e-9, abs_tol=1e-12
+        ):
             return (
                 Relation.BETTER if floor_first > floor_second else Relation.WORSE
             )

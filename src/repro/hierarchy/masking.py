@@ -35,10 +35,10 @@ class MaskingHierarchy(Hierarchy):
         self._domain: frozenset[str] | None = None
         self._prefix_counts: list[dict[str, int]] = []
         if domain is not None:
-            values = frozenset(str(v) for v in domain)
+            values = sorted({str(v) for v in domain})
             for value in values:
                 self._check_value(value)
-            self._domain = values
+            self._domain = frozenset(values)
             # prefix_counts[l-1][prefix] = #domain values sharing the first
             # (code_length - l) characters, for mask level l.
             for level in range(1, code_length + 1):

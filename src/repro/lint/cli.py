@@ -1,0 +1,70 @@
+"""The ``repro lint`` subcommand implementation.
+
+Kept separate from :mod:`repro.cli` so the top-level CLI only wires
+arguments; all lint policy (what runs, what blocks, how findings render)
+lives with the lint subsystem.
+
+Exit codes: 0 — clean (or INFO-only); 1 — errors, or warnings under
+``--strict``; 2 — bad invocation (unknown rule id, nonexistent path).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from . import api
+from .diagnostics import Diagnostic, has_blocking
+from .report import FORMATS, render
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` arguments to a subcommand parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rule ids (e.g. REP001 REP003)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        action="store_true",
+        help="also run artifact analysis on the shipped paper/Adult artifacts",
+    )
+    parser.add_argument(
+        "--no-code",
+        action="store_true",
+        help="skip the codebase rules (artifact analysis only)",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` and return the process exit code."""
+    findings: list[Diagnostic] = []
+    try:
+        if not args.no_code:
+            findings.extend(api.lint_paths(args.paths, select=args.select))
+    except ValueError as exc:  # unknown rule id or nonexistent path
+        print(exc)
+        return 2
+    if args.artifacts:
+        findings.extend(api.check_shipped_artifacts())
+    print(render(findings, format=args.format))
+    return 1 if has_blocking(findings, strict=args.strict) else 0

@@ -1,0 +1,220 @@
+"""Layer 2 — the AST rule engine.
+
+A self-contained visitor framework plus rule registry in the style of
+``flake8`` plugins: each rule is a class with a stable id, a severity, a
+fix hint and a ``check(context)`` generator; the engine parses each file
+once and hands every registered (and path-applicable) rule the shared
+:class:`LintContext`.  Rules are registered with the :func:`register`
+decorator; :func:`lint_paths` walks directories, parses and dispatches.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path components, for scope filters (always POSIX-style)."""
+        return Path(self.path).as_posix().split("/")
+
+
+class Rule(abc.ABC):
+    """One codebase lint rule.
+
+    Subclasses declare the class attributes and implement :meth:`check`;
+    :meth:`diagnostic` builds a correctly-located record for a node.
+    """
+
+    #: Stable rule identifier, e.g. ``"REP001"``.
+    id: str = "REP000"
+    #: One-line description shown in ``--help`` and the docs.
+    title: str = ""
+    #: Default severity of this rule's findings.
+    severity: Severity = Severity.ERROR
+    #: Short fix suggestion attached to every finding.
+    hint: str = ""
+    #: Path components that must be present for the rule to run (any match).
+    require_parts: tuple[str, ...] = ()
+    #: Path suffixes exempt from the rule.
+    exempt_suffixes: tuple[str, ...] = ()
+
+    def applies_to(self, context: LintContext) -> bool:
+        """Whether the rule runs on this file (path scoping)."""
+        posix = Path(context.path).as_posix()
+        if any(posix.endswith(suffix) for suffix in self.exempt_suffixes):
+            return False
+        if self.require_parts:
+            return any(part in context.parts for part in self.require_parts)
+        return True
+
+    @abc.abstractmethod
+    def check(self, context: LintContext) -> Iterator[Diagnostic]:
+        """Yield findings for one parsed file."""
+
+    def diagnostic(
+        self,
+        context: LintContext,
+        node: ast.AST,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Diagnostic:
+        """A finding anchored at ``node``'s source location."""
+        return Diagnostic(
+            rule=self.id,
+            message=message,
+            severity=severity or self.severity,
+            path=context.path,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", -1) + 1,
+            hint=self.hint,
+        )
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Base visitor for rules that prefer dispatch over manual walks.
+
+    Collects findings in :attr:`findings`; :meth:`run` visits the tree and
+    returns them.  Subclasses implement ``visit_*`` methods and call
+    :meth:`report`.
+    """
+
+    def __init__(self, rule: Rule, context: LintContext):
+        self.rule = rule
+        self.context = context
+        self.findings: list[Diagnostic] = []
+
+    def report(
+        self, node: ast.AST, message: str, severity: Severity | None = None
+    ) -> None:
+        """Record one finding at ``node``."""
+        self.findings.append(
+            self.rule.diagnostic(self.context, node, message, severity)
+        )
+
+    def run(self, tree: ast.Module) -> list[Diagnostic]:
+        """Visit the whole module and return the collected findings."""
+        self.visit(tree)
+        return self.findings
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if rule_class.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def registered_rules() -> dict[str, type[Rule]]:
+    """The rule registry, keyed by rule id (a copy; mutation-safe)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _instantiate(select: Sequence[str] | None) -> list[Rule]:
+    registry = registered_rules()
+    if select is None:
+        return [rule_class() for rule_class in registry.values()]
+    unknown = [rule_id for rule_id in select if rule_id not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {unknown}; registered: {sorted(registry)}"
+        )
+    return [registry[rule_id]() for rule_id in select]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Sequence[str] | None = None,
+) -> list[Diagnostic]:
+    """Run the (selected) registered rules over one source string.
+
+    Syntax errors are reported as a ``REP000`` error diagnostic rather than
+    raised, so one unparsable file cannot abort a whole-tree run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="REP000",
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 0,
+                column=exc.offset or 0,
+            )
+        ]
+    context = LintContext(path=path, tree=tree, source=source)
+    findings: list[Diagnostic] = []
+    for rule in _instantiate(select):
+        if rule.applies_to(context):
+            findings.extend(rule.check(context))
+    return findings
+
+
+def lint_file(
+    path: str | Path, select: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """Run the rules over one file on disk."""
+    file_path = Path(path)
+    return lint_source(
+        file_path.read_text(encoding="utf-8"),
+        path=str(file_path),
+        select=select,
+    )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """All ``.py`` files under the given files/directories, sorted.
+
+    Hidden directories and ``__pycache__`` are skipped.  A path that does
+    not exist raises ``ValueError`` — silently linting nothing would let a
+    typo'd CI invocation pass.
+    """
+    seen: set[Path] = set()
+    for entry in paths:
+        root = Path(entry)
+        if not root.exists():
+            raise ValueError(f"lint path does not exist: {root}")
+        if root.is_file():
+            candidates: Iterable[Path] = [root] if root.suffix == ".py" else []
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(part.startswith(".") or part == "__pycache__" for part in parts[:-1]):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """Run the rules over every Python file under ``paths``."""
+    _instantiate(select)  # validate the selection even when no files match
+    findings: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, select=select))
+    return findings

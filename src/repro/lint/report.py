@@ -1,0 +1,58 @@
+"""Reporters: render diagnostics as text or JSON.
+
+The text form is the grep-friendly ``path:line:col: RULE message`` layout
+every editor understands; the JSON form is a stable machine-readable
+document (``{"diagnostics": [...], "summary": {...}}``) for CI annotation
+tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .diagnostics import Diagnostic, Severity, sort_diagnostics
+
+FORMATS = ("text", "json")
+
+
+def summarize(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    """Finding counts keyed by severity value (always all three keys)."""
+    counts = {severity.value: 0 for severity in Severity}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity.value] += 1
+    return counts
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """One line per finding plus a trailing summary line."""
+    ordered = sort_diagnostics(diagnostics)
+    lines = [diagnostic.format() for diagnostic in ordered]
+    counts = summarize(ordered)
+    lines.append(
+        f"{len(ordered)} finding(s): {counts['error']} error(s), "
+        f"{counts['warning']} warning(s), {counts['info']} info"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """A JSON document with the findings and a severity summary."""
+    ordered = sort_diagnostics(diagnostics)
+    return json.dumps(
+        {
+            "diagnostics": [diagnostic.to_dict() for diagnostic in ordered],
+            "summary": summarize(ordered),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render(diagnostics: Iterable[Diagnostic], format: str = "text") -> str:
+    """Render findings in the requested ``format`` (``text`` or ``json``)."""
+    if format == "text":
+        return render_text(diagnostics)
+    if format == "json":
+        return render_json(diagnostics)
+    raise ValueError(f"unknown report format {format!r}; choose from {FORMATS}")

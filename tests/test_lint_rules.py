@@ -1,0 +1,461 @@
+"""Tests for Layer 2 of repro.lint: the AST rules (REP001-REP005), the
+engine, the reporters and the ``repro lint`` CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import api
+from repro.lint import engine as lint_engine
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    has_blocking,
+    sort_diagnostics,
+    worst_severity,
+)
+from repro.lint.engine import (
+    LintContext,
+    Rule,
+    RuleVisitor,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+    registered_rules,
+)
+from repro.lint.report import render, render_json, render_text, summarize
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: A path inside the comparator scope of REP002.
+CORE = "src/repro/core/example.py"
+#: A path outside every scoped rule.
+PLAIN = "src/repro/io/example.py"
+
+
+def rule_ids(findings):
+    return sorted({d.rule for d in findings})
+
+
+class TestRep001UnseededRandom:
+    def test_global_random_call_is_flagged(self):
+        source = "import random\n\ndef f(items):\n    random.shuffle(items)\n"
+        findings = lint_source(source, path=PLAIN)
+        assert rule_ids(findings) == ["REP001"]
+        assert findings[0].line == 4
+
+    def test_legacy_numpy_global_is_flagged(self):
+        source = "import numpy as np\n\nx = np.random.rand(3)\n"
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP001"]
+
+    def test_unseeded_default_rng_is_flagged(self):
+        source = "import numpy as np\n\nrng = np.random.default_rng()\n"
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP001"]
+
+    def test_from_import_default_rng_is_flagged(self):
+        source = (
+            "from numpy.random import default_rng\n\nrng = default_rng()\n"
+        )
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP001"]
+
+    def test_none_seed_counts_as_unseeded(self):
+        source = "import numpy as np\n\nrng = np.random.default_rng(None)\n"
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP001"]
+
+    def test_seeded_generators_are_clean(self):
+        source = (
+            "import random\n"
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng(42)\n"
+            "gen = np.random.Generator(np.random.PCG64(1))\n"
+            "local = random.Random(7)\n"
+        )
+        assert lint_source(source, path=PLAIN) == []
+
+    def test_synthetic_module_is_exempt(self):
+        source = "import random\n\nrandom.shuffle([1, 2])\n"
+        path = "src/repro/datasets/synthetic.py"
+        assert lint_source(source, path=path) == []
+
+
+class TestRep002FloatEquality:
+    VIOLATION = (
+        "def rel(a, b):\n"
+        "    x = float(a)\n"
+        "    if x == float(b):\n"
+        "        return 1\n"
+        "    return 0\n"
+    )
+
+    def test_float_equality_in_core_is_flagged(self):
+        findings = lint_source(self.VIOLATION, path=CORE)
+        assert rule_ids(findings) == ["REP002"]
+        assert len(findings) == 1  # one violation, one finding — no dupes
+        assert findings[0].line == 3
+
+    def test_float_literal_comparand_is_flagged(self):
+        source = "def f(x):\n    return x == 0.5\n"
+        assert rule_ids(lint_source(source, path=CORE)) == ["REP002"]
+
+    def test_moo_paths_are_in_scope(self):
+        assert rule_ids(
+            lint_source(self.VIOLATION, path="src/repro/moo/pareto.py")
+        ) == ["REP002"]
+
+    def test_rule_is_scoped_to_comparator_code(self):
+        assert lint_source(self.VIOLATION, path=PLAIN) == []
+
+    def test_integer_equality_is_clean(self):
+        source = "def f(a, b):\n    return len(a) == len(b)\n"
+        assert lint_source(source, path=CORE) == []
+
+    def test_isclose_is_clean(self):
+        source = (
+            "import math\n\n"
+            "def f(a, b):\n"
+            "    return math.isclose(float(a), float(b))\n"
+        )
+        assert lint_source(source, path=CORE) == []
+
+    def test_nested_scope_bindings_do_not_leak(self):
+        source = (
+            "def outer():\n"
+            "    def inner():\n"
+            "        x = 0.5\n"
+            "        return x\n"
+            "    x = 1\n"
+            "    return x == 1\n"
+        )
+        assert lint_source(source, path=CORE) == []
+
+
+class TestRep003MutableDefault:
+    def test_list_default_is_flagged(self):
+        source = "def f(x, acc=[]):\n    acc.append(x)\n    return acc\n"
+        findings = lint_source(source, path=PLAIN)
+        assert rule_ids(findings) == ["REP003"]
+        assert "'f'" in findings[0].message
+
+    def test_keyword_only_dict_default_is_flagged(self):
+        source = "def f(x, *, cache={}):\n    return cache\n"
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP003"]
+
+    def test_constructor_default_is_flagged(self):
+        source = "def f(x, seen=set()):\n    return seen\n"
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP003"]
+
+    def test_none_and_tuple_defaults_are_clean(self):
+        source = "def f(x, acc=None, pair=()):\n    return acc or list(pair)\n"
+        assert lint_source(source, path=PLAIN) == []
+
+
+class TestRep004UnorderedIteration:
+    def test_for_loop_over_set_is_flagged(self):
+        source = (
+            "def f(values):\n"
+            "    seen = set(values)\n"
+            "    for v in seen:\n"
+            "        print(v)\n"
+        )
+        findings = lint_source(source, path=PLAIN)
+        assert rule_ids(findings) == ["REP004"]
+        assert len(findings) == 1
+        assert all(d.severity is Severity.WARNING for d in findings)
+
+    def test_comprehension_over_set_literal_is_flagged(self):
+        source = "rows = [v for v in {1, 2, 3}]\n"
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP004"]
+
+    def test_list_materialization_is_flagged(self):
+        source = "def f(values):\n    return list(set(values))\n"
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP004"]
+
+    def test_sorted_iteration_is_clean(self):
+        source = (
+            "def f(values):\n"
+            "    seen = set(values)\n"
+            "    return sorted(seen)\n"
+        )
+        assert lint_source(source, path=PLAIN) == []
+
+    def test_set_comprehension_is_clean(self):
+        # Building another set: no iteration order can escape.
+        source = "def f(seen):\n    other = {v for v in set(seen)}\n    return other\n"
+        assert lint_source(source, path=PLAIN) == []
+
+
+class TestRep005AnonymizerContract:
+    def test_missing_anonymize_is_flagged(self):
+        source = (
+            "class Broken(Anonymizer):\n"
+            "    def describe(self):\n"
+            "        return 'broken'\n"
+        )
+        findings = lint_source(source, path=PLAIN)
+        assert rule_ids(findings) == ["REP005"]
+        assert "'Broken'" in findings[0].message
+
+    def test_wrong_arity_is_flagged(self):
+        source = (
+            "class Bad(Anonymizer):\n"
+            "    def anonymize(self, dataset):\n"
+            "        return dataset\n"
+        )
+        findings = lint_source(source, path=PLAIN)
+        assert rule_ids(findings) == ["REP005"]
+        assert "(self, dataset, hierarchies)" in findings[0].message
+
+    def test_qualified_base_is_recognized(self):
+        source = (
+            "class Bad(base.Anonymizer):\n"
+            "    pass\n"
+        )
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP005"]
+
+    def test_conforming_subclass_is_clean(self):
+        source = (
+            "class Fine(Anonymizer):\n"
+            "    def anonymize(self, dataset, hierarchies):\n"
+            "        return dataset\n"
+        )
+        assert lint_source(source, path=PLAIN) == []
+
+    def test_abstract_subclass_is_exempt(self):
+        source = (
+            "import abc\n\n"
+            "class Partial(Anonymizer):\n"
+            "    @abc.abstractmethod\n"
+            "    def budget(self):\n"
+            "        ...\n"
+        )
+        assert lint_source(source, path=PLAIN) == []
+
+    def test_unrelated_class_is_ignored(self):
+        source = "class Widget(Base):\n    pass\n"
+        assert lint_source(source, path=PLAIN) == []
+
+
+class TestEngine:
+    def test_syntax_error_becomes_rep000(self):
+        findings = lint_source("def broken(:\n", path=PLAIN)
+        assert rule_ids(findings) == ["REP000"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_all_five_rules_are_registered(self):
+        assert set(registered_rules()) >= {
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+        }
+
+    def test_select_runs_only_named_rules(self):
+        source = (
+            "import random\n\n"
+            "def f(x, acc=[]):\n"
+            "    random.shuffle(acc)\n"
+            "    return acc\n"
+        )
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP001", "REP003"]
+        selected = lint_source(source, path=PLAIN, select=["REP003"])
+        assert rule_ids(selected) == ["REP003"]
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="REP999"):
+            lint_source("x = 1\n", path=PLAIN, select=["REP999"])
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "compare.py").write_text(
+            "def f(x):\n    return x == 0.5\n", encoding="utf-8"
+        )
+        (tmp_path / "util.py").write_text("VALUE = 1\n", encoding="utf-8")
+        findings = lint_paths([tmp_path])
+        assert rule_ids(findings) == ["REP002"]
+        assert findings[0].path.endswith("compare.py")
+
+    def test_hidden_and_cache_dirs_are_skipped(self, tmp_path):
+        (tmp_path / ".venv").mkdir()
+        (tmp_path / ".venv" / "bad.py").write_text(
+            "def f(x, acc=[]):\n    return acc\n", encoding="utf-8"
+        )
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "bad.py").write_text(
+            "def f(x, acc=[]):\n    return acc\n", encoding="utf-8"
+        )
+        (tmp_path / "good.py").write_text("VALUE = 1\n", encoding="utf-8")
+        assert [p.name for p in iter_python_files([tmp_path])] == ["good.py"]
+        assert lint_paths([tmp_path]) == []
+
+    def test_lint_file_reads_from_disk(self, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text("def f(x, acc=[]):\n    return acc\n", encoding="utf-8")
+        findings = lint_file(target)
+        assert rule_ids(findings) == ["REP003"]
+
+    def test_custom_rule_via_visitor(self):
+        class _PrintVisitor(RuleVisitor):
+            """Reports every call to print()."""
+
+            def visit_Call(self, node):
+                """Flag print() calls."""
+                func = node.func
+                if getattr(func, "id", "") == "print":
+                    self.report(node, "print() in library code")
+                self.generic_visit(node)
+
+        @register
+        class PrintRule(Rule):
+            """Test-only rule built on RuleVisitor dispatch."""
+
+            id = "REP901"
+            title = "no print in library code"
+            severity = Severity.WARNING
+
+            def check(self, context):
+                """Run the visitor over the module."""
+                yield from _PrintVisitor(self, context).run(context.tree)
+
+        try:
+            findings = lint_source("print('hi')\n", path=PLAIN)
+            assert rule_ids(findings) == ["REP901"]
+            with pytest.raises(ValueError, match="duplicate"):
+                register(PrintRule)
+        finally:
+            lint_engine._REGISTRY.pop("REP901", None)
+
+    def test_context_parts_are_posix(self):
+        import ast
+
+        context = LintContext(path=CORE, tree=ast.parse(""), source="")
+        assert "core" in context.parts
+
+
+class TestDiagnosticsAndReport:
+    def test_format_includes_location_and_hint(self):
+        diagnostic = Diagnostic(
+            "REP003", "bad default", Severity.ERROR,
+            path="a.py", line=3, column=9, hint="use None",
+        )
+        assert diagnostic.format() == (
+            "a.py:3:9: REP003 [error] bad default (hint: use None)"
+        )
+
+    def test_artifact_findings_format_without_line(self):
+        diagnostic = Diagnostic("ART001", "broken chain", path="hierarchy:age")
+        assert diagnostic.format() == (
+            "hierarchy:age: ART001 [error] broken chain"
+        )
+
+    def test_sort_is_by_path_then_line(self):
+        early = Diagnostic("REP001", "m", path="a.py", line=1)
+        late = Diagnostic("REP001", "m", path="a.py", line=9)
+        other = Diagnostic("REP001", "m", path="b.py", line=1)
+        assert sort_diagnostics([other, late, early]) == [early, late, other]
+
+    def test_worst_severity_and_blocking_policy(self):
+        warning = Diagnostic("REP004", "w", Severity.WARNING)
+        info = Diagnostic("ART004", "i", Severity.INFO)
+        assert worst_severity([]) is None
+        assert worst_severity([info, warning]) is Severity.WARNING
+        assert not has_blocking([info, warning])
+        assert has_blocking([info, warning], strict=True)
+        assert not has_blocking([info], strict=True)
+
+    def test_render_text_summary_line(self):
+        text = render_text([Diagnostic("REP003", "bad default", path="a.py")])
+        assert text.endswith("1 finding(s): 1 error(s), 0 warning(s), 0 info")
+
+    def test_render_json_is_parseable(self):
+        document = json.loads(
+            render_json([Diagnostic("REP003", "bad default", path="a.py")])
+        )
+        assert document["summary"] == {"error": 1, "warning": 0, "info": 0}
+        assert document["diagnostics"][0]["rule"] == "REP003"
+
+    def test_render_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown report format"):
+            render([], format="xml")
+
+    def test_summarize_counts_all_severities(self):
+        counts = summarize([Diagnostic("X", "m", Severity.INFO)])
+        assert counts == {"error": 0, "warning": 0, "info": 1}
+
+
+class TestLintCli:
+    def test_violations_exit_1(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "def f(x, acc=[]):\n    return acc\n", encoding="utf-8"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP003" in out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        (tmp_path / "good.py").write_text("VALUE = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_warnings_block_only_under_strict(self, tmp_path, capsys):
+        (tmp_path / "warn.py").write_text(
+            "def f(values):\n"
+            "    seen = set(values)\n"
+            "    for v in seen:\n"
+            "        print(v)\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(tmp_path)]) == 0
+        assert main(["lint", str(tmp_path), "--strict"]) == 1
+        assert "REP004" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "def f(x, acc=[]):\n    return acc\n", encoding="utf-8"
+        )
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["error"] == 1
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import random\n\n"
+            "def f(x, acc=[]):\n"
+            "    random.shuffle(acc)\n"
+            "    return acc\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(tmp_path), "--select", "REP001"]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP003" not in out
+
+    def test_unknown_rule_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path), "--select", "NOPE"]) == 2
+        assert "NOPE" in capsys.readouterr().out
+
+    def test_nonexistent_path_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-dir"
+        assert main(["lint", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_artifacts_only_run_is_clean(self, capsys):
+        assert main(["lint", "--no-code", "--artifacts"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_repo_source_tree_is_strict_clean(self, capsys):
+        assert main(["lint", str(REPO_SRC), "--strict"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+
+class TestApiSurface:
+    def test_summarize_rules_covers_every_rep_rule(self):
+        summary = api.summarize_rules()
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert summary[rule_id]["title"]
+            assert summary[rule_id]["severity"] in {"error", "warning", "info"}
+
+    def test_select_artifact_errors_filters(self):
+        error = Diagnostic("ART001", "e", Severity.ERROR)
+        warning = Diagnostic("ART002", "w", Severity.WARNING)
+        assert api.select_artifact_errors([warning, error]) == [error]
