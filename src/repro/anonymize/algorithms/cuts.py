@@ -19,6 +19,7 @@ from typing import Any, Hashable, Mapping
 
 from ...datasets.dataset import Dataset
 from ...hierarchy.base import SUPPRESSED, Hierarchy
+from ...lint.redact import redact_value
 from ...hierarchy.categorical import TaxonomyHierarchy
 from ...hierarchy.numeric import Span
 from ..engine import Anonymization, released_with_local_cells
@@ -59,7 +60,9 @@ class TaxonomyCut:
         for token in self.hierarchy.generalizations(value):
             if token in self.tokens:
                 return token
-        raise CutError(f"value {value!r} not covered by cut")
+        raise CutError(
+            f"value {redact_value(value, label='cell')} not covered by cut"
+        )
 
     def specializations(self) -> list[Hashable]:
         """Cut tokens that can be replaced by their children."""
@@ -126,7 +129,10 @@ class TaxonomyCut:
         """A new cut with ``parent``'s sibling group replaced by ``parent``."""
         candidates = self.merge_candidates()
         if parent not in candidates:
-            raise CutError(f"{parent!r} is not a mergeable parent of this cut")
+            raise CutError(
+                f"{redact_value(parent, label='token')} is not a mergeable "
+                f"parent of this cut"
+            )
         replaced = (set(self.tokens) - candidates[parent]) | {parent}
         return TaxonomyCut(self.hierarchy, replaced)
 
@@ -209,10 +215,15 @@ class NumericSplitCut:
     def map_value(self, value: Any) -> Hashable:
         """The segment Span releasing ``value``."""
         if not isinstance(value, (int, float)):
-            raise CutError(f"numeric cut cannot map {value!r}")
+            raise CutError(
+                f"numeric cut cannot map {redact_value(value, label='cell')}"
+            )
         low, high = self.bounds
         if not low <= value <= high:
-            raise CutError(f"value {value!r} outside bounds ({low}, {high})")
+            raise CutError(
+                f"value {redact_value(value, label='cell')} outside bounds "
+                f"({low}, {high})"
+            )
         edges = self._edges()
         for a, b in zip(edges[:-1], edges[1:]):
             # Left-closed segments; the last one is closed on both ends.
@@ -246,7 +257,9 @@ class NumericSplitCut:
         """A new cut with ``split`` added."""
         low, high = self.bounds
         if not low < split < high or split in self.splits:
-            raise CutError(f"invalid new split {split!r}")
+            raise CutError(
+                f"invalid new split {redact_value(split, label='split')}"
+            )
         return NumericSplitCut(self.bounds, self.splits + (split,))
 
     def generalizations(self) -> list[int]:

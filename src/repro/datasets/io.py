@@ -9,6 +9,7 @@ from typing import Any
 
 from ..hierarchy.base import Interval
 from ..hierarchy.numeric import Span
+from ..lint.redact import redact_value
 from .dataset import Dataset, DatasetError
 from .schema import AttributeKind, Schema
 
@@ -33,7 +34,11 @@ def write_csv(dataset: Dataset, path: str | Path) -> None:
         writer = csv.writer(handle)
         writer.writerow(dataset.schema.names)
         for row in dataset:
-            writer.writerow([_serialize_cell(cell) for cell in row])
+            # This IS the sanctioned release writer — the one place cells
+            # may cross the boundary.
+            writer.writerow(  # lint: disable=REP103
+                [_serialize_cell(cell) for cell in row]
+            )
 
 
 def _parse_cell(text: str, kind: AttributeKind) -> Any:
@@ -48,7 +53,9 @@ def _parse_cell(text: str, kind: AttributeKind) -> Any:
                 r"\[(-?[0-9.]+)-(-?[0-9.]+)\]", text
             )
             if not match:
-                raise DatasetError(f"unparseable span cell {text!r}")
+                raise DatasetError(
+                    f"unparseable span cell {redact_value(text, label='cell')}"
+                )
             return Span(float(match.group(1)), float(match.group(2)))
         if text == "*":
             return text
@@ -72,7 +79,8 @@ def read_csv(path: str | Path, schema: Schema) -> Dataset:
             raise DatasetError(f"{path}: empty file") from None
         if tuple(header) != schema.names:
             raise DatasetError(
-                f"{path}: header {tuple(header)!r} does not match schema {schema.names!r}"
+                f"{path}: header {redact_value(tuple(header), label='header')} "
+                f"does not match schema {schema.names!r}"
             )
         kinds = [attribute.kind for attribute in schema]
         rows = [

@@ -15,14 +15,21 @@ Two layers share one diagnostic core:
   comparison in comparators, no mutable defaults, no persisted set order,
   complete :class:`~repro.anonymize.algorithms.base.Anonymizer`
   subclasses.
+* **Layer 3, taint analysis** (:mod:`repro.lint.taint` on the
+  :mod:`repro.lint.dataflow` CFG/fixpoint machinery) proves raw
+  quasi-identifier and sensitive values cannot leak past the anonymizer
+  boundary through exceptions, logs, writers or provenance — the
+  ``REP101``–``REP104`` family.  Violations are fixed by routing messages
+  through :func:`repro.lint.redact.redact_value`.
 
-Run both from the command line with ``repro lint [paths] [--strict]
-[--format json] [--artifacts]``, or programmatically through
-:mod:`repro.lint.api`.  Every rule is documented with examples in
-``docs/static_analysis.md``.
+Run all of it from the command line with ``repro lint [paths] [--strict]
+[--format json] [--select REP1] [--baseline FILE] [--artifacts]``, or
+programmatically through :mod:`repro.lint.api`.  Every rule is documented
+with examples in ``docs/static_analysis.md``.
 """
 
 from .api import (
+    apply_baseline,
     check_hierarchies,
     check_hierarchy,
     check_index_registry,
@@ -36,13 +43,17 @@ from .api import (
     lint_file,
     lint_paths,
     lint_source,
+    load_baseline,
+    redact_value,
     registered_rules,
+    write_baseline,
 )
 from .diagnostics import Diagnostic, DiagnosticCollector, LintError, Severity
 from .engine import LintContext, Rule, RuleVisitor, register
 from .report import render, render_json, render_text
 
 __all__ = [
+    "apply_baseline",
     "check_hierarchies",
     "check_hierarchy",
     "check_index_registry",
@@ -60,6 +71,8 @@ __all__ = [
     "lint_source",
     "LintContext",
     "LintError",
+    "load_baseline",
+    "redact_value",
     "register",
     "registered_rules",
     "render",
@@ -68,4 +81,5 @@ __all__ = [
     "Rule",
     "RuleVisitor",
     "Severity",
+    "write_baseline",
 ]

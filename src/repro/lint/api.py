@@ -35,11 +35,15 @@ from .diagnostics import (
     has_blocking,
     sort_diagnostics,
 )
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .engine import lint_file, lint_paths, lint_source, registered_rules
+from .redact import redact_value
 from .report import render
 from . import rules as _rules  # noqa: F401 — importing registers REP001-REP005
+from . import taint as _taint  # noqa: F401 — importing registers REP101-REP104
 
 __all__ = [
+    "apply_baseline",
     "check_hierarchies",
     "check_hierarchy",
     "check_index_registry",
@@ -56,10 +60,13 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "LintError",
+    "load_baseline",
+    "redact_value",
     "registered_rules",
     "render",
     "Severity",
     "sort_diagnostics",
+    "write_baseline",
 ]
 
 #: Rules whose ERROR findings make a recoding semantically wrong and

@@ -1,0 +1,96 @@
+"""Finding baselines: adopt new rule families incrementally.
+
+A new rule family (say ``REP1xx``) may flag dozens of pre-existing sites
+on a dirty tree; blanket-disabling the family until everything is fixed
+would also silence *new* violations.  A baseline file records the known
+findings — keyed by ``path::rule::message``, deliberately without line
+numbers so unrelated edits do not invalidate it — and ``repro lint
+--baseline FILE`` reports only findings that are not in it.  Each key
+stores a count, so two identical findings in one file are matched
+one-for-one and a third becomes visible.
+
+Write mode (``--baseline FILE --update-baseline``) snapshots the current
+findings; compare mode is the default when ``--baseline`` is given.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic
+
+#: Schema version of the baseline document.
+_VERSION = 1
+
+
+def baseline_key(diagnostic: Diagnostic) -> str:
+    """The line-number-free identity of a finding."""
+    path = Path(diagnostic.path).as_posix() if diagnostic.path else ""
+    return f"{path}::{diagnostic.rule}::{diagnostic.message}"
+
+
+def write_baseline(
+    diagnostics: Iterable[Diagnostic], path: str | Path
+) -> int:
+    """Persist the findings as a baseline document; returns the entry count."""
+    counts = Counter(baseline_key(d) for d in diagnostics)
+    document = {
+        "version": _VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sum(counts.values())
+
+
+class BaselineError(ValueError):
+    """Raised for a missing or malformed baseline file."""
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline document written by :func:`write_baseline`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise BaselineError(f"baseline file does not exist: {file_path}")
+    try:
+        document = json.loads(file_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline file {file_path} is not valid JSON: {exc}")
+    entries = document.get("entries")
+    if document.get("version") != _VERSION or not isinstance(entries, dict):
+        raise BaselineError(
+            f"baseline file {file_path} has an unsupported format"
+        )
+    counts: Counter = Counter()
+    for key, count in entries.items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise BaselineError(
+                f"baseline file {file_path} has an invalid entry {key!r}"
+            )
+        counts[key] = count
+    return counts
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Counter
+) -> tuple[list[Diagnostic], int]:
+    """Split findings into (new, matched-count) against a baseline.
+
+    Matching consumes baseline budget per key, so a file may contain up to
+    the recorded number of identical findings before new ones surface.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Diagnostic] = []
+    matched = 0
+    for diagnostic in diagnostics:
+        key = baseline_key(diagnostic)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            fresh.append(diagnostic)
+    return fresh, matched

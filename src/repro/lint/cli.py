@@ -5,7 +5,10 @@ arguments; all lint policy (what runs, what blocks, how findings render)
 lives with the lint subsystem.
 
 Exit codes: 0 — clean (or INFO-only); 1 — errors, or warnings under
-``--strict``; 2 — bad invocation (unknown rule id, nonexistent path).
+``--strict``; 2 — bad invocation (unknown rule id, nonexistent path,
+unreadable baseline, or — under ``--strict`` — a malformed suppression
+comment, which means some disable comment is not doing what its author
+thinks).
 """
 
 from __future__ import annotations
@@ -14,6 +17,12 @@ import argparse
 from typing import Sequence
 
 from . import api
+from .baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .diagnostics import Diagnostic, has_blocking
 from .report import FORMATS, render
 
@@ -44,6 +53,16 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="run only these rule ids (e.g. REP001 REP003)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to --baseline instead of reporting",
+    )
+    parser.add_argument(
         "--artifacts",
         action="store_true",
         help="also run artifact analysis on the shipped paper/Adult artifacts",
@@ -57,6 +76,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
 def run(args: argparse.Namespace) -> int:
     """Execute ``repro lint`` and return the process exit code."""
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline FILE")
+        return 2
     findings: list[Diagnostic] = []
     try:
         if not args.no_code:
@@ -66,5 +88,26 @@ def run(args: argparse.Namespace) -> int:
         return 2
     if args.artifacts:
         findings.extend(api.check_shipped_artifacts())
+
+    baseline_note = ""
+    if args.baseline and args.update_baseline:
+        count = write_baseline(findings, args.baseline)
+        print(f"wrote {count} finding(s) to baseline {args.baseline}")
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(exc)
+            return 2
+        findings, matched = apply_baseline(findings, baseline)
+        baseline_note = f"baseline {args.baseline}: {matched} finding(s) matched"
+
     print(render(findings, format=args.format))
+    if baseline_note and args.format == "text":
+        print(baseline_note)
+    if args.strict and any(f.rule == "REP006" for f in findings):
+        # A malformed suppression means some disable comment is silently
+        # suppressing nothing: that is an invocation-level error.
+        return 2
     return 1 if has_blocking(findings, strict=args.strict) else 0

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import abc
 import ast
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .diagnostics import Diagnostic, Severity
 
@@ -128,16 +129,109 @@ def registered_rules() -> dict[str, type[Rule]]:
     return dict(sorted(_REGISTRY.items()))
 
 
-def _instantiate(select: Sequence[str] | None) -> list[Rule]:
+def expand_selection(select: Sequence[str]) -> list[str]:
+    """Expand rule-id selectors (exact ids or prefixes) to registered ids.
+
+    ``REP1`` selects the whole ``REP1xx`` family; ``REP001`` selects just
+    that rule.  A selector matching nothing raises ``ValueError`` — a
+    typo'd family in CI must fail loudly, not lint nothing.
+    """
     registry = registered_rules()
-    if select is None:
-        return [rule_class() for rule_class in registry.values()]
-    unknown = [rule_id for rule_id in select if rule_id not in registry]
+    expanded: list[str] = []
+    unknown: list[str] = []
+    for selector in select:
+        matches = [
+            rule_id
+            for rule_id in registry
+            if rule_id == selector or rule_id.startswith(selector)
+        ]
+        if not matches:
+            unknown.append(selector)
+        for rule_id in matches:
+            if rule_id not in expanded:
+                expanded.append(rule_id)
     if unknown:
         raise ValueError(
             f"unknown rule id(s) {unknown}; registered: {sorted(registry)}"
         )
-    return [registry[rule_id]() for rule_id in select]
+    return expanded
+
+
+def _instantiate(select: Sequence[str] | None) -> list[Rule]:
+    registry = registered_rules()
+    if select is None:
+        return [rule_class() for rule_class in registry.values()]
+    return [registry[rule_id]() for rule_id in expand_selection(select)]
+
+
+#: Inline suppression comment: ``# lint: disable=REP101`` (comma-separated
+#: ids allowed).  Scoped to the physical line the comment sits on — for a
+#: multi-line call, that is the line where the call expression starts.
+_SUPPRESSION_PATTERN = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+
+#: Engine-level diagnostic ids that are not registry rules (parse failures
+#: and malformed suppressions); valid in ``--select``-less runs and known
+#: to the suppression validator.
+_ENGINE_IDS = frozenset({"REP000", "REP006"})
+
+
+def parse_suppressions(source: str) -> tuple[dict[int, set[str]], list[Diagnostic]]:
+    """Per-line suppressed rule ids, plus diagnostics for unknown ids.
+
+    Returns ``({line: {rule ids}}, [REP006 findings])``.  An unknown rule
+    id in a disable comment is itself a finding — a typo'd suppression
+    that silently suppresses nothing (or the wrong thing) must surface.
+    """
+    known = set(registered_rules()) | _ENGINE_IDS
+    suppressions: dict[int, set[str]] = {}
+    malformed: list[tuple[int, str]] = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_PATTERN.search(line)
+        if match is None:
+            continue
+        for token in match.group(1).split(","):
+            rule_id = token.strip()
+            if not rule_id:
+                continue
+            if rule_id in known:
+                suppressions.setdefault(line_number, set()).add(rule_id)
+            else:
+                malformed.append((line_number, rule_id))
+    findings = [
+        Diagnostic(
+            rule="REP006",
+            message=(
+                f"unknown rule id {rule_id!r} in suppression comment; "
+                f"registered ids: {sorted(known)}"
+            ),
+            severity=Severity.WARNING,
+            path="",
+            line=line_number,
+            column=0,
+            hint="fix the rule id or drop the disable comment",
+        )
+        for line_number, rule_id in malformed
+    ]
+    return suppressions, findings
+
+
+def apply_suppressions(
+    findings: Iterable[Diagnostic], suppressions: Mapping[int, set[str]]
+) -> list[Diagnostic]:
+    """Drop findings whose line carries a matching disable comment.
+
+    Engine diagnostics (``REP000`` syntax errors, ``REP006`` malformed
+    suppressions) are never suppressible — a disable comment cannot vouch
+    for a file the engine could not even read correctly.
+    """
+    return [
+        finding
+        for finding in findings
+        if finding.rule in _ENGINE_IDS
+        or finding.rule not in suppressions.get(finding.line, set())
+    ]
 
 
 def lint_source(
@@ -168,6 +262,10 @@ def lint_source(
     for rule in _instantiate(select):
         if rule.applies_to(context):
             findings.extend(rule.check(context))
+    suppressions, bad_suppressions = parse_suppressions(source)
+    findings = apply_suppressions(findings, suppressions)
+    for finding in bad_suppressions:
+        findings.append(replace(finding, path=path))
     return findings
 
 

@@ -1,0 +1,554 @@
+"""Layer 3 policy: the anonymizer-boundary taint rules (``REP101``–``REP104``).
+
+The paper's comparison framework is only meaningful if the released table
+is the *sole* channel through which tuple data leaves the system — a raw
+quasi-identifier or sensitive value escaping through an exception
+message, a log line, an unsanctioned file write or a provenance sidecar
+breaks the privacy guarantee no matter what the property vectors say.
+This module instantiates the generic dataflow engine of
+:mod:`repro.lint.dataflow` with the repo's boundary policy:
+
+**Sources** (introduce taint)
+    ``Dataset`` cell/column reads — ``.column()``, ``.value()`` (on a
+    dataset-shaped receiver), ``.distinct()``,
+    ``.quasi_identifier_tuple[s]()``, the ``.rows`` attribute, iteration
+    and indexing of dataset-named objects (tag ``qi-cell``) — and raw
+    rows produced by ``csv.reader`` (tag ``raw-io``).  Reads from a
+    clearly *released* table (``release``/``released`` receivers) are
+    sanctioned output and not sources.
+
+**Sanitizers** (kill taint)
+    The sanctioned recoding surface: ``recode``/``recode_node``,
+    hierarchy ``generalize``/``generalizations``/``generalize_cell``,
+    ``mask``, cut ``map_value``/``loss``/``released_loss``, ``suppress``,
+    ``anonymize`` and the diagnostics helper
+    :func:`repro.lint.redact.redact_value`.
+
+**Sinks** (must never receive taint)
+    Exception constructors (``REP101``), ``print``/logging/warnings
+    (``REP102``) and file/CSV/JSON writers including provenance
+    serialization (``REP103``).
+
+``REP104`` flags the interprocedural variant: a module-local function
+whose *return value* carries source taint feeding a sink in the same
+module.  Both directions of call summaries are computed — taint entering
+a callee through its parameters is propagated context-insensitively onto
+the callee's own sinks, which is how the analyzer sees through helpers
+like a CSV cell parser that interpolates its argument into an error.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterator, Mapping
+
+from . import dataflow
+from .dataflow import EMPTY, Env, Taint, TaintPolicy
+from .diagnostics import Diagnostic, Severity
+from .engine import LintContext, Rule, register
+
+#: Taint tag: a raw quasi-identifier / sensitive cell (or row of them).
+TAG_CELL = "qi-cell"
+#: Taint tag: raw bytes/rows read from an input file.
+TAG_IO = "raw-io"
+#: Marker: taint originated inside a module-local callee and flowed out
+#: through its return value (drives ``REP104``).
+MARK_RET = "via-return"
+#: Marker: taint entered the function through a parameter some local call
+#: site fed with tainted data.
+MARK_CALL = "via-call"
+
+#: The tags that denote actual raw data (markers excluded).
+REAL_TAGS = frozenset({TAG_CELL, TAG_IO})
+_MARKERS = frozenset({MARK_RET, MARK_CALL})
+_PARAM_PREFIX = "param:"
+
+#: Methods that read raw cells regardless of receiver spelling.
+_SOURCE_METHODS = frozenset(
+    {"column", "distinct", "quasi_identifier_tuple", "quasi_identifier_tuples"}
+)
+#: Receiver names that denote the raw microdata table.
+_DATASET_NAMES = frozenset(
+    {
+        "dataset",
+        "data",
+        "table",
+        "table1",
+        "microdata",
+        "adult",
+        "original",
+        "raw",
+        "workload",
+    }
+)
+_DATASET_SUFFIXES = ("_dataset", "_table", "_data")
+#: Attribute names that denote the raw table when read off another object.
+_DATASET_ATTRS = frozenset({"dataset", "original", "microdata", "_dataset"})
+#: Receivers that denote the *released* (already recoded) table.
+_RELEASED_NAMES = frozenset({"release", "released"})
+
+#: The sanctioned recoding surface: calls that launder raw values into
+#: releasable tokens (plus the diagnostics redaction helper).
+_SANITIZER_NAMES = frozenset(
+    {
+        "generalize",
+        "generalizations",
+        "generalize_cell",
+        "mask",
+        "recode",
+        "recode_node",
+        "map_value",
+        "suppress",
+        "anonymize",
+        "redact",
+        "redact_value",
+        "loss",
+        "released_loss",
+    }
+)
+
+#: Builtins whose results carry no cell content.
+_SAFE_CALLS = frozenset(
+    {"len", "isinstance", "issubclass", "hasattr", "callable", "bool", "type", "id", "range"}
+)
+
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "critical", "exception", "log"}
+)
+_LOG_RECEIVERS = frozenset(
+    {"logger", "logging", "log", "_logger", "_log", "warnings"}
+)
+_WRITE_METHODS = frozenset({"write", "writelines", "writerow", "writerows"})
+_DUMP_RECEIVERS = frozenset({"json", "pickle", "marshal", "yaml", "toml"})
+_SAVE_RECEIVERS = frozenset({"np", "numpy"})
+
+_EXCEPTION_NAMES = frozenset(
+    {"Exception", "BaseException", "StopIteration", "SystemExit", "KeyboardInterrupt"}
+)
+_EXCEPTION_PATTERN = re.compile(r"^[A-Z]\w*(Error|Exception|Warning)$")
+
+_SINK_LABELS = {
+    "exception": "an exception message",
+    "log": "a print/log call",
+    "write": "a file/CSV write",
+}
+
+_TAG_LABELS = {
+    TAG_CELL: "raw QI/sensitive cell",
+    TAG_IO: "raw input row",
+}
+
+
+def _is_exception_name(name: str) -> bool:
+    return name in _EXCEPTION_NAMES or bool(_EXCEPTION_PATTERN.match(name))
+
+
+def _receiver_name(func: ast.Attribute) -> str | None:
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _datasetish(node: ast.expr) -> bool:
+    """Whether an expression names the raw microdata table."""
+    if isinstance(node, ast.Name):
+        name = node.id
+        if name in _RELEASED_NAMES:
+            return False
+        return name in _DATASET_NAMES or name.endswith(_DATASET_SUFFIXES)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _DATASET_ATTRS
+    return False
+
+
+def _releasedish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _RELEASED_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _RELEASED_NAMES
+    return False
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function definition the module analysis tracks."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    qualname: str
+    params: tuple[str, ...]
+
+
+def _collect_functions(tree: ast.Module) -> list[FunctionInfo]:
+    """Every function/method in the module, with dotted qualnames."""
+    functions: list[FunctionInfo] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                arguments = child.args
+                params = tuple(
+                    a.arg
+                    for a in (
+                        list(arguments.posonlyargs)
+                        + list(arguments.args)
+                        + list(arguments.kwonlyargs)
+                    )
+                )
+                functions.append(FunctionInfo(child, qualname, params))
+                visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return functions
+
+
+class PrivacyTaintPolicy(TaintPolicy):
+    """The anonymizer-boundary policy over one module's call summaries."""
+
+    def __init__(
+        self,
+        index: Mapping[str, list[FunctionInfo]],
+        summaries: Mapping[str, Taint],
+    ):
+        self.index = index
+        self.summaries = summaries
+
+    # -- sources ------------------------------------------------------------
+
+    def source_call(self, node: ast.Call) -> Taint | None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr == "reader" and isinstance(func.value, ast.Name) and (
+            func.value.id == "csv"
+        ):
+            return frozenset({TAG_IO})
+        if _releasedish(func.value):
+            return None
+        if func.attr in _SOURCE_METHODS:
+            return frozenset({TAG_CELL})
+        if func.attr == "value" and _datasetish(func.value):
+            return frozenset({TAG_CELL})
+        return None
+
+    def source_attribute(self, node: ast.Attribute) -> Taint | None:
+        if node.attr in ("rows", "_rows") and _datasetish(node.value):
+            return frozenset({TAG_CELL})
+        return None
+
+    def iteration_taint(self, node: ast.expr, env: Env) -> Taint:
+        if _datasetish(node):
+            return frozenset({TAG_CELL})
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and (
+            node.func.id in ("enumerate", "sorted", "reversed", "iter", "list", "tuple")
+        ):
+            tags = EMPTY
+            for arg in node.args:
+                tags |= self.iteration_taint(arg, env)
+            return tags
+        return EMPTY
+
+    # -- sanitizers / sinks -------------------------------------------------
+
+    def is_sanitizer(self, node: ast.Call) -> bool:
+        name = dataflow._call_name(node)
+        return name in _SANITIZER_NAMES
+
+    def is_safe_call(self, node: ast.Call) -> bool:
+        return isinstance(node.func, ast.Name) and node.func.id in _SAFE_CALLS
+
+    def sink_kind(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "print":
+                return "log"
+            if _is_exception_name(func.id):
+                return "exception"
+            return None
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            receiver = _receiver_name(func)
+            if _is_exception_name(attr):
+                return "exception"
+            if attr in _WRITE_METHODS:
+                return "write"
+            if attr == "dump" and receiver in _DUMP_RECEIVERS:
+                return "write"
+            if attr in ("save", "savetxt") and receiver in _SAVE_RECEIVERS:
+                return "write"
+            if attr in _LOG_METHODS and receiver in _LOG_RECEIVERS:
+                return "log"
+        return None
+
+    # -- module-local call summaries ----------------------------------------
+
+    def _candidates(self, node: ast.Call) -> list[FunctionInfo]:
+        name = dataflow._call_name(node)
+        if name is None:
+            return []
+        return self.index.get(name, [])
+
+    def local_params(self, node: ast.Call) -> list[str] | None:
+        candidates = self._candidates(node)
+        if not candidates:
+            return None
+        return list(candidates[0].params)
+
+    def local_call(
+        self, node: ast.Call, arg_taints: Mapping[str, Taint]
+    ) -> Taint | None:
+        candidates = self._candidates(node)
+        if not candidates:
+            return None
+        result: Taint = EMPTY
+        for info in candidates:
+            summary = self.summaries.get(info.qualname, EMPTY)
+            for tag in summary:
+                if tag.startswith(_PARAM_PREFIX):
+                    # Pass-through: the caller's own taint in, so no
+                    # via-return marker — it did not originate in the callee.
+                    result |= arg_taints.get(tag[len(_PARAM_PREFIX):], EMPTY)
+                elif tag in REAL_TAGS:
+                    result |= frozenset({tag, MARK_RET})
+                elif tag in _MARKERS:
+                    result |= frozenset({tag})
+        return result
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One boundary violation located at a sink node."""
+
+    rule: str
+    node: ast.AST
+    message: str
+
+
+@dataclass
+class ModuleTaintReport:
+    """All Layer-3 findings for one module."""
+
+    findings: list[TaintFinding] = field(default_factory=list)
+
+
+def _seed_env(info: FunctionInfo, extra: Mapping[str, Taint]) -> dict[str, Taint]:
+    env: dict[str, Taint] = {}
+    for param, tags in extra.items():
+        if tags:
+            env[param] = tags
+    return env
+
+
+def _symbolic_seed(info: FunctionInfo) -> dict[str, Taint]:
+    return {
+        param: frozenset({f"{_PARAM_PREFIX}{param}"})
+        for param in info.params
+        if param not in ("self", "cls")
+    }
+
+
+def analyze_module_taint(tree: ast.Module) -> ModuleTaintReport:
+    """Run the two-pass taint analysis over one parsed module.
+
+    Pass 1 computes per-function summaries (which parameters and direct
+    sources reach the return value) to a fixpoint, with parameters held
+    symbolic.  Pass 2 re-runs every function with concrete taints, seeding
+    callee parameters from tainted arguments observed at module-local call
+    sites until no new seeds appear, then classifies every sink hit.
+    """
+    functions = _collect_functions(tree)
+    index: dict[str, list[FunctionInfo]] = {}
+    for info in functions:
+        index.setdefault(info.node.name, []).append(info)
+
+    # Pass 1 — symbolic summaries to a fixpoint.
+    summaries: dict[str, Taint] = {info.qualname: EMPTY for info in functions}
+    for _round in range(len(functions) + 2):
+        changed = False
+        policy = PrivacyTaintPolicy(index, summaries)
+        for info in functions:
+            result = dataflow.analyze_function(
+                info.node.body, policy, _symbolic_seed(info)
+            )
+            merged = summaries[info.qualname] | result.return_taint
+            if merged != summaries[info.qualname]:
+                summaries[info.qualname] = merged
+                changed = True
+        if not changed:
+            break
+
+    # Pass 2 — concrete runs with call-site parameter seeding.
+    policy = PrivacyTaintPolicy(index, summaries)
+    seeds: dict[str, dict[str, Taint]] = {info.qualname: {} for info in functions}
+    callers: dict[str, set[str]] = {info.qualname: set() for info in functions}
+    results: dict[str, dataflow.FunctionDataflow] = {}
+    pending = deque(functions)
+    queued = {info.qualname for info in functions}
+    by_qualname = {info.qualname: info for info in functions}
+
+    rounds = 0
+    while pending and rounds < 10 * max(1, len(functions)):
+        rounds += 1
+        info = pending.popleft()
+        queued.discard(info.qualname)
+        result = dataflow.analyze_function(
+            info.node.body, policy, _seed_env(info, seeds[info.qualname])
+        )
+        results[info.qualname] = result
+        for record in result.call_args:
+            real = record.tags & REAL_TAGS
+            if not real:
+                continue
+            propagated = real | frozenset({MARK_CALL}) | (record.tags & _MARKERS)
+            for callee in index.get(record.callee, []):
+                if record.param not in callee.params:
+                    continue
+                current = seeds[callee.qualname].get(record.param, EMPTY)
+                if propagated <= current:
+                    continue
+                seeds[callee.qualname][record.param] = current | propagated
+                callers[callee.qualname].add(info.qualname)
+                if callee.qualname not in queued:
+                    pending.append(callee)
+                    queued.add(callee.qualname)
+
+    report = ModuleTaintReport()
+    for info in functions:
+        result = results.get(info.qualname)
+        if result is None:
+            continue
+        for hit in result.sink_hits:
+            real = hit.tags & REAL_TAGS
+            if not real:
+                continue
+            report.findings.append(
+                _classify(info, hit, real, sorted(callers[info.qualname]))
+            )
+    report.findings.sort(
+        key=lambda finding: (
+            getattr(finding.node, "lineno", 0),
+            getattr(finding.node, "col_offset", 0),
+            finding.rule,
+        )
+    )
+    return report
+
+
+def _classify(
+    info: FunctionInfo,
+    hit: dataflow.SinkHit,
+    real: Taint,
+    caller_names: list[str],
+) -> TaintFinding:
+    source_label = " / ".join(_TAG_LABELS[tag] for tag in sorted(real))
+    sink_label = _SINK_LABELS.get(hit.kind, hit.kind)
+    suffix = ""
+    if MARK_CALL in hit.tags and caller_names:
+        suffix = (
+            "; tainted argument received from module-local caller(s): "
+            + ", ".join(caller_names)
+        )
+    if MARK_RET in hit.tags:
+        rule = "REP104"
+        message = (
+            f"value returned by a module-local call carries {source_label} "
+            f"taint into {sink_label} in {info.qualname}(){suffix}"
+        )
+    else:
+        rule = {
+            "exception": "REP101",
+            "log": "REP102",
+            "write": "REP103",
+        }[hit.kind]
+        message = (
+            f"{source_label} can reach {sink_label} in {info.qualname}()"
+            f"{suffix}"
+        )
+    return TaintFinding(rule, hit.node, message)
+
+
+@lru_cache(maxsize=8)
+def _cached_module_findings(tree: ast.Module) -> tuple[TaintFinding, ...]:
+    return tuple(analyze_module_taint(tree).findings)
+
+
+class _BoundaryRule(Rule):
+    """Shared plumbing: each REP1xx rule filters the cached module report."""
+
+    severity = Severity.ERROR
+
+    def check(self, context: LintContext) -> Iterator[Diagnostic]:
+        """Yield this rule's share of the module taint report."""
+        for finding in _cached_module_findings(context.tree):
+            if finding.rule == self.id:
+                yield self.diagnostic(context, finding.node, finding.message)
+
+
+@register
+class TaintedExceptionRule(_BoundaryRule):
+    """``REP101`` — raw cell data interpolated into an exception.
+
+    Exception messages routinely end up in logs, CI output and bug
+    reports; a raw quasi-identifier or sensitive value in one escapes the
+    anonymizer boundary entirely.  Route values through
+    :func:`repro.lint.redact.redact_value` instead.
+    """
+
+    id = "REP101"
+    title = "raw QI/sensitive value reaches an exception message"
+    hint = "wrap the value in repro.lint.redact.redact_value()"
+
+
+@register
+class TaintedLogRule(_BoundaryRule):
+    """``REP102`` — raw cell data reaches ``print``/logging/warnings.
+
+    Logs are the classic anonymization side channel: they outlive the
+    process, ship to aggregators and are rarely access-controlled like
+    the microdata itself.
+    """
+
+    id = "REP102"
+    title = "raw QI/sensitive value reaches a print/log call"
+    hint = "log redact_value(...) or aggregate statistics instead"
+
+
+@register
+class UnsanitizedWriteRule(_BoundaryRule):
+    """``REP103`` — raw cell data written without passing a sanitizer.
+
+    Every persisted byte must go through the sanctioned recoding surface
+    (``recode``, hierarchy ``generalize``/``mask``, suppression); a writer
+    fed raw cells creates a shadow release.  The one sanctioned raw-data
+    writer (the release serializer itself) carries an audited inline
+    ``# lint: disable=REP103`` waiver.
+    """
+
+    id = "REP103"
+    title = "raw QI/sensitive value written to a file/CSV/JSON sink"
+    hint = "recode or redact before writing, or add an audited waiver"
+
+
+@register
+class TaintThroughReturnRule(_BoundaryRule):
+    """``REP104`` — taint flows through a local function's return into a sink.
+
+    The intraprocedural rules cannot see a helper that *returns* raw data
+    which the caller then leaks; the module call summaries can.  Flagged
+    at the sink, with the originating callee implied by the dataflow.
+    """
+
+    id = "REP104"
+    title = "raw value returned by a local helper reaches a sink"
+    hint = "sanitize inside the helper or redact at the sink"
