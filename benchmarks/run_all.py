@@ -5,20 +5,74 @@ each experiment prints the reproduced rows/series (the ``--- ... ---``
 blocks).  Use this to eyeball paper-vs-measured; EXPERIMENTS.md records the
 comparison.
 
-Run:  python benchmarks/run_all.py
+With ``--jobs N`` (N > 1) the benchmark files fan out over the
+``repro.runtime`` executor, one pytest invocation per file in its own
+worker process; output is collected per file and printed in deterministic
+file order once all workers finish.  ``--jobs 1`` (the default) keeps the
+original single in-process pytest run, byte for byte.
+
+Run:  python benchmarks/run_all.py [--jobs N]
 """
 
+import argparse
+import io
 import sys
+from contextlib import redirect_stderr, redirect_stdout
 from pathlib import Path
+from typing import Any, Mapping
 
 import pytest
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-def main() -> int:
-    here = Path(__file__).parent
-    return pytest.main(
-        [str(here), "--benchmark-disable", "-s", "-q", "--no-header"]
+from repro.runtime.executor import StudyExecutor  # noqa: E402
+from repro.runtime.task import TaskGraph, TaskSpec, register_op  # noqa: E402
+
+PYTEST_ARGS = ["--benchmark-disable", "-s", "-q", "--no-header"]
+
+
+@register_op("benchmarks.pytest-file")
+def _op_pytest_file(
+    params: Mapping[str, Any], deps: Mapping[str, Any], seed: int
+) -> dict[str, Any]:
+    """Run one benchmark file under pytest, capturing its output."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer), redirect_stderr(buffer):
+        status = pytest.main([params["path"], *PYTEST_ARGS])
+    return {"path": params["path"], "status": int(status), "output": buffer.getvalue()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; 1 = single in-process pytest run (default)",
     )
+    args = parser.parse_args(argv)
+    here = Path(__file__).parent
+    if args.jobs <= 1:
+        return pytest.main([str(here), *PYTEST_ARGS])
+
+    files = sorted(here.glob("test_bench_*.py"))
+    graph = TaskGraph()
+    for path in files:
+        graph.add(
+            TaskSpec(
+                task_id=f"bench:{path.name}",
+                op="benchmarks.pytest-file",
+                params={"path": str(path)},
+            )
+        )
+    report = StudyExecutor(jobs=args.jobs).run(graph)
+    report.raise_on_failure()
+    worst = 0
+    for path in files:
+        cell = report.value(f"bench:{path.name}")
+        print(f"=== {path.name} (exit {cell['status']}) ===")
+        print(cell["output"], end="")
+        worst = max(worst, cell["status"])
+    print(f"ran {len(files)} benchmark files with --jobs {args.jobs}")
+    return worst
 
 
 if __name__ == "__main__":

@@ -1,26 +1,100 @@
-"""Pairwise comparison matrices over families of anonymizations."""
+"""Pairwise comparison matrices over families of anonymizations.
+
+All-pairs relation and index matrices are embarrassingly parallel; both
+builders accept an optional :class:`~repro.runtime.executor.StudyExecutor`
+and then fan each ordered pair out as a runtime task (property vectors and
+comparators are picklable, so cells may run in worker processes).  Without
+an executor the loops run in place, exactly as before.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..core.comparators import MetricComparator, Relation, dominance_relation
 from ..core.vector import PropertyVector
+from ..runtime.executor import StudyExecutor
+from ..runtime.task import TaskGraph, TaskSpec, register_op
 
 PairKey = tuple[str, str]
+
+
+@register_op("analysis.relation-cell")
+def _op_relation_cell(
+    params: Mapping[str, Any], deps: Mapping[str, Any], seed: int
+) -> Relation:
+    """One ordered-pair relation (dominance or a ▶-better comparator)."""
+    comparator = params["comparator"]
+    if comparator is None:
+        return dominance_relation(params["first"], params["second"])
+    return comparator.relation(params["first"], params["second"])
+
+
+@register_op("analysis.index-cell")
+def _op_index_cell(
+    params: Mapping[str, Any], deps: Mapping[str, Any], seed: int
+) -> float:
+    """One ordered-pair binary index value."""
+    return params["index"](params["first"], params["second"])
+
+
+def _pairwise_fanout(
+    vectors: Mapping[str, PropertyVector],
+    op: str,
+    cell_params: Callable[[str, str], dict[str, Any]],
+    executor: StudyExecutor,
+) -> dict[PairKey, Any]:
+    """Run one task per ordered pair of distinct names on the executor."""
+    names = list(vectors)
+    graph = TaskGraph()
+    pairs: list[PairKey] = []
+    for first in names:
+        for second in names:
+            if first == second:
+                continue
+            pairs.append((first, second))
+            graph.add(
+                TaskSpec(
+                    task_id=f"{op}:{first}|{second}",
+                    op=op,
+                    params=cell_params(first, second),
+                )
+            )
+    report = executor.run(graph)
+    report.raise_on_failure()
+    return {
+        (first, second): report.value(f"{op}:{first}|{second}")
+        for first, second in pairs
+    }
 
 
 def relation_matrix(
     vectors: Mapping[str, PropertyVector],
     comparator: MetricComparator | None = None,
+    executor: StudyExecutor | None = None,
 ) -> dict[PairKey, Relation]:
     """All ordered-pair relations between the named property vectors.
 
     With ``comparator=None`` the strict dominance relation of Table 4 is
-    used; otherwise the given ▶-better comparator.
+    used; otherwise the given ▶-better comparator.  With ``executor`` the
+    cells run as runtime tasks (parallel for ``jobs > 1``).
     """
     names = list(vectors)
     matrix: dict[PairKey, Relation] = {}
+    if executor is not None:
+        matrix = _pairwise_fanout(
+            vectors,
+            "analysis.relation-cell",
+            lambda first, second: {
+                "first": vectors[first],
+                "second": vectors[second],
+                "comparator": comparator,
+            },
+            executor,
+        )
+        for name in names:
+            matrix[(name, name)] = Relation.EQUIVALENT
+        return matrix
     for first in names:
         for second in names:
             if first == second:
@@ -39,9 +113,22 @@ def relation_matrix(
 def index_matrix(
     vectors: Mapping[str, PropertyVector],
     index: Callable[[PropertyVector, PropertyVector], float],
+    executor: StudyExecutor | None = None,
 ) -> dict[PairKey, float]:
     """All ordered-pair binary index values (e.g. ``P_cov`` between every
-    pair of candidate anonymizations)."""
+    pair of candidate anonymizations).  With ``executor`` the cells run as
+    runtime tasks."""
+    if executor is not None:
+        return _pairwise_fanout(
+            vectors,
+            "analysis.index-cell",
+            lambda first, second: {
+                "first": vectors[first],
+                "second": vectors[second],
+                "index": index,
+            },
+            executor,
+        )
     names = list(vectors)
     return {
         (first, second): index(vectors[first], vectors[second])

@@ -8,6 +8,8 @@ Subcommands mirror the workflow of the examples:
   vector-based comparison report;
 * ``repro audit`` — bias-audit one algorithm's release;
 * ``repro paper`` — regenerate the paper's running example tables;
+* ``repro study`` — run an algorithm × k grid through the parallel,
+  content-addressed study runtime (:mod:`repro.runtime`);
 * ``repro lint`` — static analysis (codebase rules + artifact checks).
 
 Invoke as ``python -m repro.cli <command> ...`` (or the module's
@@ -36,6 +38,7 @@ from .core.rproperty import privacy_profile
 from .datasets import adult_dataset, adult_hierarchies, write_csv
 from .datasets import paper_tables
 from .lint import cli as lint_cli
+from .runtime import cli as runtime_cli
 from .utility import discernibility, general_loss
 
 ALGORITHMS = {
@@ -96,6 +99,13 @@ def _parser() -> argparse.ArgumentParser:
     compare.add_argument("--k", type=int, default=5)
     compare.add_argument("--rows", type=int, default=500)
     compare.add_argument("--seed", type=int, default=42)
+    compare.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="anonymize algorithms in parallel worker processes via the "
+        "study runtime (1 = serial in-process, the default)",
+    )
 
     audit = commands.add_parser("audit", help="bias-audit one release")
     audit.add_argument(
@@ -108,6 +118,12 @@ def _parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "paper", help="regenerate the paper's Tables 1-3 running example"
     )
+
+    study = commands.add_parser(
+        "study",
+        help="run an algorithm x k grid on the parallel, memoized runtime",
+    )
+    runtime_cli.configure_parser(study)
 
     sweep = commands.add_parser(
         "sweep", help="k-sweep one algorithm (privacy / bias / utility)"
@@ -162,10 +178,20 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     data = adult_dataset(args.rows, seed=args.seed)
     hierarchies = adult_hierarchies()
-    releases = [
-        _build_algorithm(name, args.k).anonymize(data, hierarchies)
-        for name in args.algorithms
-    ]
+    if getattr(args, "jobs", 1) > 1:
+        from .runtime.study import AlgorithmSpec, DatasetSpec, run_release_grid
+
+        releases = run_release_grid(
+            [AlgorithmSpec.of(name, k=args.k) for name in args.algorithms],
+            DatasetSpec.of("adult", rows=args.rows, seed=args.seed),
+            jobs=args.jobs,
+            seed=args.seed,
+        )
+    else:
+        releases = [
+            _build_algorithm(name, args.k).anonymize(data, hierarchies)
+            for name in args.algorithms
+        ]
     profile = privacy_profile("occupation")
     print(comparison_report(releases, profile))
     return 0
@@ -230,6 +256,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "audit": _cmd_audit,
     "paper": _cmd_paper,
+    "study": runtime_cli.run,
     "sweep": _cmd_sweep,
     "attack": _cmd_attack,
     "lint": lint_cli.run,

@@ -10,11 +10,22 @@ that the original and anonymized data sets have the same size.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Iterator, Sequence
 
 from .schema import Attribute, Schema, SchemaError
 
 Row = tuple[Any, ...]
+
+
+def _fingerprint_token(value: Any) -> bytes:
+    """A stable byte serialization of one cell value.
+
+    ``repr`` of the builtin scalar types is stable across processes and
+    Python invocations (no ``PYTHONHASHSEED`` dependence); the type name
+    disambiguates values whose reprs collide (``1`` vs ``True`` vs ``"1"``).
+    """
+    return f"{type(value).__name__}:{value!r}\x1f".encode("utf-8")
 
 
 class DatasetError(ValueError):
@@ -78,6 +89,36 @@ class Dataset:
 
     def __repr__(self) -> str:
         return f"Dataset({len(self)} rows x {len(self._schema)} attributes)"
+
+    # -- identity ------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable sha256 content fingerprint of the table.
+
+        Hashes the schema (names, kinds, roles) and every cell value,
+        column by column with columns taken in *sorted name order*, so two
+        datasets holding the same columns in different insertion order
+        fingerprint identically.  Row order *does* matter: property vectors
+        are index-aligned with rows (Definition 1), so reordering rows is a
+        semantically different table.  The digest is independent of the
+        process (no ``PYTHONHASHSEED`` dependence) and is the dataset
+        component of the runtime's content-addressed cache keys.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"rows:{len(self._rows)}\x1e".encode("utf-8"))
+        order = sorted(
+            range(len(self._schema)),
+            key=lambda position: self._schema.attributes[position].name,
+        )
+        for position in order:
+            attribute = self._schema.attributes[position]
+            hasher.update(
+                f"col:{attribute.name}|{attribute.kind.value}|"
+                f"{attribute.role.value}\x1e".encode("utf-8")
+            )
+            for row in self._rows:
+                hasher.update(_fingerprint_token(row[position]))
+        return hasher.hexdigest()
 
     # -- column access ------------------------------------------------------
 

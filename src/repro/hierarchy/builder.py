@@ -58,6 +58,12 @@ def numeric_hierarchy_from_data(
     if high == low:
         high = low + 1.0
     base_width = (high - low) / (2 ** levels)
+    if not (base_width > 0.0 and math.isfinite(base_width)):
+        # Degenerate span: the observed range is so small that dividing it
+        # underflows to zero (denormal floats), or so large it overflows.
+        # Fall back to a unit-wide domain anchored at the minimum.
+        high = low + 1.0
+        base_width = (high - low) / (2 ** levels)
     bandings = [
         Banding(base_width * (2 ** i), anchor=low) for i in range(levels)
     ]

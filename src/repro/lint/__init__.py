@@ -30,6 +30,7 @@ with examples in ``docs/static_analysis.md``.
 
 from .api import (
     apply_baseline,
+    check_cache_store,
     check_hierarchies,
     check_hierarchy,
     check_index_registry,
@@ -37,6 +38,7 @@ from .api import (
     check_privacy_parameters,
     check_profile,
     check_property_vectors,
+    check_run_artifacts,
     check_shipped_artifacts,
     check_unary_index,
     ensure_valid_hierarchies,
@@ -54,6 +56,7 @@ from .report import render, render_json, render_text
 
 __all__ = [
     "apply_baseline",
+    "check_cache_store",
     "check_hierarchies",
     "check_hierarchy",
     "check_index_registry",
@@ -61,6 +64,7 @@ __all__ = [
     "check_privacy_parameters",
     "check_profile",
     "check_property_vectors",
+    "check_run_artifacts",
     "check_shipped_artifacts",
     "check_unary_index",
     "Diagnostic",

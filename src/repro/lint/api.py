@@ -19,6 +19,7 @@ from typing import Any, Iterable, Mapping
 
 from ..hierarchy.base import Hierarchy
 from .artifacts import (
+    check_cache_store,
     check_hierarchies,
     check_hierarchy,
     check_index_registry,
@@ -26,6 +27,7 @@ from .artifacts import (
     check_privacy_parameters,
     check_profile,
     check_property_vectors,
+    check_run_artifacts,
     check_unary_index,
 )
 from .diagnostics import (
@@ -44,6 +46,7 @@ from . import taint as _taint  # noqa: F401 — importing registers REP101-REP10
 
 __all__ = [
     "apply_baseline",
+    "check_cache_store",
     "check_hierarchies",
     "check_hierarchy",
     "check_index_registry",
@@ -51,6 +54,7 @@ __all__ = [
     "check_privacy_parameters",
     "check_profile",
     "check_property_vectors",
+    "check_run_artifacts",
     "check_shipped_artifacts",
     "check_unary_index",
     "Diagnostic",

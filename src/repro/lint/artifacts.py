@@ -20,11 +20,16 @@ Rule ids
 ``ART006``  unary quality-index contract (Definition 3)
 ``ART007``  r-property profile contract (Definition 2)
 ``ART008``  property-vector length (Definition 1)
+``ART009``  runtime run-log contract (manifest + events)
+``ART010``  content-addressed cache store integrity
 ========  ====================================================
 """
 
 from __future__ import annotations
 
+import json
+import pickle
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from ..hierarchy.base import SUPPRESSED, Hierarchy, HierarchyError
@@ -537,4 +542,254 @@ def check_property_vectors(
             "before comparing",
             **where,
         )
+    return out.findings
+
+
+#: Manifest statuses the executor writes.
+_RUN_STATUSES = {"running", "completed", "failed"}
+
+
+def check_run_artifacts(run_dir: str | Path, label: str | None = None) -> list[Diagnostic]:
+    """Validate a runtime run directory (``ART009``).
+
+    A run directory (``repro study --run-dir``) holds ``manifest.json`` and
+    ``events.jsonl`` (see :mod:`repro.runtime.events`).  Checks the manifest
+    shape (status, task count vs task ids, tally consistency), every event
+    against the executor's vocabulary, timestamp monotonicity, and that
+    task-level events only reference tasks the manifest declares.  A stale
+    ``running`` status is a warning — it marks an interrupted run that will
+    resume from cache, not a broken artifact.
+    """
+    # Late import: repro.runtime imports the anonymization engine, which
+    # gates through lint.api — importing it at module scope would cycle.
+    from ..runtime.events import EVENT_KINDS, read_events, read_manifest
+
+    out = DiagnosticCollector()
+    run_path = Path(run_dir)
+    where = {"path": label or f"run:{run_path}"}
+    manifest_path = run_path / "manifest.json"
+    if not manifest_path.exists():
+        out.error(
+            "ART009",
+            f"run directory {run_path} has no manifest.json",
+            hint="pass --run-dir to repro study, or point at a real run",
+            **where,
+        )
+        return out.findings
+    try:
+        manifest = read_manifest(run_path)
+    except (json.JSONDecodeError, OSError) as exc:
+        out.error("ART009", f"manifest.json is unreadable: {exc}", **where)
+        return out.findings
+
+    status = manifest.get("status")
+    if status not in _RUN_STATUSES:
+        out.error(
+            "ART009",
+            f"manifest status {status!r} is not one of {sorted(_RUN_STATUSES)}",
+            **where,
+        )
+    elif status == "running":
+        out.warning(
+            "ART009",
+            "manifest still reports status 'running': the run was interrupted "
+            "(it will resume from cache) or is in flight",
+            **where,
+        )
+    task_ids = manifest.get("task_ids", [])
+    tasks = manifest.get("tasks")
+    if not isinstance(task_ids, list) or not all(isinstance(t, str) for t in task_ids):
+        out.error("ART009", "manifest task_ids must be a list of strings", **where)
+        task_ids = [t for t in task_ids if isinstance(t, str)] if isinstance(task_ids, list) else []
+    if len(set(task_ids)) != len(task_ids):
+        out.error("ART009", "manifest task_ids contain duplicates", **where)
+    if tasks != len(task_ids):
+        out.error(
+            "ART009",
+            f"manifest reports {tasks!r} tasks but lists {len(task_ids)} task ids",
+            **where,
+        )
+    if status in {"completed", "failed"}:
+        tallies = {
+            key: manifest.get(key)
+            for key in ("completed", "failed", "blocked", "cache_hits", "executed")
+        }
+        if all(isinstance(value, int) for value in tallies.values()):
+            settled = tallies["completed"] + tallies["failed"] + tallies["blocked"]
+            if settled != len(task_ids):
+                out.error(
+                    "ART009",
+                    f"tallies do not cover the graph: completed+failed+blocked="
+                    f"{settled} for {len(task_ids)} tasks",
+                    **where,
+                )
+            if tallies["cache_hits"] + tallies["executed"] != tallies["completed"]:
+                out.error(
+                    "ART009",
+                    f"cache_hits({tallies['cache_hits']}) + executed"
+                    f"({tallies['executed']}) != completed({tallies['completed']})",
+                    hint="every completed task is either a hit or was executed",
+                    **where,
+                )
+        else:
+            missing = sorted(k for k, v in tallies.items() if not isinstance(v, int))
+            out.error(
+                "ART009",
+                f"finished manifest lacks integer tallies for {missing}",
+                **where,
+            )
+
+    events = read_events(run_path / "events.jsonl")
+    if not events:
+        out.warning(
+            "ART009",
+            "events.jsonl is missing or empty; the run left no history",
+            **where,
+        )
+        return out.findings
+    known = set(task_ids)
+    last_ts = None
+    hit_events = 0
+    for position, event in enumerate(events):
+        kind = event.get("event")
+        if kind not in EVENT_KINDS:
+            out.error(
+                "ART009",
+                f"event #{position} has unknown kind {kind!r}",
+                hint=f"executor vocabulary: {sorted(EVENT_KINDS)}",
+                **where,
+            )
+        if kind == "cache-hit":
+            hit_events += 1
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            out.error("ART009", f"event #{position} lacks a numeric ts", **where)
+        elif last_ts is not None and ts < last_ts:
+            out.error(
+                "ART009",
+                f"event #{position} goes back in time ({ts} < {last_ts}); "
+                "the log is append-only",
+                **where,
+            )
+        else:
+            last_ts = ts
+        task = event.get("task")
+        if task is not None and known and task not in known:
+            out.error(
+                "ART009",
+                f"event #{position} references task {task!r} the manifest "
+                "does not declare",
+                **where,
+            )
+    kinds = {event.get("event") for event in events}
+    if "run-start" not in kinds:
+        out.error("ART009", "event log has no run-start record", **where)
+    if status in {"completed", "failed"} and "run-finish" not in kinds:
+        out.error(
+            "ART009",
+            f"manifest is {status} but the event log has no run-finish record",
+            **where,
+        )
+    if status in {"completed", "failed"} and isinstance(manifest.get("cache_hits"), int):
+        if hit_events != manifest["cache_hits"]:
+            out.error(
+                "ART009",
+                f"event log shows {hit_events} cache-hit event(s) but the "
+                f"manifest tallies {manifest['cache_hits']}",
+                **where,
+            )
+    return out.findings
+
+
+def check_cache_store(root: str | Path, label: str | None = None) -> list[Diagnostic]:
+    """Validate a content-addressed result store (``ART010``).
+
+    Walks ``objects/<shard>/<digest>.pkl`` under ``root`` and checks that
+    every entry lives in the shard matching its digest prefix, unpickles to
+    the ``{"key", "value"}`` envelope, and that the stored key's recomputed
+    digest equals the filename — a mismatch means the content address lies
+    and memoization would return the wrong result.  Entries from another
+    code epoch are warnings (dead weight, never returned as hits).
+    """
+    from ..runtime.task import CODE_EPOCH, CacheKey
+
+    out = DiagnosticCollector()
+    store_root = Path(root)
+    where = {"path": label or f"cache:{store_root}"}
+    objects = store_root / "objects"
+    if not objects.exists():
+        out.info(
+            "ART010",
+            f"cache store {store_root} has no objects/ directory (empty store)",
+            **where,
+        )
+        return out.findings
+    entries = 0
+    for path in sorted(objects.rglob("*")):
+        if path.is_dir():
+            continue
+        digest = path.stem
+        if path.suffix != ".pkl" or len(digest) != 64 or any(
+            c not in "0123456789abcdef" for c in digest
+        ):
+            out.warning(
+                "ART010",
+                f"stray file {path.relative_to(store_root)} is not a cache entry",
+                hint="the store only holds objects/<2-hex>/<sha256>.pkl files",
+                **where,
+            )
+            continue
+        entries += 1
+        if path.parent.name != digest[:2]:
+            out.error(
+                "ART010",
+                f"entry {digest[:12]}… lives in shard {path.parent.name!r} "
+                f"instead of {digest[:2]!r}",
+                **where,
+            )
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+        except Exception as exc:  # noqa: BLE001 — any unpickling failure is corruption
+            out.error(
+                "ART010",
+                f"entry {digest[:12]}… does not unpickle: {exc}",
+                hint="the runtime deletes corrupt entries on read; or clear() the store",
+                **where,
+            )
+            continue
+        if not isinstance(entry, dict) or "key" not in entry or "value" not in entry:
+            out.error(
+                "ART010",
+                f"entry {digest[:12]}… is not a {{key, value}} envelope",
+                **where,
+            )
+            continue
+        try:
+            key = CacheKey(**entry["key"])
+        except TypeError as exc:
+            out.error(
+                "ART010",
+                f"entry {digest[:12]}… has a malformed key: {exc}",
+                **where,
+            )
+            continue
+        if key.digest() != digest:
+            out.error(
+                "ART010",
+                f"entry {digest[:12]}… fails content addressing: stored key "
+                f"hashes to {key.digest()[:12]}…",
+                hint="a lying address would memoize the wrong result",
+                **where,
+            )
+        if key.epoch != CODE_EPOCH:
+            out.warning(
+                "ART010",
+                f"entry {digest[:12]}… was written under code epoch "
+                f"{key.epoch!r} (current: {CODE_EPOCH!r}) and can never hit",
+                hint="clear the store or let eviction reclaim it",
+                **where,
+            )
+    if entries == 0:
+        out.info("ART010", "cache store holds no entries", **where)
     return out.findings

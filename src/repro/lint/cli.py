@@ -14,6 +14,7 @@ thinks).
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import Sequence
 
 from . import api
@@ -72,6 +73,14 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the codebase rules (artifact analysis only)",
     )
+    parser.add_argument(
+        "--runtime",
+        nargs="+",
+        metavar="PATH",
+        help="validate runtime artifacts at PATH: a study run directory "
+        "(manifest.json + events.jsonl, ART009) and/or a content-addressed "
+        "cache store (objects/, ART010)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -88,6 +97,25 @@ def run(args: argparse.Namespace) -> int:
         return 2
     if args.artifacts:
         findings.extend(api.check_shipped_artifacts())
+    for runtime_path in args.runtime or ():
+        target = Path(runtime_path)
+        if not target.exists():
+            print(f"--runtime path does not exist: {runtime_path}")
+            return 2
+        is_run = (target / "manifest.json").exists() or (
+            target / "events.jsonl"
+        ).exists()
+        is_store = (target / "objects").exists()
+        if not is_run and not is_store:
+            print(
+                f"--runtime path {runtime_path} is neither a run directory "
+                "(no manifest.json/events.jsonl) nor a cache store (no objects/)"
+            )
+            return 2
+        if is_run:
+            findings.extend(api.check_run_artifacts(target))
+        if is_store:
+            findings.extend(api.check_cache_store(target))
 
     baseline_note = ""
     if args.baseline and args.update_baseline:

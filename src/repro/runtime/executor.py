@@ -1,0 +1,502 @@
+"""Pool scheduling with memoization, timeouts, retries and failure isolation.
+
+:class:`StudyExecutor` walks a :class:`~repro.runtime.task.TaskGraph` and
+runs every ready task, either inline (``jobs=1`` — byte-for-byte the
+behavior of a plain serial loop) or on a ``multiprocessing`` pool
+(``jobs>1``).  Before a task executes its content-addressed cache key is
+consulted, so finished work is never repeated — this is also the resume
+mechanism: a killed run re-launched over the same store skips its completed
+prefix.
+
+Failure isolation: a task that raises is retried up to its budget, then
+marked ``failed``; its transitive dependents are marked ``blocked`` and
+every independent branch of the graph keeps running.  A task that exceeds
+its timeout is treated as a failure; because a stuck worker cannot be
+interrupted cooperatively, the pool is torn down and rebuilt (public
+``Pool.terminate``), and innocent in-flight tasks are resubmitted without
+consuming their retry budget.
+
+Seeds: each task receives ``derive_seed(study_seed, task_id)`` — derived by
+``hashlib`` splitting, never from worker-local RNG state — so results are
+independent of worker count and scheduling order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+import traceback
+from typing import Any, Mapping
+
+from .cache import MISS, ResultCache
+from .events import RunLog
+from .task import TaskGraph, TaskSpec, derive_seed, op_is_inline_only, resolve_op
+
+
+class ExecutionError(RuntimeError):
+    """Raised by :meth:`ExecutionReport.raise_on_failure` on failed tasks."""
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """Terminal state of one task in one run."""
+
+    task_id: str
+    status: str  # "done" | "failed" | "blocked"
+    value: Any = None
+    error: str | None = None
+    attempts: int = 0
+    cached: bool = False
+    duration: float = 0.0
+
+
+class ExecutionReport:
+    """Outcome map plus run-level tallies for one executor run."""
+
+    def __init__(self, outcomes: dict[str, TaskOutcome], wall_seconds: float):
+        self.outcomes = outcomes
+        self.wall_seconds = wall_seconds
+
+    def value(self, task_id: str) -> Any:
+        """The result value of a completed task."""
+        outcome = self.outcomes[task_id]
+        if outcome.status != "done":
+            raise ExecutionError(
+                f"task {task_id!r} did not complete "
+                f"(status {outcome.status!r}: {outcome.error})"
+            )
+        return outcome.value
+
+    @property
+    def completed(self) -> int:
+        """Tasks that finished (executed or served from cache)."""
+        return sum(1 for o in self.outcomes.values() if o.status == "done")
+
+    @property
+    def cache_hits(self) -> int:
+        """Tasks served entirely from the content-addressed store."""
+        return sum(1 for o in self.outcomes.values() if o.cached)
+
+    @property
+    def executed(self) -> int:
+        """Tasks that actually ran (completed without a cache hit)."""
+        return sum(
+            1 for o in self.outcomes.values() if o.status == "done" and not o.cached
+        )
+
+    @property
+    def failed(self) -> int:
+        """Tasks that exhausted their retry budget."""
+        return sum(1 for o in self.outcomes.values() if o.status == "failed")
+
+    @property
+    def blocked(self) -> int:
+        """Tasks skipped because a dependency failed."""
+        return sum(1 for o in self.outcomes.values() if o.status == "blocked")
+
+    @property
+    def retries(self) -> int:
+        """Total retry attempts across all tasks."""
+        return sum(max(0, o.attempts - 1) for o in self.outcomes.values())
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of tasks served from cache (0.0 on an empty run)."""
+        if not self.outcomes:
+            return 0.0
+        return self.cache_hits / len(self.outcomes)
+
+    def summary(self) -> dict[str, Any]:
+        """Run tallies as a plain dict (manifests, reports, CI checks)."""
+        return {
+            "tasks": len(self.outcomes),
+            "completed": self.completed,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "failed": self.failed,
+            "blocked": self.blocked,
+            "retries": self.retries,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`ExecutionError` if any task failed or was blocked."""
+        broken = [
+            outcome
+            for outcome in self.outcomes.values()
+            if outcome.status != "done"
+        ]
+        if broken:
+            first = broken[0]
+            raise ExecutionError(
+                f"{len(broken)} task(s) did not complete; first: "
+                f"{first.task_id!r} ({first.status}: {first.error})"
+            )
+
+
+def _format_error(exc: BaseException) -> str:
+    """A compact, picklable rendering of a worker-side exception."""
+    trace = traceback.format_exc(limit=8)
+    return f"{type(exc).__name__}: {exc}\n{trace}"
+
+
+def _pool_execute(
+    payload: tuple[str, str, Mapping[str, Any], dict[str, Any], int],
+) -> tuple[str, bool, Any, str | None, float]:
+    """Worker-side task runner; never raises (failure isolation)."""
+    task_id, op_name, params, deps, seed = payload
+    start = time.perf_counter()
+    try:
+        # Under a spawn start method a fresh worker has an empty registry;
+        # importing the study module registers the standard operations.
+        from . import study as _study  # noqa: F401
+
+        value = resolve_op(op_name)(params, deps, seed)
+        return (task_id, True, value, None, time.perf_counter() - start)
+    except BaseException as exc:  # noqa: BLE001 — isolate *any* worker fault
+        return (task_id, False, None, _format_error(exc), time.perf_counter() - start)
+
+
+class StudyExecutor:
+    """Runs task graphs with memoization, parallelism and retry policy.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` executes inline in the calling process
+        (no subprocesses, identical to a plain serial loop).
+    cache:
+        Optional :class:`~repro.runtime.cache.ResultCache` for
+        content-addressed memoization and resume.
+    log:
+        Optional :class:`~repro.runtime.events.RunLog` receiving one event
+        per task transition plus the run manifest.
+    study_seed:
+        Root seed; per-task seeds are split off it by task id.
+    default_timeout:
+        Fallback per-attempt timeout for specs that set none.
+    default_retries:
+        Fallback retry budget for specs that set none (spec value wins).
+    poll_interval:
+        Scheduler poll period in seconds (parallel mode).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        log: RunLog | None = None,
+        study_seed: int = 0,
+        default_timeout: float | None = None,
+        default_retries: int = 0,
+        poll_interval: float = 0.02,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.log = log
+        self.study_seed = study_seed
+        self.default_timeout = default_timeout
+        self.default_retries = default_retries
+        self.poll_interval = poll_interval
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _event(self, kind: str, task_id: str | None = None, **fields: Any) -> None:
+        if self.log is not None:
+            self.log.event(kind, task_id=task_id, **fields)
+
+    def _timeout_for(self, spec: TaskSpec) -> float | None:
+        return spec.timeout if spec.timeout is not None else self.default_timeout
+
+    def _retries_for(self, spec: TaskSpec) -> int:
+        return spec.retries if spec.retries else self.default_retries
+
+    def _cache_lookup(self, spec: TaskSpec) -> Any:
+        if self.cache is None or spec.key is None:
+            return MISS
+        return self.cache.get(spec.key)
+
+    def _cache_store(self, spec: TaskSpec, value: Any) -> None:
+        if self.cache is not None and spec.key is not None:
+            self.cache.put(spec.key, value)
+
+    def _block_dependents(
+        self,
+        graph: TaskGraph,
+        failed_id: str,
+        outcomes: dict[str, TaskOutcome],
+    ) -> None:
+        """Mark every transitive dependent of a failed task as blocked."""
+        frontier = [failed_id]
+        while frontier:
+            current = frontier.pop()
+            for dependent in graph.dependents(current):
+                if dependent in outcomes:
+                    continue
+                outcomes[dependent] = TaskOutcome(
+                    dependent, "blocked", error=f"dependency {current!r} failed"
+                )
+                self._event("blocked", dependent, cause=current)
+                frontier.append(dependent)
+
+    def _start_manifest(self, graph: TaskGraph) -> None:
+        if self.log is None:
+            return
+        self.log.write_manifest(
+            {
+                "status": "running",
+                "tasks": len(graph),
+                "task_ids": list(graph.task_ids),
+                "jobs": self.jobs,
+                "study_seed": self.study_seed,
+                "started_at": time.time(),
+            }
+        )
+
+    def _finish_manifest(self, graph: TaskGraph, report: ExecutionReport) -> None:
+        if self.log is None:
+            return
+        manifest = {
+            "status": "completed" if report.failed == 0 and report.blocked == 0 else "failed",
+            "tasks": len(graph),
+            "task_ids": list(graph.task_ids),
+            "jobs": self.jobs,
+            "study_seed": self.study_seed,
+            "finished_at": time.time(),
+            **report.summary(),
+        }
+        if self.cache is not None:
+            manifest["cache"] = self.cache.stats.snapshot()
+        self.log.write_manifest(manifest)
+
+    # -- serial path ---------------------------------------------------------
+
+    def _run_serial(self, graph: TaskGraph) -> dict[str, TaskOutcome]:
+        outcomes: dict[str, TaskOutcome] = {}
+        values: dict[str, Any] = {}
+        for spec in graph:  # insertion order is topological
+            if spec.task_id in outcomes:  # already blocked by a failure
+                continue
+            cached = self._cache_lookup(spec)
+            if cached is not MISS:
+                outcomes[spec.task_id] = TaskOutcome(
+                    spec.task_id, "done", value=cached, cached=True
+                )
+                values[spec.task_id] = cached
+                self._event("cache-hit", spec.task_id)
+                continue
+            deps = {dep: values[dep] for dep in spec.deps}
+            budget = self._retries_for(spec)
+            attempt = 0
+            while True:
+                attempt += 1
+                self._event("submitted", spec.task_id, attempt=attempt)
+                start = time.perf_counter()
+                try:
+                    value = resolve_op(spec.op)(
+                        spec.params, deps, derive_seed(self.study_seed, spec.task_id)
+                    )
+                except Exception as exc:  # noqa: BLE001 — retry policy boundary
+                    error = _format_error(exc)
+                    if attempt <= budget:
+                        self._event("retry", spec.task_id, attempt=attempt)
+                        continue
+                    outcomes[spec.task_id] = TaskOutcome(
+                        spec.task_id,
+                        "failed",
+                        error=error,
+                        attempts=attempt,
+                        duration=time.perf_counter() - start,
+                    )
+                    self._event("failed", spec.task_id, attempts=attempt)
+                    self._block_dependents(graph, spec.task_id, outcomes)
+                    break
+                duration = time.perf_counter() - start
+                self._cache_store(spec, value)
+                outcomes[spec.task_id] = TaskOutcome(
+                    spec.task_id,
+                    "done",
+                    value=value,
+                    attempts=attempt,
+                    duration=duration,
+                )
+                values[spec.task_id] = value
+                self._event("finished", spec.task_id, seconds=round(duration, 6))
+                break
+        return outcomes
+
+    # -- parallel path -------------------------------------------------------
+
+    def _run_parallel(self, graph: TaskGraph) -> dict[str, TaskOutcome]:
+        context = multiprocessing.get_context()
+        pool = context.Pool(processes=self.jobs)
+        outcomes: dict[str, TaskOutcome] = {}
+        values: dict[str, Any] = {}
+        completed: set[str] = set()
+        scheduled: set[str] = set()
+        attempts: dict[str, int] = {}
+        # task_id -> (AsyncResult, absolute deadline or None)
+        in_flight: dict[str, tuple[Any, float | None]] = {}
+
+        def submit(spec: TaskSpec) -> None:
+            attempts[spec.task_id] = attempts.get(spec.task_id, 0) + 1
+            deps = {dep: values[dep] for dep in spec.deps}
+            payload = (
+                spec.task_id,
+                spec.op,
+                spec.params,
+                deps,
+                derive_seed(self.study_seed, spec.task_id),
+            )
+            handle = pool.apply_async(_pool_execute, (payload,))
+            timeout = self._timeout_for(spec)
+            deadline = None if timeout is None else time.monotonic() + timeout
+            in_flight[spec.task_id] = (handle, deadline)
+            self._event("submitted", spec.task_id, attempt=attempts[spec.task_id])
+
+        def resubmit_inflight(survivors: list[str]) -> None:
+            """Re-queue innocent in-flight tasks after a pool restart
+            (their attempt count is rolled back — they did not fail)."""
+            for task_id in survivors:
+                attempts[task_id] -= 1
+                submit(graph.task(task_id))
+
+        def complete(spec: TaskSpec, value: Any, cached: bool, duration: float) -> None:
+            outcomes[spec.task_id] = TaskOutcome(
+                spec.task_id,
+                "done",
+                value=value,
+                attempts=attempts.get(spec.task_id, 0),
+                cached=cached,
+                duration=duration,
+            )
+            values[spec.task_id] = value
+            completed.add(spec.task_id)
+
+        def fail(spec: TaskSpec, error: str) -> None:
+            outcomes[spec.task_id] = TaskOutcome(
+                spec.task_id,
+                "failed",
+                error=error,
+                attempts=attempts.get(spec.task_id, 0),
+            )
+            self._event("failed", spec.task_id, attempts=attempts.get(spec.task_id, 0))
+            self._block_dependents(graph, spec.task_id, outcomes)
+
+        try:
+            while len(outcomes) < len(graph):
+                # Schedule everything whose dependencies are satisfied.
+                excluded = scheduled | set(outcomes)
+                for spec in graph.ready(completed, excluded):
+                    scheduled.add(spec.task_id)
+                    cached = self._cache_lookup(spec)
+                    if cached is not MISS:
+                        complete(spec, cached, cached=True, duration=0.0)
+                        self._event("cache-hit", spec.task_id)
+                    elif op_is_inline_only(spec.op):
+                        # Parameters may hold arbitrary callables; run in
+                        # the coordinating process.
+                        start = time.perf_counter()
+                        attempts[spec.task_id] = attempts.get(spec.task_id, 0) + 1
+                        try:
+                            value = resolve_op(spec.op)(
+                                spec.params,
+                                {dep: values[dep] for dep in spec.deps},
+                                derive_seed(self.study_seed, spec.task_id),
+                            )
+                        except Exception as exc:  # noqa: BLE001
+                            fail(spec, _format_error(exc))
+                        else:
+                            duration = time.perf_counter() - start
+                            self._cache_store(spec, value)
+                            complete(spec, value, cached=False, duration=duration)
+                            self._event(
+                                "finished", spec.task_id, seconds=round(duration, 6)
+                            )
+                    else:
+                        submit(spec)
+
+                if not in_flight:
+                    if len(outcomes) < len(graph) and not graph.ready(
+                        completed, scheduled | set(outcomes)
+                    ):
+                        # Nothing running, nothing ready: the remainder is
+                        # unreachable (should be covered by blocking, but
+                        # never spin forever).
+                        for spec in graph:
+                            if spec.task_id not in outcomes:
+                                outcomes[spec.task_id] = TaskOutcome(
+                                    spec.task_id, "blocked", error="unreachable"
+                                )
+                    continue
+
+                time.sleep(self.poll_interval)
+                now = time.monotonic()
+
+                # Collect finished futures.
+                for task_id in [t for t, (h, _) in in_flight.items() if h.ready()]:
+                    handle, _ = in_flight.pop(task_id)
+                    spec = graph.task(task_id)
+                    try:
+                        _, ok, value, error, duration = handle.get()
+                    except Exception as exc:  # noqa: BLE001 — pool-level fault
+                        ok, value, error, duration = False, None, _format_error(exc), 0.0
+                    if ok:
+                        self._cache_store(spec, value)
+                        complete(spec, value, cached=False, duration=duration)
+                        self._event("finished", task_id, seconds=round(duration, 6))
+                    elif attempts[task_id] <= self._retries_for(spec):
+                        self._event("retry", task_id, attempt=attempts[task_id])
+                        submit(spec)
+                    else:
+                        fail(spec, error or "unknown worker failure")
+
+                # Enforce deadlines.  A stuck worker cannot be interrupted
+                # cooperatively, so the whole pool is torn down and rebuilt;
+                # innocent in-flight tasks are resubmitted free of charge.
+                expired = [
+                    task_id
+                    for task_id, (_, deadline) in in_flight.items()
+                    if deadline is not None and now > deadline
+                ]
+                if expired:
+                    survivors = [t for t in in_flight if t not in expired]
+                    in_flight.clear()
+                    pool.terminate()
+                    pool.join()
+                    pool = context.Pool(processes=self.jobs)
+                    for task_id in expired:
+                        spec = graph.task(task_id)
+                        self._event("timeout", task_id, attempt=attempts[task_id])
+                        if attempts[task_id] <= self._retries_for(spec):
+                            self._event("retry", task_id, attempt=attempts[task_id])
+                            submit(spec)
+                        else:
+                            fail(
+                                spec,
+                                f"timed out after {self._timeout_for(spec)}s "
+                                f"({attempts[task_id]} attempt(s))",
+                            )
+                    resubmit_inflight(survivors)
+        finally:
+            pool.terminate()
+            pool.join()
+        return outcomes
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> ExecutionReport:
+        """Execute the graph and return the per-task outcome report."""
+        started = time.perf_counter()
+        self._event("run-start", tasks=len(graph), jobs=self.jobs)
+        self._start_manifest(graph)
+        if self.jobs == 1:
+            outcomes = self._run_serial(graph)
+        else:
+            outcomes = self._run_parallel(graph)
+        report = ExecutionReport(outcomes, time.perf_counter() - started)
+        self._event("run-finish", **report.summary())
+        self._finish_manifest(graph, report)
+        return report

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.lint",
     "repro.moo",
     "repro.privacy",
+    "repro.runtime",
     "repro.utility",
 ]
 
