@@ -1,0 +1,248 @@
+"""Golden fixtures pinning the measurement plane's observable outputs.
+
+The columnar refactor must be *invisible*: released rows, class partitions
+and property vectors have to stay byte-identical to the row plane that
+produced the paper's numbers.  This module defines the fixture cases (every
+algorithm in ``anonymize/algorithms`` on the paper tables and an Adult
+sample), a deterministic digest of each release, and a tiny CLI used to
+record the fixtures *before* a plane swap:
+
+    PYTHONPATH=src python -m tests.goldens          # writes tests/golden/*.json
+
+``tests/test_golden_plane.py`` recomputes every case and compares against
+the committed JSON.  Digests are sha256 over ``repr``-serialized cells and
+``repr``-serialized floats, so they are independent of ``PYTHONHASHSEED``
+and of the process, but sensitive to one ulp of drift — exactly the
+contract the refactor has to honor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.anonymize.algorithms import (
+    BottomUpGeneralization,
+    ConstrainedLattice,
+    Datafly,
+    GeneticAnonymizer,
+    Incognito,
+    KMemberClustering,
+    Mondrian,
+    MuArgus,
+    OptimalLattice,
+    RandomRecoding,
+    Samarati,
+    TopDownSpecialization,
+    discernibility_cost,
+)
+from repro.anonymize.engine import Anonymization
+from repro.core.properties import (
+    distinct_sensitive_values,
+    equivalence_class_size,
+    sensitive_value_count,
+    sensitive_value_fraction,
+    tuple_loss,
+    tuple_utility,
+)
+from repro.datasets import adult_dataset, adult_hierarchies, paper_tables
+from repro.hierarchy.base import Hierarchy
+from repro.privacy.kanonymity import KAnonymity
+from repro.utility.discernibility import discernibility, tuple_penalties
+from repro.utility.loss_metric import general_loss
+from repro.utility.precision import precision, tuple_precisions
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_FILE = GOLDEN_DIR / "measurement_plane.json"
+
+
+def _digest(tokens: Sequence[str]) -> str:
+    hasher = hashlib.sha256()
+    for token in tokens:
+        hasher.update(token.encode("utf-8"))
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+def _cell_token(cell: Any) -> str:
+    # Set-typed cells (Mondrian's categorical groups) repr in hash order;
+    # canonicalize by sorted element repr so digests are process-stable.
+    if isinstance(cell, (set, frozenset)):
+        inner = ",".join(sorted(repr(element) for element in cell))
+        return f"{type(cell).__name__}:{{{inner}}}"
+    return f"{type(cell).__name__}:{cell!r}"
+
+
+def digest_cells(rows: Sequence[Sequence[Any]]) -> str:
+    """Digest of a table: every cell as ``type:repr``, in row-major order."""
+    return _digest([_cell_token(cell) for row in rows for cell in row])
+
+
+def digest_floats(values: Sequence[float]) -> str:
+    """Digest of a float sequence via ``repr`` (one ulp changes it)."""
+    return _digest([repr(float(value)) for value in values])
+
+
+def digest_ints(values: Sequence[int]) -> str:
+    return _digest([repr(int(value)) for value in values])
+
+
+def record_release(
+    anonymization: Anonymization,
+    hierarchies: Mapping[str, Hierarchy],
+    sensitive: str | None,
+) -> dict[str, Any]:
+    """Everything observable about one release, digested for comparison."""
+    classes = anonymization.equivalence_classes
+    record: dict[str, Any] = {
+        "name": anonymization.name,
+        "levels": anonymization.levels,
+        "suppressed": sorted(anonymization.suppressed),
+        "k": anonymization.k(),
+        "suppression_fraction": repr(anonymization.suppression_fraction()),
+        "released": digest_cells(anonymization.released.rows),
+        "class_of": digest_ints(
+            [classes.class_of(i) for i in range(classes.row_count)]
+        ),
+        "class_sizes": classes.class_sizes(),
+        "class_keys": digest_cells(
+            [classes.key_of_class(c) for c in range(len(classes))]
+        ),
+        "pv_class_size": digest_floats(equivalence_class_size(anonymization)),
+        "pv_tuple_loss": digest_floats(tuple_loss(anonymization, hierarchies)),
+        "pv_tuple_utility": digest_floats(tuple_utility(anonymization, hierarchies)),
+        "pv_penalties": digest_ints(tuple_penalties(anonymization)),
+        "pv_precision": digest_floats(tuple_precisions(anonymization, hierarchies)),
+        "discernibility": discernibility(anonymization),
+        "general_loss": repr(general_loss(anonymization, hierarchies)),
+        "precision": repr(precision(anonymization, hierarchies)),
+    }
+    if sensitive is not None:
+        record["pv_sensitive_count"] = digest_floats(
+            sensitive_value_count(anonymization, sensitive)
+        )
+        record["pv_sensitive_fraction"] = digest_floats(
+            sensitive_value_fraction(anonymization, sensitive)
+        )
+        record["pv_distinct_sensitive"] = digest_floats(
+            distinct_sensitive_values(anonymization, sensitive)
+        )
+    return record
+
+
+def _paper_algorithms() -> list[tuple[str, Any]]:
+    return [
+        ("datafly", Datafly(2)),
+        ("samarati", Samarati(2)),
+        ("incognito", Incognito(2, suppression_limit=0.1)),
+        ("optimal-lm", OptimalLattice(2)),
+        ("optimal-dm", OptimalLattice(2, cost=discernibility_cost)),
+        (
+            "genetic",
+            GeneticAnonymizer(2, population_size=10, generations=6, seed=5),
+        ),
+        ("mondrian-strict", Mondrian(2)),
+        ("mondrian-relaxed", Mondrian(2, relaxed=True)),
+        ("muargus", MuArgus(2)),
+        ("random", RandomRecoding(2, seed=3)),
+        ("bottomup", BottomUpGeneralization(2)),
+        ("topdown", TopDownSpecialization(2)),
+        ("clustering", KMemberClustering(2)),
+        ("constrained", ConstrainedLattice([KAnonymity(2)])),
+    ]
+
+
+def _adult_algorithms() -> list[tuple[str, Any]]:
+    return [
+        ("datafly", Datafly(5)),
+        ("samarati", Samarati(5)),
+        ("incognito", Incognito(5, suppression_limit=0.05)),
+        ("optimal-lm", OptimalLattice(5)),
+        ("optimal-dm", OptimalLattice(5, cost=discernibility_cost)),
+        (
+            "genetic",
+            GeneticAnonymizer(5, population_size=12, generations=6, seed=7),
+        ),
+        ("mondrian-strict", Mondrian(5)),
+        ("mondrian-relaxed", Mondrian(5, relaxed=True)),
+        ("muargus", MuArgus(5)),
+        ("random", RandomRecoding(5, seed=1)),
+        ("bottomup", BottomUpGeneralization(5)),
+        ("topdown", TopDownSpecialization(5)),
+        ("clustering", KMemberClustering(5)),
+        ("constrained", ConstrainedLattice([KAnonymity(3)])),
+    ]
+
+
+def golden_cases() -> dict[str, Callable[[], dict[str, Any]]]:
+    """Case id -> thunk computing the golden record for that case."""
+    cases: dict[str, Callable[[], dict[str, Any]]] = {}
+
+    paper_data = paper_tables.table1()
+    paper_scheme = paper_tables._scheme(age_width=10, age_anchor=5)
+    paper_sensitive = paper_tables.SENSITIVE_ATTRIBUTE
+
+    def paper_case(algorithm: Any) -> Callable[[], dict[str, Any]]:
+        return lambda: record_release(
+            algorithm.anonymize(paper_data, paper_scheme),
+            paper_scheme,
+            paper_sensitive,
+        )
+
+    for label, algorithm in _paper_algorithms():
+        cases[f"table1/{label}"] = paper_case(algorithm)
+
+    for label, thunk in (
+        ("t3a", paper_tables.t3a),
+        ("t3b", paper_tables.t3b),
+        ("t4", paper_tables.t4),
+    ):
+        scheme = {
+            "t3a": paper_tables._scheme(age_width=10, age_anchor=5),
+            "t3b": paper_tables._scheme(age_width=20, age_anchor=15),
+            "t4": paper_tables._scheme(age_width=20, age_anchor=0),
+        }[label]
+        cases[f"table1/{label}"] = (
+            lambda thunk=thunk, scheme=scheme: record_release(
+                thunk(), scheme, paper_sensitive
+            )
+        )
+
+    adult_data = adult_dataset(150, seed=11)
+    adult_scheme = adult_hierarchies()
+
+    def adult_case(algorithm: Any) -> Callable[[], dict[str, Any]]:
+        return lambda: record_release(
+            algorithm.anonymize(adult_data, adult_scheme), adult_scheme, None
+        )
+
+    for label, algorithm in _adult_algorithms():
+        cases[f"adult150/{label}"] = adult_case(algorithm)
+
+    return cases
+
+
+def write_goldens(path: Path = GOLDEN_FILE) -> dict[str, Any]:
+    """Record every case and write the fixture file (returns the payload)."""
+    payload = {
+        "comment": (
+            "Golden measurement-plane fixtures; regenerate with "
+            "`PYTHONPATH=src python -m tests.goldens` ONLY for an "
+            "intentional behavior change."
+        ),
+        "cases": {case: thunk() for case, thunk in sorted(golden_cases().items())},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
+
+
+def load_goldens(path: Path = GOLDEN_FILE) -> dict[str, Any]:
+    return json.loads(path.read_text())
+
+
+if __name__ == "__main__":
+    written = write_goldens()
+    print(f"wrote {len(written['cases'])} cases to {GOLDEN_FILE}")

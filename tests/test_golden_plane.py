@@ -1,0 +1,40 @@
+"""Golden equality: the measurement plane reproduces its pinned outputs.
+
+The fixtures in ``tests/golden/measurement_plane.json`` were recorded with
+the pre-columnar row plane (see :mod:`tests.goldens`).  Every algorithm in
+``anonymize/algorithms`` must keep producing byte-identical released rows,
+class partitions and property vectors — the refactor contract of the
+columnar data plane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.goldens import GOLDEN_FILE, golden_cases, load_goldens
+
+_CASES = golden_cases()
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    assert GOLDEN_FILE.exists(), (
+        "golden fixtures missing; run `PYTHONPATH=src python -m tests.goldens`"
+    )
+    return load_goldens()["cases"]
+
+
+def test_fixture_covers_all_cases(goldens):
+    assert sorted(goldens) == sorted(_CASES)
+
+
+@pytest.mark.parametrize("case", sorted(_CASES))
+def test_golden_equality(goldens, case):
+    expected = goldens[case]
+    actual = _CASES[case]()
+    # Compare field by field for a readable diff on failure.
+    assert sorted(actual) == sorted(expected)
+    for field in sorted(expected):
+        assert actual[field] == expected[field], (
+            f"{case}: field {field!r} drifted from the pinned row-plane value"
+        )
