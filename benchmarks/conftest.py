@@ -15,6 +15,23 @@ from repro.datasets import adult_dataset, adult_hierarchies
 from repro.datasets import paper_tables
 
 
+def pytest_addoption(parser):
+    """Register ``--quick``: smoke mode for CI (tiny sizes, no perf floors)."""
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks in smoke mode: small inputs, correctness "
+        "assertions only, no throughput floors",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """Whether the run is in ``--quick`` smoke mode."""
+    return request.config.getoption("--quick")
+
+
 def emit(title: str, lines) -> None:
     """Print one reproduced artifact block (shown under pytest -s)."""
     print(f"\n--- {title} ---")

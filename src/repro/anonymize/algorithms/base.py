@@ -1,21 +1,28 @@
 """Shared infrastructure for disclosure control algorithms.
 
 Provides the :class:`Anonymizer` protocol plus a :class:`RecodingWorkspace`
-that memoizes per-(attribute, level) generalized columns and loss columns —
-the frequency-set computations at the heart of every lattice search
-(Samarati, Incognito, optimal) reduce to cheap tuple grouping over cached
-columns.
+running on the columnar plane: per QI attribute the column is interned once
+(:meth:`Dataset.columns`) and a level table is built per hierarchy
+(:mod:`repro.hierarchy.codes`), after which evaluating a lattice node is a
+handful of array gathers.  Node partitions are cached and — when the level
+tables are *nested* over the column domain — derived incrementally: a
+coarser node's partition is computed from a cached finer one by re-keying
+one representative row per class instead of re-grouping all rows, which is
+what makes full-lattice walks (Samarati, Incognito, Datafly, the optimal
+search) cheap at scale.
 """
 
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
 from ...datasets.dataset import Dataset
 from ...hierarchy.base import Hierarchy
+from ...hierarchy.codes import LevelTable, level_table
 from ...hierarchy.lattice import Lattice, Node
 from ..engine import Anonymization, AnonymizationError, recode_node
 
@@ -57,14 +64,33 @@ def check_suppression_limit(limit: float) -> float:
     return limit
 
 
+class _Partition:
+    """One node's row partition: per-row labels, per-class sizes, and one
+    representative row (the class's minimal row index) per class."""
+
+    __slots__ = ("labels", "sizes", "reps", "group_count")
+
+    def __init__(
+        self, labels: np.ndarray, sizes: np.ndarray, reps: np.ndarray
+    ):
+        self.labels = labels
+        self.sizes = sizes
+        self.reps = reps
+        self.group_count = int(sizes.size)
+
+
 class RecodingWorkspace:
     """Cached full-domain recoding machinery for one dataset + hierarchies.
 
-    Caches, per QI attribute and generalization level, the generalized
-    column and the per-row loss column, so that evaluating thousands of
-    lattice nodes costs one tuple-grouping pass each instead of repeated
-    hierarchy walks.
+    Caches, per QI attribute, the interned base codes and the hierarchy
+    level tables, plus an LRU of recently evaluated node partitions; lattice
+    walks evaluating neighbor nodes hit the incremental coarsening path
+    instead of re-grouping every row.
     """
+
+    #: Partitions kept per attribute projection (int64 labels cost 8·N
+    #: bytes each; 32 nodes of a 30k-row table is ~7.7 MB).
+    _PARTITION_CACHE_SIZE = 32
 
     def __init__(self, dataset: Dataset, hierarchies: Mapping[str, Hierarchy]):
         self.dataset = dataset
@@ -76,21 +102,47 @@ class RecodingWorkspace:
             raise AnonymizationError(f"missing hierarchies for {sorted(missing)}")
         self.hierarchies = {name: hierarchies[name] for name in self.qi_names}
         self.lattice = Lattice([self.hierarchies[name] for name in self.qi_names])
+        self._view = dataset.columns()
+        self._tables: dict[str, LevelTable] = {}
+        self._base_codes: dict[str, np.ndarray] = {}
         self._columns: dict[tuple[str, int], tuple[Hashable, ...]] = {}
         self._loss_columns: dict[tuple[str, int], tuple[float, ...]] = {}
-        # Vectorized fast path: per (attribute, level), the column as dense
-        # integer codes plus the code count — node-level grouping then
-        # reduces to a mixed-radix combine + bincount.
         self._code_columns: dict[tuple[str, int], tuple[np.ndarray, int]] = {}
+        self._partitions: dict[
+            tuple[str, ...], OrderedDict[Node, _Partition]
+        ] = {}
+        #: Observable counters for tests/benchmarks: how many partitions
+        #: were computed fresh, derived incrementally, or served from cache.
+        self.partition_stats = {"fresh": 0, "derived": 0, "hits": 0}
+
+    # -- columnar primitives -------------------------------------------------
+
+    def _table(self, attribute: str) -> LevelTable:
+        table = self._tables.get(attribute)
+        if table is None:
+            table = level_table(
+                self._view.column(attribute), self.hierarchies[attribute]
+            )
+            self._tables[attribute] = table
+        return table
+
+    def _base(self, attribute: str) -> np.ndarray:
+        codes = self._base_codes.get(attribute)
+        if codes is None:
+            codes = np.frombuffer(
+                self._view.column(attribute).codes, dtype=np.int64
+            )
+            self._base_codes[attribute] = codes
+        return codes
 
     def generalized_column(self, attribute: str, level: int) -> tuple[Hashable, ...]:
         """The attribute's column generalized to ``level`` (cached)."""
         key = (attribute, level)
         if key not in self._columns:
-            hierarchy = self.hierarchies[attribute]
+            built = self._table(attribute).level(level)
+            values = built.values
             self._columns[key] = tuple(
-                hierarchy.generalize(value, level)
-                for value in self.dataset.column(attribute)
+                values[code] for code in self._view.column(attribute).codes
             )
         return self._columns[key]
 
@@ -98,50 +150,129 @@ class RecodingWorkspace:
         """Per-row LM loss of the attribute at ``level`` (cached)."""
         key = (attribute, level)
         if key not in self._loss_columns:
-            hierarchy = self.hierarchies[attribute]
+            built = self._table(attribute).level(level)
+            loss = built.loss
             self._loss_columns[key] = tuple(
-                hierarchy.loss(value, level)
-                for value in self.dataset.column(attribute)
+                loss[code] for code in self._view.column(attribute).codes
             )
         return self._loss_columns[key]
 
     def code_column(self, attribute: str, level: int) -> tuple[np.ndarray, int]:
         """The generalized column as dense integer codes plus code count
-        (cached) — the vectorized grouping primitive."""
+        (cached) — one gather through the level table."""
         key = (attribute, level)
         if key not in self._code_columns:
-            column = self.generalized_column(attribute, level)
-            lookup: dict[Hashable, int] = {}
-            codes = np.empty(len(column), dtype=np.int64)
-            for row_index, value in enumerate(column):
-                code = lookup.get(value)
-                if code is None:
-                    code = len(lookup)
-                    lookup[value] = code
-                codes[row_index] = code
-            self._code_columns[key] = (codes, len(lookup))
+            built = self._table(attribute).level(level)
+            gather = np.frombuffer(built.gather, dtype=np.int64)
+            self._code_columns[key] = (gather[self._base(attribute)], built.count)
         return self._code_columns[key]
 
-    def _row_group_codes(
-        self, node: Node, names: Sequence[str]
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """(per-row group code, per-group size) at ``node`` — one mixed-radix
-        combine over cached code columns plus a bincount."""
-        combined = None
+    def distinct_count(self, attribute: str, level: int) -> int:
+        """Distinct released values of the column at ``level`` (O(1) —
+        every base code occurs in the column, so this is the level-table
+        code count).  Sweeney's Datafly heuristic reads this per node."""
+        return self._table(attribute).level(level).count
+
+    # -- node partitions -----------------------------------------------------
+
+    def partition(
+        self, node: Node, attributes: Sequence[str] | None = None
+    ) -> _Partition:
+        """The row partition at ``node`` (cached; derived incrementally
+        from a cached finer node when the level tables allow it)."""
+        names = tuple(attributes) if attributes is not None else self.qi_names
+        self._check_node_arity(node, names)
+        node = tuple(node)
+        cache = self._partitions.setdefault(names, OrderedDict())
+        cached = cache.get(node)
+        if cached is not None:
+            cache.move_to_end(node)
+            self.partition_stats["hits"] += 1
+            return cached
+        partition = self._derive_partition(node, names, cache)
+        if partition is None:
+            partition = self._fresh_partition(node, names)
+            self.partition_stats["fresh"] += 1
+        else:
+            self.partition_stats["derived"] += 1
+        cache[node] = partition
+        if len(cache) > self._PARTITION_CACHE_SIZE:
+            cache.popitem(last=False)
+        return partition
+
+    def _fresh_partition(self, node: Node, names: tuple[str, ...]) -> _Partition:
+        combined: np.ndarray | None = None
         for name, level in zip(names, node):
-            codes, count = self.code_column(name, level)
+            built = self._table(name).level(level)
+            gather = np.frombuffer(built.gather, dtype=np.int64)
+            codes = gather[self._base(name)]
             if combined is None:
-                combined = codes.copy()
+                combined = codes
             else:
                 # Re-densify after each combine: keeps values < N·count, so
                 # the mixed-radix product can never overflow int64.
-                combined = combined * count + codes
+                combined = combined * built.count + codes
                 _, combined = np.unique(combined, return_inverse=True)
         if combined is None:
             raise AnonymizationError("grouping requires at least one attribute")
-        _, dense = np.unique(combined, return_inverse=True)
-        sizes = np.bincount(dense)
-        return dense, sizes
+        _, reps, labels = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        return _Partition(labels, np.bincount(labels), reps)
+
+    def _derive_partition(
+        self,
+        node: Node,
+        names: tuple[str, ...],
+        cache: "OrderedDict[Node, _Partition]",
+    ) -> _Partition | None:
+        """Coarsen the best cached finer partition, if any is usable.
+
+        A cached node is usable when it is dominated by ``node`` (every
+        attribute at most as generalized) and every attribute whose level
+        increases has a *nested* level table over the column domain —
+        otherwise equal classes at the finer node need not merge cleanly
+        and the derivation would be wrong (see ``LevelTable.nested``).
+        """
+        best: tuple[Node, _Partition] | None = None
+        for cached_node, cached_partition in cache.items():
+            if not all(c <= n for c, n in zip(cached_node, node)):
+                continue
+            usable = all(
+                c == n or self._table(name).nested()
+                for name, c, n in zip(names, cached_node, node)
+            )
+            if not usable:
+                continue
+            if best is None or cached_partition.group_count < best[1].group_count:
+                best = (cached_node, cached_partition)
+        if best is None:
+            return None
+        parent = best[1]
+        # Re-key one representative row per parent class at the new node.
+        combined: np.ndarray | None = None
+        rep_rows = parent.reps
+        for name, level in zip(names, node):
+            built = self._table(name).level(level)
+            gather = np.frombuffer(built.gather, dtype=np.int64)
+            codes = gather[self._base(name)[rep_rows]]
+            if combined is None:
+                combined = codes
+            else:
+                combined = combined * built.count + codes
+                _, combined = np.unique(combined, return_inverse=True)
+        if combined is None:
+            raise AnonymizationError("grouping requires at least one attribute")
+        _, child_of_group = np.unique(combined, return_inverse=True)
+        count = int(child_of_group.max()) + 1 if child_of_group.size else 0
+        labels = child_of_group[parent.labels]
+        sizes = np.zeros(count, dtype=np.int64)
+        np.add.at(sizes, child_of_group, parent.sizes)
+        reps = np.full(count, len(self.dataset), dtype=np.int64)
+        np.minimum.at(reps, child_of_group, parent.reps)
+        return _Partition(labels, sizes, reps)
+
+    # -- frequency sets ------------------------------------------------------
 
     def group_sizes(
         self, node: Node, attributes: Sequence[str] | None = None
@@ -150,18 +281,20 @@ class RecodingWorkspace:
 
         ``attributes`` restricts the projection (Incognito's sub-lattices);
         ``node`` then gives levels for exactly those attributes, in order.
+        Keys are decoded from one representative row per class; dict order
+        is first occurrence in row order, as the row plane produced.
         """
         names = tuple(attributes) if attributes is not None else self.qi_names
-        if len(node) != len(names):
-            raise AnonymizationError(
-                f"node {node!r} has {len(node)} levels for {len(names)} attributes"
-            )
-        columns = [
-            self.generalized_column(name, level) for name, level in zip(names, node)
-        ]
+        partition = self.partition(node, names)
+        levels = [self._table(name).level(level) for name, level in zip(names, node)]
+        bases = [self._base(name) for name in names]
         counts: dict[Hashable, int] = {}
-        for generalized in zip(*columns):
-            counts[generalized] = counts.get(generalized, 0) + 1
+        for group in np.argsort(partition.reps):
+            row = partition.reps[group]
+            key = tuple(
+                built.values[base[row]] for built, base in zip(levels, bases)
+            )
+            counts[key] = int(partition.sizes[group])
         return counts
 
     def class_size_vector(
@@ -169,9 +302,8 @@ class RecodingWorkspace:
     ) -> np.ndarray:
         """Per-row equivalence class size at ``node`` (vectorized)."""
         names = tuple(attributes) if attributes is not None else self.qi_names
-        self._check_node_arity(node, names)
-        dense, sizes = self._row_group_codes(node, names)
-        return sizes[dense]
+        partition = self.partition(node, names)
+        return partition.sizes[partition.labels]
 
     def _check_node_arity(self, node: Node, names: Sequence[str]) -> None:
         if len(node) != len(names):

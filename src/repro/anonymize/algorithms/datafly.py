@@ -55,7 +55,7 @@ class Datafly(Anonymizer):
             # current level (Sweeney's heuristic).
             def distinct_count(position: int) -> int:
                 name = workspace.qi_names[position]
-                return len(set(workspace.generalized_column(name, node[position])))
+                return workspace.distinct_count(name, node[position])
 
             chosen = max(candidates, key=distinct_count)
             node[chosen] += 1

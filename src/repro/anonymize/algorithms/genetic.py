@@ -33,6 +33,7 @@ import numpy as np
 from ...datasets.dataset import Dataset
 from ...datasets.schema import AttributeKind
 from ...hierarchy.base import Hierarchy
+from ...hierarchy.codes import level_table
 from ...hierarchy.numeric import Span
 from ..engine import Anonymization, released_with_local_cells
 from .base import AlgorithmError, Anonymizer, check_k
@@ -188,9 +189,10 @@ class GeneticAnonymizer(Anonymizer):
                 ]
             else:
                 hierarchy = info
-                columns[attribute] = [
-                    hierarchy.generalize(value, gene.level) for value in raw
-                ]
+                column = dataset.columns().column(attribute)
+                built = level_table(column, hierarchy).level(gene.level)
+                values = built.values
+                columns[attribute] = [values[code] for code in column.codes]
         return columns
 
     # -- fitness -----------------------------------------------------------------
@@ -202,38 +204,62 @@ class GeneticAnonymizer(Anonymizer):
         hierarchies: Mapping[str, Hierarchy],
         chromosome: _Chromosome,
     ) -> float:
-        """Total loss + penalty for undersized classes (lower is better)."""
-        columns = self._decode_columns(dataset, plan, chromosome)
-        qi_names = [attribute for attribute, _, _ in plan]
-        keys = list(zip(*(columns[name] for name in qi_names)))
-        counts: dict[Any, int] = {}
-        for key in keys:
-            counts[key] = counts.get(key, 0) + 1
+        """Total loss + penalty for undersized classes (lower is better).
 
+        Runs on the columnar plane: per attribute the loss increment is
+        scored once per distinct base value and accumulated per row through
+        the interned codes — the per-row ``+=`` order (attribute-major, row
+        order within each attribute) matches the row plane exactly, so the
+        fitness floats are bit-identical and seeded runs are unchanged.
+        """
+        view = dataset.columns()
         loss = 0.0
-        qi_count = len(qi_names)
-        bounds = {
-            attribute: (min(info), max(info))
-            for attribute, kind, info in plan
-            if kind is AttributeKind.NUMERIC
-        }
-        for attribute, kind, info in plan:
-            if kind is AttributeKind.NUMERIC:
-                low, high = bounds[attribute]
-                domain = high - low
-                for cell in columns[attribute]:
-                    if isinstance(cell, Span) and domain > 0:
-                        loss += min(1.0, cell.width / domain)
+        qi_count = len(plan)
+        combined: np.ndarray | None = None
+        for gene, (attribute, kind, info) in zip(chromosome.genes, plan):
+            column = view.column(attribute)
+            base = np.frombuffer(column.codes, dtype=np.int64)
+            per_base: list[float]
+            if isinstance(gene, _NumericGene):
+                spans = self._intervals(info, gene.splits)
+                span_of: dict[Any, int] = {}
+                for index, span in enumerate(spans):
+                    for value in info:
+                        if value in span:
+                            span_of[value] = index
+                domain = max(info) - min(info)
+                gather = np.empty(column.domain_size, dtype=np.int64)
+                per_base = [0.0] * column.domain_size
+                for code, value in enumerate(column.decode):
+                    index = span_of[value]
+                    gather[code] = index
+                    span = spans[index]
+                    if span.width > 0 and domain > 0:
+                        per_base[code] = min(1.0, span.width / domain)
+                codes = gather[base]
+                radix = len(spans)
             else:
                 hierarchy = info
-                for cell in columns[attribute]:
-                    loss += hierarchy.released_loss(cell)
+                built = level_table(column, hierarchy).level(gene.level)
+                cell_loss = [hierarchy.released_loss(value) for value in built.decode]
+                per_base = [cell_loss[code] for code in built.gather]
+                codes = np.frombuffer(built.gather, dtype=np.int64)[base]
+                radix = built.count
+            for code in column.codes:
+                loss += per_base[code]
+            if combined is None:
+                combined = codes
+            else:
+                combined = combined * radix + codes
+                _, combined = np.unique(combined, return_inverse=True)
 
         # Iyengar's penalty: every row of a class below k is charged as if
         # suppressed (full loss across all QIs).
-        penalty = sum(
-            size * qi_count for size in counts.values() if size < self.k
-        )
+        penalty = 0
+        if combined is not None:
+            _, labels = np.unique(combined, return_inverse=True)
+            sizes = np.bincount(labels)
+            penalty = int(sizes[sizes < self.k].sum()) * qi_count
         return loss + penalty
 
     # -- GA operators --------------------------------------------------------------

@@ -12,14 +12,31 @@ suppression token, per Section 3 of the paper ("we assume that they still
 exist in the anonymized data set in an overly generalized form"), so original
 and released data sets always have equal size and property vectors stay
 index-aligned.
+
+Since the columnar refactor, :func:`recode` runs on the columnar plane: each
+QI column is interned once (:meth:`Dataset.columns`), generalization is a
+gather through the per-(hierarchy, column) level tables of
+:mod:`repro.hierarchy.codes`, and the equivalence-class partition is grouped
+by mixed-radix-packed integer codes instead of tuple keys.  Suppression goes
+through the same path — a suppressed row's per-column code is the gather to
+the suppression token's code at the level (:meth:`LevelTable.
+suppression_code`), so suppressed rows collide exactly with naturally
+fully-generalized rows and ``suppression_fraction`` / class sizes agree
+between planes.  :func:`recode_rowwise` keeps the original row-at-a-time
+implementation as the reference facade; both produce byte-identical results
+(pinned by ``tests/test_golden_plane.py`` and the Hypothesis equivalence
+tests).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from ..datasets.dataset import Dataset
 from ..hierarchy.base import SUPPRESSED, Hierarchy
+from ..hierarchy.codes import Level, LevelTable, level_table
 from ..lint.api import ensure_valid_hierarchies
 from .equivalence import EquivalenceClasses
 
@@ -76,9 +93,22 @@ class Anonymization:
         self.levels = dict(levels) if levels is not None else None
         self.name = name
         self._classes: EquivalenceClasses | None = None
+        # Optional columnar-plane partition factory, attached by recode();
+        # consulted once by `equivalence_classes` instead of tuple grouping.
+        self._classes_factory: Callable[[], EquivalenceClasses] | None = None
 
     def __len__(self) -> int:
         return len(self.original)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # The columnar partition factory is a closure over level tables and
+        # cannot cross process boundaries; drop it (and the classes it may
+        # have produced, so both sides rebuild identically).  The row-plane
+        # fallback in `equivalence_classes` yields the same partition.
+        state = self.__dict__.copy()
+        state["_classes"] = None
+        state["_classes_factory"] = None
+        return state
 
     def __repr__(self) -> str:
         return (
@@ -90,7 +120,12 @@ class Anonymization:
     def equivalence_classes(self) -> EquivalenceClasses:
         """Row partition by released QI tuple (lazily computed, cached)."""
         if self._classes is None:
-            self._classes = EquivalenceClasses(self.released.quasi_identifier_tuples())
+            if self._classes_factory is not None:
+                self._classes = self._classes_factory()
+            else:
+                self._classes = EquivalenceClasses(
+                    self.released.quasi_identifier_tuples()
+                )
         return self._classes
 
     def k(self) -> int:
@@ -109,6 +144,7 @@ class Anonymization:
             self.original, self.released, self.suppressed, self.levels, name
         )
         clone._classes = self._classes
+        clone._classes_factory = self._classes_factory
         return clone
 
 
@@ -142,29 +178,12 @@ def generalize_cell(
     return hierarchy.generalize(value, level)
 
 
-def recode(
+def _validate_recode(
     dataset: Dataset,
     hierarchies: Mapping[str, Hierarchy],
     levels: Levels,
-    suppress: Iterable[int] = (),
-    name: str | None = None,
-) -> Anonymization:
-    """Apply a full-domain recoding.
-
-    Parameters
-    ----------
-    dataset:
-        The table to anonymize.
-    hierarchies:
-        Hierarchy per quasi-identifier attribute name; every QI of the schema
-        must be covered.
-    levels:
-        Generalization level per QI attribute.
-    suppress:
-        Row indices to fully suppress (all QI cells become ``"*"``).
-    name:
-        Optional label; defaults to a description of the level vector.
-    """
+) -> tuple[str, ...]:
+    """Shared input validation of both recoding planes; returns QI names."""
     schema = dataset.schema
     qi_names = schema.quasi_identifier_names
     if not qi_names:
@@ -184,6 +203,142 @@ def recode(
     )
     for attribute in qi_names:
         hierarchies[attribute].check_level(levels[attribute])
+    return qi_names
+
+
+def packed_group_labels(
+    columns: Sequence[tuple["np.ndarray", Level, LevelTable, int]],
+    suppressed_rows: "np.ndarray | None" = None,
+) -> "np.ndarray":
+    """Per-row group labels from per-column code gathers (mixed-radix).
+
+    ``columns`` holds ``(base_codes, level_tables_level, table, level)`` per
+    QI attribute; each column contributes ``gather[base]`` (with suppressed
+    rows redirected to the level's suppression code), packed into one
+    integer per row.  The running product is re-densified after every
+    column so the packing can never overflow ``int64``.
+    """
+    combined: "np.ndarray | None" = None
+    for base_codes, built, table, level in columns:
+        gather = np.frombuffer(built.gather, dtype=np.int64)
+        codes = gather[base_codes]
+        if suppressed_rows is not None and suppressed_rows.size:
+            suppression_code, radix = table.suppression_code(level)
+            codes[suppressed_rows] = suppression_code
+        else:
+            radix = built.count
+        if combined is None:
+            combined = codes
+        else:
+            combined = combined * radix + codes
+            _, combined = np.unique(combined, return_inverse=True)
+    if combined is None:
+        raise AnonymizationError("grouping requires at least one attribute")
+    return combined
+
+
+def recode(
+    dataset: Dataset,
+    hierarchies: Mapping[str, Hierarchy],
+    levels: Levels,
+    suppress: Iterable[int] = (),
+    name: str | None = None,
+) -> Anonymization:
+    """Apply a full-domain recoding (columnar plane).
+
+    Parameters
+    ----------
+    dataset:
+        The table to anonymize.
+    hierarchies:
+        Hierarchy per quasi-identifier attribute name; every QI of the schema
+        must be covered.
+    levels:
+        Generalization level per QI attribute.
+    suppress:
+        Row indices to fully suppress (all QI cells become ``"*"``).
+    name:
+        Optional label; defaults to a description of the level vector.
+    """
+    schema = dataset.schema
+    qi_names = _validate_recode(dataset, hierarchies, levels)
+    suppressed = frozenset(suppress)
+
+    view = dataset.columns()
+    per_attribute: list[tuple[np.ndarray, Level, LevelTable, int]] = []
+    released_columns: dict[str, list[Any]] = {}
+    for attribute in qi_names:
+        column = view.column(attribute)
+        table = level_table(column, hierarchies[attribute])
+        level = levels[attribute]
+        built = table.level(level)
+        base_codes = np.frombuffer(column.codes, dtype=np.int64)
+        per_attribute.append((base_codes, built, table, level))
+        values = built.values
+        released_columns[attribute] = [values[code] for code in column.codes]
+
+    # Assemble released rows column-wise; non-QI columns pass through.
+    source_columns: list[Sequence[Any]] = [
+        released_columns[attribute]
+        if attribute in released_columns
+        else dataset.column(attribute)
+        for attribute in schema.names
+    ]
+    released_rows = list(zip(*source_columns)) if len(dataset) else []
+    if suppressed:
+        qi_positions = [schema.index_of(attribute) for attribute in qi_names]
+        for row_index in sorted(suppressed):
+            if not 0 <= row_index < len(released_rows):
+                continue  # Anonymization() rejects out-of-range indices
+            cells = list(released_rows[row_index])
+            for position in qi_positions:
+                cells[position] = SUPPRESSED
+            released_rows[row_index] = tuple(cells)
+
+    label = name or "recode[" + ",".join(
+        f"{attribute}={levels[attribute]}" for attribute in qi_names
+    ) + "]"
+    anonymization = Anonymization(
+        dataset,
+        dataset.replace_rows(released_rows),
+        suppressed=suppressed,
+        levels={attribute: levels[attribute] for attribute in qi_names},
+        name=label,
+    )
+
+    released = anonymization.released
+    suppressed_rows = (
+        np.fromiter(sorted(suppressed), dtype=np.int64, count=len(suppressed))
+        if suppressed
+        else None
+    )
+
+    def build_classes() -> EquivalenceClasses:
+        labels = packed_group_labels(per_attribute, suppressed_rows)
+        return EquivalenceClasses.from_labels(
+            labels.tolist(), released.quasi_identifier_tuple
+        )
+
+    anonymization._classes_factory = build_classes
+    return anonymization
+
+
+def recode_rowwise(
+    dataset: Dataset,
+    hierarchies: Mapping[str, Hierarchy],
+    levels: Levels,
+    suppress: Iterable[int] = (),
+    name: str | None = None,
+) -> Anonymization:
+    """The reference row-plane recoding (cell-at-a-time hierarchy walks).
+
+    Kept as the executable specification of :func:`recode`: the columnar
+    plane must produce byte-identical releases and partitions.  Used by the
+    golden/property tests and the recode benchmark's baseline; production
+    callers should use :func:`recode`.
+    """
+    schema = dataset.schema
+    qi_names = _validate_recode(dataset, hierarchies, levels)
 
     suppressed = frozenset(suppress)
     qi_positions = {name: schema.index_of(name) for name in qi_names}

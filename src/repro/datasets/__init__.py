@@ -1,6 +1,7 @@
 """Microdata tables, schemas and workload generators."""
 
 from .adult import adult_dataset, adult_hierarchies, adult_schema
+from .columnar import ColumnCodes, ColumnarView
 from .dataset import Dataset, DatasetError, Row, dataset_from_records
 from .io import read_csv, write_csv
 from .hospital import (
@@ -29,6 +30,8 @@ __all__ = [
     "adult_dataset",
     "adult_hierarchies",
     "adult_schema",
+    "ColumnCodes",
+    "ColumnarView",
     "Dataset",
     "DatasetError",
     "Row",

@@ -11,9 +11,12 @@ that the original and anonymized data sets have the same size.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from .schema import Attribute, Schema, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from .columnar import ColumnarView
 
 Row = tuple[Any, ...]
 
@@ -43,7 +46,7 @@ class Dataset:
         Row tuples; each must have exactly ``len(schema)`` values.
     """
 
-    __slots__ = ("_schema", "_rows")
+    __slots__ = ("_schema", "_rows", "_column_cache", "_columnar")
 
     def __init__(self, schema: Schema, rows: Sequence[Sequence[Any]]):
         materialized: list[Row] = []
@@ -57,6 +60,8 @@ class Dataset:
             materialized.append(row_tuple)
         self._schema = schema
         self._rows: tuple[Row, ...] = tuple(materialized)
+        self._column_cache: dict[str, tuple[Any, ...]] = {}
+        self._columnar: Any = None
 
     # -- basic container protocol ------------------------------------------
 
@@ -123,9 +128,31 @@ class Dataset:
     # -- column access ------------------------------------------------------
 
     def column(self, name: str) -> tuple[Any, ...]:
-        """All values of the named column, in row order."""
-        position = self._schema.index_of(name)
-        return tuple(row[position] for row in self._rows)
+        """All values of the named column, in row order.
+
+        The tuple is memoized (the dataset is immutable), so repeated calls
+        return the *same* object — identity-keyed caches downstream (level
+        tables, per-column class histograms) rely on this.
+        """
+        cached = self._column_cache.get(name)
+        if cached is None:
+            position = self._schema.index_of(name)
+            cached = tuple(row[position] for row in self._rows)
+            self._column_cache[name] = cached
+        return cached
+
+    def columns(self) -> "ColumnarView":
+        """The columnar plane of this dataset (interned codes; cached).
+
+        See :mod:`repro.datasets.columnar` — each accessed column is
+        interned once into dense integer codes plus a decode table, shared
+        by every consumer of this dataset object.
+        """
+        if self._columnar is None:
+            from .columnar import ColumnarView
+
+            self._columnar = ColumnarView(self)
+        return self._columnar
 
     def value(self, row_index: int, attribute: str) -> Any:
         """Value of one cell."""

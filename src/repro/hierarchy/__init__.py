@@ -1,6 +1,7 @@
 """Generalization hierarchies and the full-domain lattice."""
 
 from .base import SUPPRESSED, Hierarchy, HierarchyError, Interval
+from .codes import Level, LevelTable, level_table
 from .builder import (
     categorical_hierarchy_from_data,
     infer_hierarchies,
@@ -23,6 +24,9 @@ __all__ = [
     "Hierarchy",
     "HierarchyError",
     "Interval",
+    "Level",
+    "LevelTable",
+    "level_table",
     "categorical_hierarchy_from_data",
     "infer_hierarchies",
     "numeric_hierarchy_from_data",

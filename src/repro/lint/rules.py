@@ -1,10 +1,11 @@
-"""Repo-specific codebase rules (``REP001``–``REP005``).
+"""Repo-specific codebase rules (``REP001``–``REP005``, ``REP008``).
 
 Each rule targets a defect class that has historically invalidated
 anonymization reproductions: hidden non-determinism, tolerance-free float
 comparison inside comparators, Python's mutable-default trap, persisted
-set ordering, and algorithm classes that silently miss the
-:class:`~repro.anonymize.algorithms.base.Anonymizer` contract.
+set ordering, algorithm classes that silently miss the
+:class:`~repro.anonymize.algorithms.base.Anonymizer` contract, and per-row
+generalization loops that bypass the columnar measurement plane.
 
 The rules are registered with :func:`repro.lint.engine.register`; run them
 through :func:`repro.lint.engine.lint_paths` or ``repro lint``.
@@ -526,3 +527,95 @@ class AnonymizerContractRule(Rule):
             if isinstance(statement, ast.FunctionDef) and statement.name == name:
                 return statement
         return None
+
+
+#: Names that conventionally bind a dataset or its row/column material.
+_ROW_SOURCE_NAMES = {"dataset", "rows", "raw"}
+
+
+def _is_row_iterable(node: ast.AST) -> bool:
+    """Whether an iterable expression walks dataset rows or a column."""
+    if isinstance(node, ast.Name):
+        return node.id in _ROW_SOURCE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr == "rows"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "column":
+            return True
+        if isinstance(func, ast.Name) and func.id in {"enumerate", "zip"}:
+            return any(_is_row_iterable(argument) for argument in node.args)
+    return False
+
+
+def _calls_generalize(node: ast.AST) -> ast.Call | None:
+    """The first ``<hierarchy>.generalize(...)`` call under ``node``."""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == "generalize"
+        ):
+            return child
+    return None
+
+
+@register
+class RowwiseGeneralizationRule(Rule):
+    """``REP008`` — per-row generalization loop outside the columnar plane.
+
+    Calling ``hierarchy.generalize`` once per dataset row rediscovers the
+    same few distinct values thousands of times; the columnar measurement
+    plane (``datasets/columnar.py`` interning + ``hierarchy/codes.py``
+    level tables) computes each distinct generalization once and recodes a
+    column with a single gather.  Only the engine's reference row plane
+    and the plane's own builders are sanctioned to loop rows.
+    """
+
+    id = "REP008"
+    title = "per-row hierarchy.generalize loop bypasses the columnar plane"
+    severity = Severity.WARNING
+    hint = (
+        "intern the column (dataset.columns().column(name)) and gather "
+        "through hierarchy.codes.level_table(...) instead"
+    )
+    exempt_suffixes = (
+        "anonymize/engine.py",
+        "datasets/columnar.py",
+        "hierarchy/codes.py",
+    )
+
+    def check(self, context: LintContext) -> Iterator[Diagnostic]:
+        """Flag row-iterating for-loops/comprehensions calling generalize."""
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.For) and _is_row_iterable(node.iter):
+                call = None
+                for statement in node.body:
+                    call = _calls_generalize(statement)
+                    if call is not None:
+                        break
+                if call is not None:
+                    yield self.diagnostic(
+                        context,
+                        call,
+                        "hierarchy.generalize called once per row in a "
+                        "dataset loop",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                if not any(
+                    _is_row_iterable(generator.iter) for generator in node.generators
+                ):
+                    continue
+                if isinstance(node, ast.DictComp):
+                    call = _calls_generalize(node.key) or _calls_generalize(
+                        node.value
+                    )
+                else:
+                    call = _calls_generalize(node.elt)
+                if call is not None:
+                    yield self.diagnostic(
+                        context,
+                        call,
+                        "hierarchy.generalize called once per row in a "
+                        "comprehension over dataset rows",
+                    )

@@ -50,13 +50,12 @@ class PSensitiveKAnonymity(PrivacyModel):
         """Per-tuple ``min(size/k, distinct/p)`` margin (higher is better)."""
         _, column = _sensitive_column(anonymization, self.sensitive_attribute)
         classes = anonymization.equivalence_classes
-        histograms = classes.value_counts(column)
-        margins = []
-        for row_index in range(len(anonymization)):
-            class_index = classes.class_of(row_index)
-            size = classes.size_of(row_index)
-            distinct = len(histograms[class_index])
-            margins.append(min(size / self.k, distinct / self.p))
+        distinct = [len(h) for h in classes.value_counts(column)]
+        sizes = classes.sizes()
+        margins = [
+            min(sizes[row_index] / self.k, distinct[classes.class_of(row_index)] / self.p)
+            for row_index in range(len(anonymization))
+        ]
         return PropertyVector(
             margins, name="p-sensitive-margin", higher_is_better=True
         )

@@ -21,7 +21,11 @@ from typing import Any, Callable, Iterator, Mapping
 
 #: Bumped whenever the semantics of an operation change in a way that
 #: invalidates previously cached results.  Part of every cache key.
-CODE_EPOCH = "1"
+#: "2": measurement moved to the columnar plane (interned codes, level
+#: tables, incremental partitions) — outputs are pinned bit-identical to
+#: the row plane, but row-plane-era cache entries must not satisfy
+#: columnar-era lookups.
+CODE_EPOCH = "2"
 
 
 class TaskError(ValueError):

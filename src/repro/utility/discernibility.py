@@ -15,9 +15,10 @@ from ..anonymize.engine import Anonymization
 def tuple_penalties(anonymization: Anonymization) -> list[int]:
     """Per-tuple discernibility penalty, in row order (lower is better)."""
     total = len(anonymization)
-    classes = anonymization.equivalence_classes
+    sizes = anonymization.equivalence_classes.sizes()
+    suppressed = anonymization.suppressed
     return [
-        total if row_index in anonymization.suppressed else classes.size_of(row_index)
+        total if row_index in suppressed else sizes[row_index]
         for row_index in range(total)
     ]
 

@@ -39,16 +39,22 @@ def tuple_precisions(
             for row_index in range(len(anonymization))
         ]
 
-    positions = {name: schema.index_of(name) for name in qi_names}
+    # Local recoding: score each distinct released cell once through the
+    # interned columns, then gather per row (same floats as direct scoring).
+    view = anonymization.released.columns()
+    scored = []
+    for name in qi_names:
+        column = view.column(name)
+        released_loss = hierarchies[name].released_loss
+        scored.append(
+            (column.codes, [released_loss(value) for value in column.decode])
+        )
     precisions = []
-    for row_index, row in enumerate(anonymization.released):
+    for row_index in range(len(anonymization)):
         if row_index in anonymization.suppressed:
             precisions.append(0.0)
             continue
-        climbed = sum(
-            hierarchies[name].released_loss(row[positions[name]])
-            for name in qi_names
-        )
+        climbed = sum(per_cell[codes[row_index]] for codes, per_cell in scored)
         precisions.append(1.0 - climbed / len(qi_names))
     return precisions
 

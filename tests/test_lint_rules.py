@@ -239,6 +239,68 @@ class TestRep005AnonymizerContract:
         assert lint_source(source, path=PLAIN) == []
 
 
+class TestRep008RowwiseGeneralization:
+    def test_for_loop_over_dataset_is_flagged(self):
+        source = (
+            "def decode(dataset, hierarchy, level):\n"
+            "    out = []\n"
+            "    for row in dataset:\n"
+            "        out.append(hierarchy.generalize(row[0], level))\n"
+            "    return out\n"
+        )
+        findings = lint_source(source, path=PLAIN)
+        assert rule_ids(findings) == ["REP008"]
+
+    def test_comprehension_over_column_is_flagged(self):
+        source = (
+            "def decode(dataset, hierarchy, level):\n"
+            "    return [hierarchy.generalize(v, level)"
+            " for v in dataset.column('age')]\n"
+        )
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP008"]
+
+    def test_enumerate_wrapped_rows_are_flagged(self):
+        source = (
+            "def decode(table, hierarchy):\n"
+            "    for i, row in enumerate(table.rows):\n"
+            "        yield hierarchy.generalize(row[0], 1)\n"
+        )
+        assert rule_ids(lint_source(source, path=PLAIN)) == ["REP008"]
+
+    def test_domain_loops_are_clean(self):
+        # Looping a hierarchy's (tiny) leaf domain is the sanctioned idiom.
+        source = (
+            "def parents(taxonomy, level):\n"
+            "    return [taxonomy.generalize(leaf, level)"
+            " for leaf in taxonomy.leaves]\n"
+        )
+        assert lint_source(source, path=PLAIN) == []
+
+    def test_row_loop_without_generalize_is_clean(self):
+        source = (
+            "def widths(dataset):\n"
+            "    return [len(row) for row in dataset]\n"
+        )
+        assert lint_source(source, path=PLAIN) == []
+
+    def test_engine_reference_plane_is_exempt(self):
+        source = (
+            "def recode_rowwise(dataset, hierarchy, level):\n"
+            "    return [hierarchy.generalize(row[0], level)"
+            " for row in dataset]\n"
+        )
+        path = "src/repro/anonymize/engine.py"
+        assert lint_source(source, path=path) == []
+
+    def test_level_table_builder_is_exempt(self):
+        source = (
+            "def build(raw, hierarchy, level):\n"
+            "    return [hierarchy.generalize(value, level) for value in raw]\n"
+        )
+        path = "src/repro/hierarchy/codes.py"
+        assert lint_source(source, path=path) == []
+
+
 class TestEngine:
     def test_syntax_error_becomes_rep000(self):
         findings = lint_source("def broken(:\n", path=PLAIN)
