@@ -24,6 +24,7 @@ from ...datasets.dataset import Dataset
 from ...hierarchy.base import Hierarchy
 from ...hierarchy.codes import LevelTable, level_table
 from ...hierarchy.lattice import Lattice, Node
+from ...obs import metrics as obs_metrics
 from ..engine import Anonymization, AnonymizationError, recode_node
 
 
@@ -112,8 +113,19 @@ class RecodingWorkspace:
             tuple[str, ...], OrderedDict[Node, _Partition]
         ] = {}
         #: Observable counters for tests/benchmarks: how many partitions
-        #: were computed fresh, derived incrementally, or served from cache.
-        self.partition_stats = {"fresh": 0, "derived": 0, "hits": 0}
+        #: were computed fresh, derived incrementally, served from cache,
+        #: or dropped by the LRU bound.
+        self.partition_stats = {"fresh": 0, "derived": 0, "hits": 0, "evictions": 0}
+
+    def reset_stats(self) -> None:
+        """Zero :attr:`partition_stats` (for per-study reporting).
+
+        The cached partitions themselves are kept — only the counters
+        reset, so two sequential studies sharing a workspace report
+        independent counts instead of cumulative leakage.
+        """
+        for key in self.partition_stats:
+            self.partition_stats[key] = 0
 
     # -- columnar primitives -------------------------------------------------
 
@@ -188,16 +200,21 @@ class RecodingWorkspace:
         if cached is not None:
             cache.move_to_end(node)
             self.partition_stats["hits"] += 1
+            obs_metrics().inc("workspace.partition.hit")
             return cached
         partition = self._derive_partition(node, names, cache)
         if partition is None:
             partition = self._fresh_partition(node, names)
             self.partition_stats["fresh"] += 1
+            obs_metrics().inc("workspace.partition.fresh")
         else:
             self.partition_stats["derived"] += 1
+            obs_metrics().inc("workspace.partition.derived")
         cache[node] = partition
         if len(cache) > self._PARTITION_CACHE_SIZE:
             cache.popitem(last=False)
+            self.partition_stats["evictions"] += 1
+            obs_metrics().inc("workspace.partition.evict")
         return partition
 
     def _fresh_partition(self, node: Node, names: tuple[str, ...]) -> _Partition:

@@ -38,6 +38,8 @@ from ..datasets.dataset import Dataset
 from ..hierarchy.base import SUPPRESSED, Hierarchy
 from ..hierarchy.codes import Level, LevelTable, level_table
 from ..lint.api import ensure_valid_hierarchies
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from .equivalence import EquivalenceClasses
 
 Levels = Mapping[str, int]
@@ -263,48 +265,57 @@ def recode(
     schema = dataset.schema
     qi_names = _validate_recode(dataset, hierarchies, levels)
     suppressed = frozenset(suppress)
+    obs_metrics().inc("engine.recode.calls")
+    obs_metrics().inc("engine.recode.rows", len(dataset))
 
-    view = dataset.columns()
-    per_attribute: list[tuple[np.ndarray, Level, LevelTable, int]] = []
-    released_columns: dict[str, list[Any]] = {}
-    for attribute in qi_names:
-        column = view.column(attribute)
-        table = level_table(column, hierarchies[attribute])
-        level = levels[attribute]
-        built = table.level(level)
-        base_codes = np.frombuffer(column.codes, dtype=np.int64)
-        per_attribute.append((base_codes, built, table, level))
-        values = built.values
-        released_columns[attribute] = [values[code] for code in column.codes]
+    with obs_tracer().span(
+        "recode",
+        category="engine",
+        rows=len(dataset),
+        attributes=len(qi_names),
+        suppressed=len(suppressed),
+    ):
+        view = dataset.columns()
+        per_attribute: list[tuple[np.ndarray, Level, LevelTable, int]] = []
+        released_columns: dict[str, list[Any]] = {}
+        for attribute in qi_names:
+            column = view.column(attribute)
+            table = level_table(column, hierarchies[attribute])
+            level = levels[attribute]
+            built = table.level(level)
+            base_codes = np.frombuffer(column.codes, dtype=np.int64)
+            per_attribute.append((base_codes, built, table, level))
+            values = built.values
+            released_columns[attribute] = [values[code] for code in column.codes]
 
-    # Assemble released rows column-wise; non-QI columns pass through.
-    source_columns: list[Sequence[Any]] = [
-        released_columns[attribute]
-        if attribute in released_columns
-        else dataset.column(attribute)
-        for attribute in schema.names
-    ]
-    released_rows = list(zip(*source_columns)) if len(dataset) else []
-    if suppressed:
-        qi_positions = [schema.index_of(attribute) for attribute in qi_names]
-        for row_index in sorted(suppressed):
-            if not 0 <= row_index < len(released_rows):
-                continue  # Anonymization() rejects out-of-range indices
-            cells = list(released_rows[row_index])
-            for position in qi_positions:
-                cells[position] = SUPPRESSED
-            released_rows[row_index] = tuple(cells)
+        # Assemble released rows column-wise; non-QI columns pass through.
+        source_columns: list[Sequence[Any]] = [
+            released_columns[attribute]
+            if attribute in released_columns
+            else dataset.column(attribute)
+            for attribute in schema.names
+        ]
+        released_rows = list(zip(*source_columns)) if len(dataset) else []
+        if suppressed:
+            qi_positions = [schema.index_of(attribute) for attribute in qi_names]
+            for row_index in sorted(suppressed):
+                if not 0 <= row_index < len(released_rows):
+                    continue  # Anonymization() rejects out-of-range indices
+                cells = list(released_rows[row_index])
+                for position in qi_positions:
+                    cells[position] = SUPPRESSED
+                released_rows[row_index] = tuple(cells)
 
-    label = name or "recode[" + ",".join(
-        f"{attribute}={levels[attribute]}" for attribute in qi_names
-    ) + "]"
-    anonymization = Anonymization(
-        dataset,
-        dataset.replace_rows(released_rows),
-        suppressed=suppressed,
-        levels={attribute: levels[attribute] for attribute in qi_names},
-        name=label,
-    )
+        label = name or "recode[" + ",".join(
+            f"{attribute}={levels[attribute]}" for attribute in qi_names
+        ) + "]"
+        anonymization = Anonymization(
+            dataset,
+            dataset.replace_rows(released_rows),
+            suppressed=suppressed,
+            levels={attribute: levels[attribute] for attribute in qi_names},
+            name=label,
+        )
 
     released = anonymization.released
     suppressed_rows = (

@@ -10,6 +10,8 @@ Subcommands mirror the workflow of the examples:
 * ``repro paper`` — regenerate the paper's running example tables;
 * ``repro study`` — run an algorithm × k grid through the parallel,
   content-addressed study runtime (:mod:`repro.runtime`);
+* ``repro obs`` — summarize a run's trace/metrics artifacts
+  (:mod:`repro.obs`);
 * ``repro lint`` — static analysis (codebase rules + artifact checks).
 
 Invoke as ``python -m repro.cli <command> ...`` (or the module's
@@ -38,6 +40,7 @@ from .core.rproperty import privacy_profile
 from .datasets import adult_dataset, adult_hierarchies, write_csv
 from .datasets import paper_tables
 from .lint import cli as lint_cli
+from .obs import cli as obs_cli
 from .runtime import cli as runtime_cli
 from .utility import discernibility, general_loss
 
@@ -145,6 +148,12 @@ def _parser() -> argparse.ArgumentParser:
     attack.add_argument("--rows", type=int, default=300)
     attack.add_argument("--seed", type=int, default=42)
     attack.add_argument("--trials", type=int, default=1000)
+
+    obs = commands.add_parser(
+        "obs",
+        help="summarize a run directory's trace/metrics artifacts",
+    )
+    obs_cli.configure_parser(obs)
 
     lint = commands.add_parser(
         "lint",
@@ -259,6 +268,7 @@ _HANDLERS = {
     "study": runtime_cli.run,
     "sweep": _cmd_sweep,
     "attack": _cmd_attack,
+    "obs": obs_cli.run,
     "lint": lint_cli.run,
 }
 

@@ -29,12 +29,14 @@ with examples in ``docs/static_analysis.md``.
 """
 
 from .api import (
+    ARTIFACT_RULES,
     apply_baseline,
     check_cache_store,
     check_hierarchies,
     check_hierarchy,
     check_index_registry,
     check_lattice,
+    check_obs_artifacts,
     check_privacy_parameters,
     check_profile,
     check_property_vectors,
@@ -55,12 +57,14 @@ from .engine import LintContext, Rule, RuleVisitor, register
 from .report import render, render_json, render_text
 
 __all__ = [
+    "ARTIFACT_RULES",
     "apply_baseline",
     "check_cache_store",
     "check_hierarchies",
     "check_hierarchy",
     "check_index_registry",
     "check_lattice",
+    "check_obs_artifacts",
     "check_privacy_parameters",
     "check_profile",
     "check_property_vectors",

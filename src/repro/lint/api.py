@@ -19,11 +19,13 @@ from typing import Any, Iterable, Mapping
 
 from ..hierarchy.base import Hierarchy
 from .artifacts import (
+    ARTIFACT_RULES,
     check_cache_store,
     check_hierarchies,
     check_hierarchy,
     check_index_registry,
     check_lattice,
+    check_obs_artifacts,
     check_privacy_parameters,
     check_profile,
     check_property_vectors,
@@ -46,11 +48,13 @@ from . import taint as _taint  # noqa: F401 — importing registers REP101-REP10
 
 __all__ = [
     "apply_baseline",
+    "ARTIFACT_RULES",
     "check_cache_store",
     "check_hierarchies",
     "check_hierarchy",
     "check_index_registry",
     "check_lattice",
+    "check_obs_artifacts",
     "check_privacy_parameters",
     "check_profile",
     "check_property_vectors",

@@ -22,6 +22,7 @@ Rule ids
 ``ART008``  property-vector length (Definition 1)
 ``ART009``  runtime run-log contract (manifest + events)
 ``ART010``  content-addressed cache store integrity
+``ART011``  observability artifact contract (trace + metrics files)
 ========  ====================================================
 """
 
@@ -793,3 +794,227 @@ def check_cache_store(root: str | Path, label: str | None = None) -> list[Diagno
     if entries == 0:
         out.info("ART010", "cache store holds no entries", **where)
     return out.findings
+
+
+def _check_trace_payload(
+    payload: Mapping[str, Any], out: DiagnosticCollector, where: Mapping[str, Any]
+) -> None:
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        out.error("ART011", "trace file has no traceEvents list", **where)
+        return
+    span_ids: set[int] = set()
+    parents: list[tuple[int, int]] = []
+    last_ts = None
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            out.error("ART011", f"trace event #{position} is not an object", **where)
+            continue
+        phase = event.get("ph")
+        if phase not in {"X", "M"}:
+            out.error(
+                "ART011",
+                f"trace event #{position} has phase {phase!r}; the exporter "
+                "only emits complete ('X') and metadata ('M') events",
+                **where,
+            )
+            continue
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        dur = event.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            out.error(
+                "ART011",
+                f"trace event #{position} lacks a non-negative numeric ts",
+                **where,
+            )
+        elif last_ts is not None and ts < last_ts:
+            out.error(
+                "ART011",
+                f"trace event #{position} goes back in time ({ts} < {last_ts}); "
+                "the exporter sorts events by start",
+                **where,
+            )
+        else:
+            last_ts = ts
+        if not isinstance(dur, (int, float)) or dur < 0:
+            out.error(
+                "ART011",
+                f"trace event #{position} lacks a non-negative duration",
+                **where,
+            )
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            out.error("ART011", f"trace event #{position} has no name", **where)
+        args = event.get("args", {})
+        span_id = args.get("span") if isinstance(args, dict) else None
+        if not isinstance(span_id, int):
+            out.error(
+                "ART011",
+                f"trace event #{position} lacks an integer args.span id",
+                hint="span/parent ids in args make the tree recoverable",
+                **where,
+            )
+            continue
+        if span_id in span_ids:
+            out.error(
+                "ART011",
+                f"trace event #{position} reuses span id {span_id}",
+                **where,
+            )
+        span_ids.add(span_id)
+        parent = args.get("parent")
+        if parent is not None:
+            if not isinstance(parent, int):
+                out.error(
+                    "ART011",
+                    f"trace event #{position} has a non-integer parent id",
+                    **where,
+                )
+            else:
+                parents.append((position, parent))
+    for position, parent in parents:
+        if parent not in span_ids:
+            out.error(
+                "ART011",
+                f"trace event #{position} references parent span {parent} "
+                "which the file does not contain",
+                hint="the exporter drops parents outside the exported slice",
+                **where,
+            )
+    if not span_ids:
+        out.warning("ART011", "trace file contains no spans", **where)
+
+
+#: Relative tolerance for the histogram sum-bounds check (float summation).
+_HISTOGRAM_TOLERANCE = 1e-9
+
+
+def _check_metrics_payload(
+    payload: Mapping[str, Any], out: DiagnosticCollector, where: Mapping[str, Any]
+) -> None:
+    schema = payload.get("schema")
+    if schema != "repro.obs/metrics@1":
+        out.error(
+            "ART011",
+            f"metrics snapshot has schema {schema!r}; expected 'repro.obs/metrics@1'",
+            **where,
+        )
+    counters = payload.get("counters", {})
+    if not isinstance(counters, dict):
+        out.error("ART011", "metrics counters must be an object", **where)
+        counters = {}
+    for name, value in counters.items():
+        if not isinstance(value, (int, float)) or value < 0:
+            out.error(
+                "ART011",
+                f"counter {name!r} must be a non-negative number, got {value!r}",
+                hint="counters are monotone sums; a negative value means corruption",
+                **where,
+            )
+    histograms = payload.get("histograms", {})
+    if not isinstance(histograms, dict):
+        out.error("ART011", "metrics histograms must be an object", **where)
+        histograms = {}
+    for name, stats in histograms.items():
+        if not isinstance(stats, dict):
+            out.error("ART011", f"histogram {name!r} is not an object", **where)
+            continue
+        count = stats.get("count")
+        total = stats.get("sum")
+        low = stats.get("min")
+        high = stats.get("max")
+        if not isinstance(count, int) or count < 1:
+            out.error(
+                "ART011",
+                f"histogram {name!r} count must be a positive integer, got {count!r}",
+                hint="empty histograms are omitted from snapshots",
+                **where,
+            )
+            continue
+        numeric = all(isinstance(v, (int, float)) for v in (total, low, high))
+        if not numeric:
+            out.error(
+                "ART011",
+                f"histogram {name!r} needs numeric sum/min/max",
+                **where,
+            )
+            continue
+        if low > high:
+            out.error(
+                "ART011",
+                f"histogram {name!r} has min {low} > max {high}",
+                **where,
+            )
+            continue
+        slack = _HISTOGRAM_TOLERANCE * max(abs(total), count * max(abs(low), abs(high)), 1.0)
+        if not (count * low - slack <= total <= count * high + slack):
+            out.error(
+                "ART011",
+                f"histogram {name!r} sum {total} leaves the bounds implied by "
+                f"count={count}, min={low}, max={high}",
+                hint="count·min <= sum <= count·max must hold for any sample set",
+                **where,
+            )
+
+
+def check_obs_artifacts(path: str | Path, label: str | None = None) -> list[Diagnostic]:
+    """Validate an exported trace or metrics file (``ART011``).
+
+    Dispatches on content: an object with a ``traceEvents`` list is checked
+    as a Chrome-trace export (phases restricted to the exporter's ``X``/``M``
+    vocabulary, monotone non-negative timestamps, non-negative durations,
+    unique integer span ids, parent references resolvable within the file);
+    an object carrying the ``repro.obs/metrics@1`` schema (or ``counters``/
+    ``histograms`` keys) is checked as a metrics snapshot (non-negative
+    counters, histogram ``count >= 1`` with ``count·min <= sum <= count·max``).
+    Anything else is an error — the file is not an observability artifact.
+    """
+    out = DiagnosticCollector()
+    file_path = Path(path)
+    where = {"path": label or str(file_path)}
+    try:
+        with file_path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        out.error("ART011", f"{file_path} does not exist", **where)
+        return out.findings
+    except (json.JSONDecodeError, OSError) as exc:
+        out.error("ART011", f"{file_path} is not readable JSON: {exc}", **where)
+        return out.findings
+    if not isinstance(payload, dict):
+        out.error("ART011", "observability artifacts are JSON objects", **where)
+        return out.findings
+    if isinstance(payload.get("traceEvents"), list):
+        _check_trace_payload(payload, out, where)
+    elif payload.get("schema") == "repro.obs/metrics@1" or (
+        "counters" in payload and "histograms" in payload
+    ):
+        _check_metrics_payload(payload, out, where)
+    else:
+        out.error(
+            "ART011",
+            f"{file_path} is neither a trace (no traceEvents) nor a metrics "
+            "snapshot (no repro.obs/metrics@1 schema)",
+            hint="point at the trace.json / metrics.json a traced run exported",
+            **where,
+        )
+    return out.findings
+
+
+#: Artifact rule ids -> one-line descriptions, for ``--select`` validation
+#: (artifact rules live outside the AST-rule registry in :mod:`.engine`).
+ARTIFACT_RULES: dict[str, str] = {
+    "ART001": "hierarchy completeness (chain to the root)",
+    "ART002": "hierarchy monotonicity (levels must coarsen)",
+    "ART003": "hierarchy loss contract (0 at raw, 1 at top, monotone)",
+    "ART004": "lattice well-formedness",
+    "ART005": "privacy-parameter sanity",
+    "ART006": "unary quality-index contract (Definition 3)",
+    "ART007": "r-property profile contract (Definition 2)",
+    "ART008": "property-vector length (Definition 1)",
+    "ART009": "runtime run-log contract (manifest + events)",
+    "ART010": "content-addressed cache store integrity",
+    "ART011": "observability artifact contract (trace + metrics files)",
+}

@@ -78,9 +78,40 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         nargs="+",
         metavar="PATH",
         help="validate runtime artifacts at PATH: a study run directory "
-        "(manifest.json + events.jsonl, ART009) and/or a content-addressed "
-        "cache store (objects/, ART010)",
+        "(manifest.json + events.jsonl, ART009; trace.json/metrics.json, "
+        "ART011), a content-addressed cache store (objects/, ART010), or "
+        "an exported trace/metrics JSON file (ART011)",
     )
+
+
+def _split_selectors(select: Sequence[str] | None) -> tuple[list[str] | None, list[str]]:
+    """Partition ``--select`` into (code selectors, artifact selectors).
+
+    Artifact rules (``ART...``) live outside the AST-rule registry, so they
+    are validated here against :data:`repro.lint.artifacts.ARTIFACT_RULES`
+    with the same prefix semantics the code-rule engine uses.  Raises
+    ``ValueError`` on a selector matching neither family.
+    """
+    if select is None:
+        return None, []
+    code: list[str] = []
+    artifact: list[str] = []
+    for selector in select:
+        if selector.upper().startswith("ART"):
+            matches = [
+                rule_id
+                for rule_id in api.ARTIFACT_RULES
+                if rule_id == selector or rule_id.startswith(selector)
+            ]
+            if not matches:
+                raise ValueError(
+                    f"unknown artifact rule selector {selector!r}; "
+                    f"known: {sorted(api.ARTIFACT_RULES)}"
+                )
+            artifact.append(selector)
+        else:
+            code.append(selector)
+    return (code or None), artifact
 
 
 def run(args: argparse.Namespace) -> int:
@@ -90,8 +121,12 @@ def run(args: argparse.Namespace) -> int:
         return 2
     findings: list[Diagnostic] = []
     try:
-        if not args.no_code:
-            findings.extend(api.lint_paths(args.paths, select=args.select))
+        code_select, artifact_select = _split_selectors(args.select)
+        # A --select naming only artifact rules asks for artifact checks, not
+        # a full code sweep under "no filter".
+        run_code = not args.no_code and not (args.select and code_select is None)
+        if run_code:
+            findings.extend(api.lint_paths(args.paths, select=code_select))
     except ValueError as exc:  # unknown rule id or nonexistent path
         print(exc)
         return 2
@@ -102,6 +137,9 @@ def run(args: argparse.Namespace) -> int:
         if not target.exists():
             print(f"--runtime path does not exist: {runtime_path}")
             return 2
+        if target.is_file():
+            findings.extend(api.check_obs_artifacts(target))
+            continue
         is_run = (target / "manifest.json").exists() or (
             target / "events.jsonl"
         ).exists()
@@ -109,13 +147,31 @@ def run(args: argparse.Namespace) -> int:
         if not is_run and not is_store:
             print(
                 f"--runtime path {runtime_path} is neither a run directory "
-                "(no manifest.json/events.jsonl) nor a cache store (no objects/)"
+                "(no manifest.json/events.jsonl), a cache store (no objects/), "
+                "nor a trace/metrics file"
             )
             return 2
         if is_run:
             findings.extend(api.check_run_artifacts(target))
+            for artifact_name in ("trace.json", "metrics.json"):
+                artifact_path = target / artifact_name
+                if artifact_path.exists():
+                    findings.extend(api.check_obs_artifacts(artifact_path))
         if is_store:
             findings.extend(api.check_cache_store(target))
+
+    if artifact_select:
+        # Code findings were already narrowed by the engine; apply the same
+        # prefix filter across everything so --select governs the report.
+        selectors = tuple(artifact_select) + tuple(code_select or ())
+        findings = [
+            finding
+            for finding in findings
+            if any(
+                finding.rule == selector or finding.rule.startswith(selector)
+                for selector in selectors
+            )
+        ]
 
     baseline_note = ""
     if args.baseline and args.update_baseline:

@@ -1,0 +1,51 @@
+"""The ``repro obs`` subcommand.
+
+Currently one action: ``repro obs summarize RUN_DIR`` — render the
+observability report (slowest tasks, cache hit-rate by algorithm,
+partition-reuse rate) for a run directory produced by a traced
+``repro study --run-dir`` invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .summary import summarize_run
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro obs`` arguments to a subcommand parser."""
+    actions = parser.add_subparsers(dest="obs_action", required=True)
+    summarize = actions.add_parser(
+        "summarize",
+        help="report slowest tasks, cache hit-rates and partition reuse "
+        "for one run directory",
+    )
+    summarize.add_argument(
+        "run_dir",
+        help="a study run directory (repro study --run-dir ...)",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute ``repro obs`` and return the process exit code."""
+    if args.obs_action == "summarize":
+        run_path = Path(args.run_dir)
+        if not run_path.is_dir():
+            print(f"not a run directory: {args.run_dir}")
+            return 2
+        has_artifacts = any(
+            (run_path / name).exists()
+            for name in ("manifest.json", "events.jsonl", "trace.json")
+        )
+        if not has_artifacts:
+            print(
+                f"{args.run_dir} holds no run artifacts "
+                "(expected manifest.json / events.jsonl / trace.json)"
+            )
+            return 2
+        print(summarize_run(run_path))
+        return 0
+    print(f"unknown obs action {args.obs_action!r}")
+    return 2

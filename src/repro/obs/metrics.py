@@ -1,0 +1,187 @@
+"""Counters, gauges, and histograms for the study runtime.
+
+A :class:`MetricsRegistry` is a plain in-process accumulator: counters are
+monotone sums, gauges are last-write-wins values, histograms keep
+``count/sum/min/max`` (enough for hit-rates and latency summaries without
+bucketing policy).  Snapshots are flat JSON-able dicts under a versioned
+schema string, so they can be written next to a run manifest, merged across
+worker processes, and validated by lint rule ART011.
+
+The disabled path is :data:`NULL_METRICS`, whose mutators are no-ops — the
+same zero-overhead contract as :class:`repro.obs.trace.NullTracer`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: Schema tag stamped into every snapshot; bump on incompatible changes.
+METRICS_SCHEMA = "repro.obs/metrics@1"
+
+
+class NullMetrics:
+    """Metrics sink of the disabled path: every mutator is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        pass
+
+    def mark(self) -> dict[str, Any]:
+        return {}
+
+    def delta_since(self, mark: Mapping[str, Any]) -> dict[str, Any]:
+        return self.snapshot()
+
+
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """An enabled metrics sink accumulating counters/gauges/histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, sum, min, max]
+        self._histograms: dict[str, list[float]] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at zero)."""
+        if value < 0:
+            raise ValueError(f"counter increment must be >= 0, got {value}")
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram ``name``."""
+        stats = self._histograms.get(name)
+        if stats is None:
+            self._histograms[name] = [1, value, value, value]
+        else:
+            stats[0] += 1
+            stats[1] += value
+            if value < stats[2]:
+                stats[2] = value
+            if value > stats[3]:
+                stats[3] = value
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (zero if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A flat JSON-able copy of all metrics, keys sorted.
+
+        Histograms render as ``{"count", "sum", "min", "max"}`` mappings.
+        """
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name] for name in sorted(self._gauges)},
+            "histograms": {
+                name: {
+                    "count": stats[0],
+                    "sum": stats[1],
+                    "min": stats[2],
+                    "max": stats[3],
+                }
+                for name, stats in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot (e.g. shipped back from a worker) into this one.
+
+        Counters add, gauges last-write-win, histograms combine their
+        count/sum/min/max summaries.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            self._gauges[name] = value
+        for name, incoming in snapshot.get("histograms", {}).items():
+            stats = self._histograms.get(name)
+            if stats is None:
+                self._histograms[name] = [
+                    incoming["count"],
+                    incoming["sum"],
+                    incoming["min"],
+                    incoming["max"],
+                ]
+            else:
+                stats[0] += incoming["count"]
+                stats[1] += incoming["sum"]
+                if incoming["min"] < stats[2]:
+                    stats[2] = incoming["min"]
+                if incoming["max"] > stats[3]:
+                    stats[3] = incoming["max"]
+
+    def mark(self) -> dict[str, Any]:
+        """A snapshot usable as a baseline for :meth:`delta_since`."""
+        return self.snapshot()
+
+    def delta_since(self, mark: Mapping[str, Any]) -> dict[str, Any]:
+        """What accumulated after ``mark`` was taken.
+
+        Counters subtract (dropping zero deltas); gauges report their
+        current values; histograms subtract count/sum and keep current
+        min/max (exact bounds of only-the-delta samples are not
+        recoverable from summaries, and hit-rates — the quantity consumed
+        downstream — need only count and sum).  This is what gives a
+        long-lived process per-run metric reporting instead of cumulative
+        leakage across studies.
+        """
+        current = self.snapshot()
+        base_counters = mark.get("counters", {})
+        counters = {}
+        for name, value in current["counters"].items():
+            delta = value - base_counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+        base_hists = mark.get("histograms", {})
+        histograms = {}
+        for name, stats in current["histograms"].items():
+            base = base_hists.get(name)
+            if base is None:
+                histograms[name] = stats
+                continue
+            count = stats["count"] - base["count"]
+            if count <= 0:
+                continue
+            histograms[name] = {
+                "count": count,
+                "sum": stats["sum"] - base["sum"],
+                "min": stats["min"],
+                "max": stats["max"],
+            }
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": counters,
+            "gauges": current["gauges"],
+            "histograms": histograms,
+        }

@@ -1,0 +1,166 @@
+"""Observability reports over study run directories.
+
+``repro obs summarize RUN_DIR`` reads the artifacts one traced run leaves
+behind — ``manifest.json``, ``events.jsonl``, ``trace.json``,
+``metrics.json`` — and renders the three questions the runtime could not
+answer before this plane existed: where did the time go (slowest task
+spans), where did the cache hits go (hit-rate by algorithm), and how much
+partition work was reused instead of recomputed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from .export import read_metrics_snapshot, spans_from_trace_file
+from .trace import TASK_CATEGORY, slowest_spans
+
+#: How many spans the slowest-tasks section lists.
+SLOWEST_LIMIT = 10
+
+
+def algorithm_of_task(task_id: str) -> str | None:
+    """The algorithm name a study task id belongs to, if any.
+
+    Study task ids are ``anonymize:<label>``, ``measure:<metric>:<label>``
+    and ``compare:<metric>``; cell labels look like ``datafly[k=5]`` (with
+    an optional ``#n`` duplicate suffix).  ``compare`` tasks span the whole
+    family and carry no single algorithm.
+    """
+    if task_id.startswith("anonymize:"):
+        label = task_id[len("anonymize:"):]
+    elif task_id.startswith("measure:"):
+        remainder = task_id[len("measure:"):]
+        _, _, label = remainder.partition(":")
+    else:
+        return None
+    name = label.split("[", 1)[0].split("#", 1)[0]
+    return name or None
+
+
+def cache_rates_by_algorithm(events: list[dict[str, Any]]) -> dict[str, dict[str, int]]:
+    """Per-algorithm ``{"hits", "executed"}`` tallies from an event log."""
+    tallies: dict[str, dict[str, int]] = {}
+    for event in events:
+        kind = event.get("event")
+        if kind not in ("cache-hit", "finished"):
+            continue
+        task = event.get("task")
+        if not isinstance(task, str):
+            continue
+        algorithm = algorithm_of_task(task)
+        if algorithm is None:
+            continue
+        bucket = tallies.setdefault(algorithm, {"hits": 0, "executed": 0})
+        bucket["hits" if kind == "cache-hit" else "executed"] += 1
+    return tallies
+
+
+def partition_reuse(counters: Mapping[str, Any]) -> dict[str, float] | None:
+    """Partition-derivation tallies + reuse rate from a metrics snapshot.
+
+    Reuse counts every partition request *not* grouped from scratch —
+    LRU hits and incremental derivations — over all requests.  Returns
+    ``None`` when the run recorded no partition activity.
+    """
+    fresh = float(counters.get("workspace.partition.fresh", 0))
+    derived = float(counters.get("workspace.partition.derived", 0))
+    hits = float(counters.get("workspace.partition.hit", 0))
+    total = fresh + derived + hits
+    if total == 0:
+        return None
+    return {
+        "fresh": fresh,
+        "derived": derived,
+        "hits": hits,
+        "reuse_rate": (derived + hits) / total,
+    }
+
+
+def summarize_run(run_dir: str | Path) -> str:
+    """The full text report for one run directory."""
+    # Late import: repro.runtime transitively imports the engine; obs must
+    # stay importable without it for the zero-dependency core.
+    from ..runtime.events import (
+        EVENTS_FILENAME,
+        METRICS_FILENAME,
+        TRACE_FILENAME,
+        read_events,
+        read_manifest,
+    )
+
+    run_path = Path(run_dir)
+    lines: list[str] = [f"run: {run_path}"]
+
+    manifest: dict[str, Any] | None = None
+    try:
+        manifest = read_manifest(run_path)
+    except (OSError, ValueError):
+        lines.append("manifest: missing or unreadable")
+    if manifest is not None:
+        lines.append(
+            f"status: {manifest.get('status', '?')}  "
+            f"tasks: {manifest.get('tasks', '?')}  "
+            f"executed: {manifest.get('executed', '?')}  "
+            f"cache hits: {manifest.get('cache_hits', '?')}  "
+            f"wall: {manifest.get('wall_seconds', 0.0):.2f}s"
+        )
+
+    trace_path = run_path / TRACE_FILENAME
+    if trace_path.exists():
+        spans = spans_from_trace_file(trace_path)
+        slowest = slowest_spans(spans, SLOWEST_LIMIT, categories=[TASK_CATEGORY])
+        if slowest:
+            lines.append("")
+            lines.append(f"slowest tasks (top {len(slowest)} of {len(spans)} spans):")
+            width = max(len(span.name) for span in slowest)
+            for span in slowest:
+                lines.append(f"  {span.name.ljust(width)}  {span.duration * 1e3:9.2f} ms")
+    else:
+        lines.append(f"trace: no {TRACE_FILENAME} (run was not traced)")
+
+    events = read_events(run_path / EVENTS_FILENAME)
+    rates = cache_rates_by_algorithm(events)
+    if rates:
+        lines.append("")
+        lines.append("cache hit-rate by algorithm:")
+        width = max(len(name) for name in rates)
+        for name in sorted(rates):
+            bucket = rates[name]
+            total = bucket["hits"] + bucket["executed"]
+            rate = bucket["hits"] / total * 100.0 if total else 0.0
+            lines.append(
+                f"  {name.ljust(width)}  {bucket['hits']:>4} hit / "
+                f"{total:>4} task(s)  ({rate:5.1f}%)"
+            )
+
+    metrics_path = run_path / METRICS_FILENAME
+    if metrics_path.exists():
+        snapshot = read_metrics_snapshot(metrics_path)
+        counters = snapshot.get("counters", {})
+        reuse = partition_reuse(counters)
+        lines.append("")
+        if reuse is not None:
+            lines.append(
+                f"partition reuse: {reuse['reuse_rate'] * 100.0:.1f}% "
+                f"({reuse['fresh']:.0f} fresh, {reuse['derived']:.0f} derived, "
+                f"{reuse['hits']:.0f} LRU hit(s))"
+            )
+        else:
+            lines.append("partition reuse: no partition activity recorded")
+        cache_counters = {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith("cache.")
+        }
+        if cache_counters:
+            rendered = "  ".join(
+                f"{name.removeprefix('cache.')}={value:.0f}"
+                for name, value in cache_counters.items()
+            )
+            lines.append(f"result cache: {rendered}")
+    else:
+        lines.append(f"metrics: no {METRICS_FILENAME} (run was not traced)")
+
+    return "\n".join(lines)

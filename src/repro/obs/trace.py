@@ -1,0 +1,318 @@
+"""Deterministic span tracing for the study runtime.
+
+A :class:`Span` is one timed interval with an explicit integer id and an
+explicit parent id — no thread-locals, no global interning — so a recorded
+span list is picklable, can cross the worker-pool boundary, and two runs of
+the same serial study under the same clock produce byte-identical spans.
+
+The clock is injected (``time.perf_counter`` by default): tests pin a
+:class:`FakeClock` and get fully deterministic timestamps, which is what
+makes the golden trace fixture possible.  Span ids are allocated
+sequentially per tracer; worker-side spans are re-based into the
+coordinator's id space by :meth:`Tracer.graft`, which also shifts their
+timestamps onto the coordinator's clock axis.
+
+The disabled path is a :class:`NullTracer` whose :meth:`~NullTracer.span`
+returns one shared no-op context manager — no allocation, no branches in
+instrumented code, and bit-identical behavior of everything it wraps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+#: Span category used by executor task spans (one per attempt).
+TASK_CATEGORY = "task"
+
+
+@dataclasses.dataclass
+class Span:
+    """One completed timed interval.
+
+    ``span_id``/``parent_id`` are explicit (``parent_id`` is ``None`` for
+    roots), so the tree structure survives pickling and process boundaries
+    without any ambient state.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start: float
+    end: float
+    args: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock length of the span in clock units (seconds)."""
+        return self.end - self.start
+
+
+class _ActiveSpan:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span_id(self) -> int:
+        return self._span.span_id
+
+    @property
+    def duration(self) -> float:
+        """Span length; only meaningful after ``__exit__``."""
+        return self._span.duration
+
+    def set(self, **args: Any) -> None:
+        """Attach extra arguments to the span."""
+        self._span.args.update(args)
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> bool:
+        if exc_type is not None:
+            self._span.args["error"] = exc_type.__name__
+        self._tracer._close(self._span)
+        return False
+
+
+class NullSpan:
+    """The shared no-op span of the disabled path."""
+
+    __slots__ = ()
+
+    span_id = 0
+    duration = 0.0
+
+    def set(self, **args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer of the disabled path: every call is a no-op.
+
+    ``span`` returns the one shared :data:`NULL_SPAN` instance, so the
+    untraced hot path performs no allocation and records nothing.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    spans: tuple[Span, ...] = ()
+
+    def span(self, name: str, category: str = "runtime", **args: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def now(self) -> float:
+        return 0.0
+
+    def current_id(self) -> int | None:
+        return None
+
+    def graft(
+        self,
+        spans: Sequence[Span],
+        parent_id: int | None = None,
+        shift: float = 0.0,
+    ) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records spans against an injected monotonic clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning monotonically non-decreasing
+        floats.  Defaults to ``time.perf_counter``; tests inject a
+        :class:`FakeClock` for deterministic fixtures.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.clock = clock if clock is not None else time.perf_counter
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def now(self) -> float:
+        """The current clock reading."""
+        return self.clock()
+
+    def current_id(self) -> int | None:
+        """Id of the innermost open span (``None`` outside any span)."""
+        return self._stack[-1] if self._stack else None
+
+    def _allocate_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def span(self, name: str, category: str = "runtime", **args: Any) -> _ActiveSpan:
+        """Open a span as a context manager; recorded when it exits."""
+        span = Span(
+            span_id=self._allocate_id(),
+            parent_id=self.current_id(),
+            name=name,
+            category=category,
+            start=self.clock(),
+            end=0.0,
+            args=dict(args),
+        )
+        self._stack.append(span.span_id)
+        return _ActiveSpan(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = self.clock()
+        # Spans always close innermost-first (context managers), but guard
+        # against a caller holding one open across another's exit.
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        elif span.span_id in self._stack:
+            self._stack.remove(span.span_id)
+        self.spans.append(span)
+
+    def graft(
+        self,
+        spans: Sequence[Span],
+        parent_id: int | None = None,
+        shift: float = 0.0,
+    ) -> None:
+        """Adopt foreign (worker-side) spans into this tracer.
+
+        Ids are re-based into this tracer's sequence (preserving the
+        foreign parent/child structure); foreign roots become children of
+        ``parent_id`` (or of the current open span when ``None``); all
+        timestamps are shifted by ``shift`` to land on this tracer's clock
+        axis.
+        """
+        if parent_id is None:
+            parent_id = self.current_id()
+        mapping = {span.span_id: self._allocate_id() for span in spans}
+        for span in spans:
+            self.spans.append(
+                Span(
+                    span_id=mapping[span.span_id],
+                    parent_id=mapping.get(span.parent_id, parent_id),
+                    name=span.name,
+                    category=span.category,
+                    start=span.start + shift,
+                    end=span.end + shift,
+                    args=dict(span.args),
+                )
+            )
+
+
+class FakeClock:
+    """A deterministic clock: every reading advances by a fixed step.
+
+    Injected into :class:`Tracer` by tests and the golden-fixture
+    generator so span timestamps depend only on the *sequence* of clock
+    reads, never on the machine.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.001):
+        self._now = float(start)
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        self._now += self._step
+        return self._now
+
+
+def span_index(spans: Iterable[Span]) -> dict[int, Span]:
+    """Spans keyed by id (raises on duplicate ids)."""
+    index: dict[int, Span] = {}
+    for span in spans:
+        if span.span_id in index:
+            raise ValueError(f"duplicate span id {span.span_id}")
+        index[span.span_id] = span
+    return index
+
+
+def span_tree(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """The forest structure of a span list, timing-free.
+
+    Returns nested ``{"name", "category", "children"}`` dicts with
+    children (and roots) sorted by ``(name, category)`` recursively — the
+    canonical form used to compare a serial run's trace against a parallel
+    one, where only scheduling order may differ.
+    """
+    children: dict[int | None, list[Span]] = {}
+    index = span_index(spans)
+    for span in index.values():
+        parent = span.parent_id if span.parent_id in index else None
+        children.setdefault(parent, []).append(span)
+
+    def build(span: Span) -> dict[str, Any]:
+        return {
+            "name": span.name,
+            "category": span.category,
+            "children": sorted(
+                (build(child) for child in children.get(span.span_id, ())),
+                key=lambda node: (node["name"], node["category"]),
+            ),
+        }
+
+    return sorted(
+        (build(root) for root in children.get(None, ())),
+        key=lambda node: (node["name"], node["category"]),
+    )
+
+
+def slowest_spans(
+    spans: Iterable[Span],
+    limit: int = 10,
+    categories: Sequence[str] | None = None,
+) -> list[Span]:
+    """The ``limit`` longest spans, optionally restricted to categories."""
+    wanted = None if categories is None else set(categories)
+    pool = [
+        span
+        for span in spans
+        if wanted is None or span.category in wanted
+    ]
+    pool.sort(key=lambda span: (-span.duration, span.name, span.span_id))
+    return pool[:limit]
+
+
+def spans_from_payload(records: Iterable[Mapping[str, Any]]) -> list[Span]:
+    """Rebuild spans from their dict form (trace files, JSON payloads)."""
+    spans = []
+    for record in records:
+        spans.append(
+            Span(
+                span_id=int(record["span_id"]),
+                parent_id=(
+                    None
+                    if record.get("parent_id") is None
+                    else int(record["parent_id"])
+                ),
+                name=str(record["name"]),
+                category=str(record.get("category", "runtime")),
+                start=float(record["start"]),
+                end=float(record["end"]),
+                args=dict(record.get("args", {})),
+            )
+        )
+    return spans

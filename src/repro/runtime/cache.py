@@ -28,6 +28,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
+from ..obs import metrics as obs_metrics
 from .task import CacheKey
 
 #: Sentinel distinguishing "miss" from a cached ``None`` value.
@@ -102,18 +103,22 @@ class ResultCache:
             value = entry["value"]
         except FileNotFoundError:
             self.stats.misses += 1
+            obs_metrics().inc("cache.miss")
             return MISS
         except Exception:
             # Truncated pickle, unreadable file, foreign payload: recover
             # by dropping the entry.
             self.stats.corrupt += 1
             self.stats.misses += 1
+            obs_metrics().inc("cache.corrupt_healed")
+            obs_metrics().inc("cache.miss")
             try:
                 path.unlink()
             except OSError:
                 pass
             return MISS
         self.stats.hits += 1
+        obs_metrics().inc("cache.hit")
         try:
             os.utime(path)  # refresh LRU recency
         except OSError:
@@ -142,6 +147,7 @@ class ResultCache:
                 pass
             raise
         self.stats.writes += 1
+        obs_metrics().inc("cache.write")
         if self.max_bytes is not None:
             self._evict(protect=path)
         return path
@@ -168,6 +174,7 @@ class ResultCache:
             except OSError:
                 continue
             self.stats.evictions += 1
+            obs_metrics().inc("cache.evict")
             total -= size
             if total <= self.max_bytes:
                 break

@@ -4,12 +4,17 @@ Runs an algorithm × k grid through the study runtime: parallel execution
 (``--jobs``), content-addressed memoization (``--cache-dir``), JSONL run
 logs (``--run-dir``), per-task timeout/retry, and a ``--expect-cached``
 assertion for CI warm-cache checks (exit code 3 when anything executed).
+``--trace FILE`` / ``--metrics FILE`` enable the observability plane
+(:mod:`repro.obs`) and export a Chrome-trace span file and a flat metrics
+snapshot for the whole invocation.
 """
 
 from __future__ import annotations
 
 import argparse
 
+from ..obs import Observation
+from ..obs.export import write_chrome_trace, write_metrics_snapshot
 from .cache import ResultCache
 from .events import RunLog
 from .executor import ExecutionError
@@ -58,7 +63,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="worker processes (1 = serial in-process, the default)",
     )
     parser.add_argument(
-        "--metrics",
+        "--measures",
         nargs="+",
         choices=sorted(SCALAR_MEASURES),
         default=["k_achieved", "suppressed", "lm", "dm"],
@@ -110,6 +115,18 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="fail (exit 3) unless every task was a cache hit",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="enable span tracing and write a Chrome-trace JSON file",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="enable metric collection and write a JSON snapshot file",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -123,7 +140,7 @@ def run(args: argparse.Namespace) -> int:
     spec = StudySpec(
         dataset=dataset,
         algorithms=cells,
-        scalar_measures=tuple(args.metrics),
+        scalar_measures=tuple(args.measures),
         vector_properties=tuple(args.properties),
         compare=not args.no_compare,
         seed=args.seed,
@@ -133,6 +150,7 @@ def run(args: argparse.Namespace) -> int:
         max_bytes = None if args.cache_max_mb is None else args.cache_max_mb * 1024 * 1024
         cache = ResultCache(args.cache_dir, max_bytes=max_bytes)
     log = RunLog(args.run_dir) if args.run_dir else None
+    observation = Observation() if (args.trace or args.metrics) else None
 
     try:
         result = run_study(
@@ -142,10 +160,19 @@ def run(args: argparse.Namespace) -> int:
             log=log,
             timeout=args.timeout,
             retries=args.retries,
+            obs=observation,
         )
     except ExecutionError as exc:
         print(f"study failed: {exc}")
         return 1
+
+    if observation is not None:
+        if args.trace:
+            path = write_chrome_trace(observation.trace.spans, args.trace)
+            print(f"trace: {len(observation.trace.spans)} span(s) -> {path}")
+        if args.metrics:
+            path = write_metrics_snapshot(observation.metrics.snapshot(), args.metrics)
+            print(f"metrics: snapshot -> {path}")
 
     print(
         f"study: {len(args.algorithms)} algorithm(s) x {len(args.ks)} k value(s) "

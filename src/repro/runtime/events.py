@@ -12,8 +12,13 @@ A run directory holds two artifacts:
   atomically at start (``status: "running"``) and rewritten at the end, so
   an interrupted run is recognizable by its stale ``running`` status.
 
+A run executed under an enabled observation (``repro study --trace``)
+additionally drops ``trace.json`` (Chrome-trace spans) and ``metrics.json``
+(a flat counter/histogram snapshot) next to the manifest.
+
 These artifacts are plain data and are validated by the lint layer
-(``ART009``) like every other checkable object in the pipeline.
+(``ART009`` for the log/manifest, ``ART011`` for trace/metrics) like every
+other checkable object in the pipeline.
 """
 
 from __future__ import annotations
@@ -27,6 +32,11 @@ from typing import Any, Iterable
 
 EVENTS_FILENAME = "events.jsonl"
 MANIFEST_FILENAME = "manifest.json"
+#: Written next to the manifest by a run under an enabled observation
+#: (see :mod:`repro.obs`): a Chrome-trace span file and a flat metrics
+#: snapshot, both covering exactly that run (validated by lint ART011).
+TRACE_FILENAME = "trace.json"
+METRICS_FILENAME = "metrics.json"
 
 #: Event kinds the executor emits (ART009 validates against this set).
 EVENT_KINDS = frozenset(

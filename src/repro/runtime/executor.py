@@ -29,8 +29,11 @@ import time
 import traceback
 from typing import Any, Mapping
 
+from ..obs import Observation, current as current_observation, observing
+from ..obs.export import write_chrome_trace, write_metrics_snapshot
+from ..obs.trace import TASK_CATEGORY
 from .cache import MISS, ResultCache
-from .events import RunLog
+from .events import METRICS_FILENAME, TRACE_FILENAME, RunLog
 from .task import TaskGraph, TaskSpec, derive_seed, op_is_inline_only, resolve_op
 
 
@@ -141,20 +144,54 @@ def _format_error(exc: BaseException) -> str:
 
 
 def _pool_execute(
-    payload: tuple[str, str, Mapping[str, Any], dict[str, Any], int],
-) -> tuple[str, bool, Any, str | None, float]:
-    """Worker-side task runner; never raises (failure isolation)."""
-    task_id, op_name, params, deps, seed = payload
-    start = time.perf_counter()
-    try:
-        # Under a spawn start method a fresh worker has an empty registry;
-        # importing the study module registers the standard operations.
-        from . import study as _study  # noqa: F401
+    payload: tuple[str, str, Mapping[str, Any], dict[str, Any], int, bool],
+) -> tuple[str, bool, Any, str | None, float, tuple[Any, ...], dict[str, Any] | None]:
+    """Worker-side task runner; never raises (failure isolation).
 
-        value = resolve_op(op_name)(params, deps, seed)
-        return (task_id, True, value, None, time.perf_counter() - start)
-    except BaseException as exc:  # noqa: BLE001 — isolate *any* worker fault
-        return (task_id, False, None, _format_error(exc), time.perf_counter() - start)
+    When the coordinator requests observation, the worker installs a fresh
+    process-local :class:`Observation` around the task, wraps the operation
+    in a task span, and ships the recorded spans plus a metrics snapshot
+    back in the result tuple; the coordinator grafts the spans into its own
+    trace and merges the counters.  Untraced runs ship nothing.
+    """
+    task_id, op_name, params, deps, seed, observe = payload
+    start = time.perf_counter()
+    if not observe:
+        try:
+            # Under a spawn start method a fresh worker has an empty
+            # registry; importing the study module registers the standard
+            # operations.
+            from . import study as _study  # noqa: F401
+
+            value = resolve_op(op_name)(params, deps, seed)
+            return (task_id, True, value, None, time.perf_counter() - start, (), None)
+        except BaseException as exc:  # noqa: BLE001 — isolate *any* worker fault
+            return (
+                task_id, False, None, _format_error(exc),
+                time.perf_counter() - start, (), None,
+            )
+    observation = Observation()
+    ok, value, error = True, None, None
+    with observing(observation):
+        span = observation.trace.span(task_id, category=TASK_CATEGORY, op=op_name)
+        try:
+            with span:
+                from . import study as _study  # noqa: F401
+
+                value = resolve_op(op_name)(params, deps, seed)
+        except BaseException as exc:  # noqa: BLE001 — isolate *any* worker fault
+            ok, error = False, _format_error(exc)
+    observation.metrics.observe("task.exec_seconds", span.duration)
+    observation.metrics.observe(f"task.exec_seconds.{op_name}", span.duration)
+    return (
+        task_id,
+        ok,
+        value,
+        error,
+        time.perf_counter() - start,
+        tuple(observation.trace.spans),
+        observation.metrics.snapshot(),
+    )
 
 
 class StudyExecutor:
@@ -179,6 +216,12 @@ class StudyExecutor:
         Fallback retry budget for specs that set none (spec value wins).
     poll_interval:
         Scheduler poll period in seconds (parallel mode).
+    obs:
+        Optional :class:`repro.obs.Observation` receiving spans and
+        metrics.  Defaults to the process-current observation
+        (:func:`repro.obs.current`), which is the shared no-op unless a
+        caller installed a live one — the untraced path records nothing
+        and allocates nothing.
     """
 
     def __init__(
@@ -190,6 +233,7 @@ class StudyExecutor:
         default_timeout: float | None = None,
         default_retries: int = 0,
         poll_interval: float = 0.02,
+        obs: Observation | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -200,6 +244,7 @@ class StudyExecutor:
         self.default_timeout = default_timeout
         self.default_retries = default_retries
         self.poll_interval = poll_interval
+        self.obs = obs
 
     # -- shared helpers ------------------------------------------------------
 
@@ -255,7 +300,14 @@ class StudyExecutor:
             }
         )
 
-    def _finish_manifest(self, graph: TaskGraph, report: ExecutionReport) -> None:
+    def _finish_manifest(
+        self,
+        graph: TaskGraph,
+        report: ExecutionReport,
+        cache_mark: dict[str, int] | None,
+        observation: Any,
+        obs_mark: dict[str, Any],
+    ) -> None:
         if self.log is None:
             return
         manifest = {
@@ -268,12 +320,24 @@ class StudyExecutor:
             **report.summary(),
         }
         if self.cache is not None:
-            manifest["cache"] = self.cache.stats.snapshot()
+            # Report this run's delta, not the cache object's lifetime
+            # totals: a long-lived cache shared by sequential studies must
+            # not leak the first run's hits into the second run's manifest.
+            stats = self.cache.stats.snapshot()
+            if cache_mark is not None:
+                stats = {name: stats[name] - cache_mark.get(name, 0) for name in stats}
+            manifest["cache"] = stats
+        if observation.enabled:
+            manifest["obs"] = observation.metrics.delta_since(obs_mark)
         self.log.write_manifest(manifest)
 
     # -- serial path ---------------------------------------------------------
 
-    def _run_serial(self, graph: TaskGraph) -> dict[str, TaskOutcome]:
+    def _run_serial(
+        self, graph: TaskGraph, observation: Any
+    ) -> dict[str, TaskOutcome]:
+        tracer = observation.trace
+        metrics = observation.metrics
         outcomes: dict[str, TaskOutcome] = {}
         values: dict[str, Any] = {}
         for spec in graph:  # insertion order is topological
@@ -286,6 +350,9 @@ class StudyExecutor:
                 )
                 values[spec.task_id] = cached
                 self._event("cache-hit", spec.task_id)
+                with tracer.span(spec.task_id, category="cache-hit", op=spec.op):
+                    pass
+                metrics.inc("executor.tasks.cached")
                 continue
             deps = {dep: values[dep] for dep in spec.deps}
             budget = self._retries_for(spec)
@@ -294,14 +361,21 @@ class StudyExecutor:
                 attempt += 1
                 self._event("submitted", spec.task_id, attempt=attempt)
                 start = time.perf_counter()
+                span = tracer.span(
+                    spec.task_id, category=TASK_CATEGORY, op=spec.op, attempt=attempt
+                )
                 try:
-                    value = resolve_op(spec.op)(
-                        spec.params, deps, derive_seed(self.study_seed, spec.task_id)
-                    )
+                    with span:
+                        value = resolve_op(spec.op)(
+                            spec.params,
+                            deps,
+                            derive_seed(self.study_seed, spec.task_id),
+                        )
                 except Exception as exc:  # noqa: BLE001 — retry policy boundary
                     error = _format_error(exc)
                     if attempt <= budget:
                         self._event("retry", spec.task_id, attempt=attempt)
+                        metrics.inc("task.retry")
                         continue
                     outcomes[spec.task_id] = TaskOutcome(
                         spec.task_id,
@@ -311,6 +385,7 @@ class StudyExecutor:
                         duration=time.perf_counter() - start,
                     )
                     self._event("failed", spec.task_id, attempts=attempt)
+                    metrics.inc("executor.tasks.failed")
                     self._block_dependents(graph, spec.task_id, outcomes)
                     break
                 duration = time.perf_counter() - start
@@ -324,12 +399,19 @@ class StudyExecutor:
                 )
                 values[spec.task_id] = value
                 self._event("finished", spec.task_id, seconds=round(duration, 6))
+                metrics.inc("executor.tasks.executed")
+                metrics.observe("task.exec_seconds", span.duration)
+                metrics.observe(f"task.exec_seconds.{spec.op}", span.duration)
                 break
         return outcomes
 
     # -- parallel path -------------------------------------------------------
 
-    def _run_parallel(self, graph: TaskGraph) -> dict[str, TaskOutcome]:
+    def _run_parallel(
+        self, graph: TaskGraph, observation: Any
+    ) -> dict[str, TaskOutcome]:
+        tracer = observation.trace
+        metrics = observation.metrics
         context = multiprocessing.get_context()
         pool = context.Pool(processes=self.jobs)
         outcomes: dict[str, TaskOutcome] = {}
@@ -339,6 +421,9 @@ class StudyExecutor:
         attempts: dict[str, int] = {}
         # task_id -> (AsyncResult, absolute deadline or None)
         in_flight: dict[str, tuple[Any, float | None]] = {}
+        # task_id -> submission instant, for queue-latency histograms
+        # (tracked only under observation; the untraced path pays nothing).
+        submitted_at: dict[str, float] = {}
 
         def submit(spec: TaskSpec) -> None:
             attempts[spec.task_id] = attempts.get(spec.task_id, 0) + 1
@@ -349,11 +434,14 @@ class StudyExecutor:
                 spec.params,
                 deps,
                 derive_seed(self.study_seed, spec.task_id),
+                observation.enabled,
             )
             handle = pool.apply_async(_pool_execute, (payload,))
             timeout = self._timeout_for(spec)
             deadline = None if timeout is None else time.monotonic() + timeout
             in_flight[spec.task_id] = (handle, deadline)
+            if observation.enabled:
+                submitted_at[spec.task_id] = time.monotonic()
             self._event("submitted", spec.task_id, attempt=attempts[spec.task_id])
 
         def resubmit_inflight(survivors: list[str]) -> None:
@@ -383,6 +471,7 @@ class StudyExecutor:
                 attempts=attempts.get(spec.task_id, 0),
             )
             self._event("failed", spec.task_id, attempts=attempts.get(spec.task_id, 0))
+            metrics.inc("executor.tasks.failed")
             self._block_dependents(graph, spec.task_id, outcomes)
 
         try:
@@ -395,17 +484,27 @@ class StudyExecutor:
                     if cached is not MISS:
                         complete(spec, cached, cached=True, duration=0.0)
                         self._event("cache-hit", spec.task_id)
+                        with tracer.span(
+                            spec.task_id, category="cache-hit", op=spec.op
+                        ):
+                            pass
+                        metrics.inc("executor.tasks.cached")
                     elif op_is_inline_only(spec.op):
                         # Parameters may hold arbitrary callables; run in
                         # the coordinating process.
                         start = time.perf_counter()
                         attempts[spec.task_id] = attempts.get(spec.task_id, 0) + 1
+                        span = tracer.span(
+                            spec.task_id, category=TASK_CATEGORY, op=spec.op,
+                            attempt=attempts[spec.task_id],
+                        )
                         try:
-                            value = resolve_op(spec.op)(
-                                spec.params,
-                                {dep: values[dep] for dep in spec.deps},
-                                derive_seed(self.study_seed, spec.task_id),
-                            )
+                            with span:
+                                value = resolve_op(spec.op)(
+                                    spec.params,
+                                    {dep: values[dep] for dep in spec.deps},
+                                    derive_seed(self.study_seed, spec.task_id),
+                                )
                         except Exception as exc:  # noqa: BLE001
                             fail(spec, _format_error(exc))
                         else:
@@ -414,6 +513,11 @@ class StudyExecutor:
                             complete(spec, value, cached=False, duration=duration)
                             self._event(
                                 "finished", spec.task_id, seconds=round(duration, 6)
+                            )
+                            metrics.inc("executor.tasks.executed")
+                            metrics.observe("task.exec_seconds", span.duration)
+                            metrics.observe(
+                                f"task.exec_seconds.{spec.op}", span.duration
                             )
                     else:
                         submit(spec)
@@ -440,15 +544,32 @@ class StudyExecutor:
                     handle, _ = in_flight.pop(task_id)
                     spec = graph.task(task_id)
                     try:
-                        _, ok, value, error, duration = handle.get()
+                        _, ok, value, error, duration, spans, snapshot = handle.get()
                     except Exception as exc:  # noqa: BLE001 — pool-level fault
                         ok, value, error, duration = False, None, _format_error(exc), 0.0
+                        spans, snapshot = (), None
+                    if spans:
+                        # Worker clocks have their own epoch; shift the
+                        # shipped spans so the latest one ends "now" on the
+                        # coordinator's axis, then adopt them under the
+                        # current (run) span.
+                        shift = tracer.now() - max(span.end for span in spans)
+                        tracer.graft(spans, shift=shift)
+                    if snapshot is not None:
+                        metrics.merge(snapshot)
+                    if observation.enabled and task_id in submitted_at:
+                        waited = time.monotonic() - submitted_at.pop(task_id)
+                        metrics.observe(
+                            "task.queue_seconds", max(waited - duration, 0.0)
+                        )
                     if ok:
                         self._cache_store(spec, value)
                         complete(spec, value, cached=False, duration=duration)
                         self._event("finished", task_id, seconds=round(duration, 6))
+                        metrics.inc("executor.tasks.executed")
                     elif attempts[task_id] <= self._retries_for(spec):
                         self._event("retry", task_id, attempt=attempts[task_id])
+                        metrics.inc("task.retry")
                         submit(spec)
                     else:
                         fail(spec, error or "unknown worker failure")
@@ -470,8 +591,11 @@ class StudyExecutor:
                     for task_id in expired:
                         spec = graph.task(task_id)
                         self._event("timeout", task_id, attempt=attempts[task_id])
+                        metrics.inc("task.timeout")
+                        submitted_at.pop(task_id, None)
                         if attempts[task_id] <= self._retries_for(spec):
                             self._event("retry", task_id, attempt=attempts[task_id])
+                            metrics.inc("task.retry")
                             submit(spec)
                         else:
                             fail(
@@ -488,15 +612,41 @@ class StudyExecutor:
     # -- entry point ---------------------------------------------------------
 
     def run(self, graph: TaskGraph) -> ExecutionReport:
-        """Execute the graph and return the per-task outcome report."""
-        started = time.perf_counter()
-        self._event("run-start", tasks=len(graph), jobs=self.jobs)
-        self._start_manifest(graph)
-        if self.jobs == 1:
-            outcomes = self._run_serial(graph)
-        else:
-            outcomes = self._run_parallel(graph)
-        report = ExecutionReport(outcomes, time.perf_counter() - started)
-        self._event("run-finish", **report.summary())
-        self._finish_manifest(graph, report)
-        return report
+        """Execute the graph and return the per-task outcome report.
+
+        The run is bracketed by per-run marks on the cache counters and the
+        metrics registry, so manifests always report *this run's* deltas —
+        never lifetime totals of a reused cache or observation.  With an
+        enabled observation and a run log, the recorded spans and the metric
+        delta are also exported as ``trace.json`` / ``metrics.json`` next to
+        the manifest.
+        """
+        observation = self.obs if self.obs is not None else current_observation()
+        with observing(observation):
+            tracer = observation.trace
+            metrics = observation.metrics
+            cache_mark = None if self.cache is None else self.cache.stats.snapshot()
+            obs_mark = metrics.mark()
+            span_mark = len(tracer.spans)
+            started = time.perf_counter()
+            self._event("run-start", tasks=len(graph), jobs=self.jobs)
+            self._start_manifest(graph)
+            with tracer.span(
+                "run", category="executor", tasks=len(graph), jobs=self.jobs
+            ):
+                if self.jobs == 1:
+                    outcomes = self._run_serial(graph, observation)
+                else:
+                    outcomes = self._run_parallel(graph, observation)
+            report = ExecutionReport(outcomes, time.perf_counter() - started)
+            self._event("run-finish", **report.summary())
+            self._finish_manifest(graph, report, cache_mark, observation, obs_mark)
+            if observation.enabled and self.log is not None:
+                write_chrome_trace(
+                    tracer.spans[span_mark:], self.log.run_dir / TRACE_FILENAME
+                )
+                write_metrics_snapshot(
+                    metrics.delta_since(obs_mark),
+                    self.log.run_dir / METRICS_FILENAME,
+                )
+            return report

@@ -452,8 +452,13 @@ def run_study(
     log: RunLog | None = None,
     timeout: float | None = None,
     retries: int = 0,
+    obs: Any | None = None,
 ) -> StudyResult:
     """Build and execute a study, assembling the materialized result.
+
+    ``obs`` is an optional :class:`repro.obs.Observation` enabling span
+    tracing and metric collection for this run; the default keeps the
+    zero-overhead null observation.
 
     Raises :class:`~repro.runtime.executor.ExecutionError` if any task
     failed; partial results are never silently returned.
@@ -466,6 +471,7 @@ def run_study(
         study_seed=spec.seed,
         default_timeout=timeout,
         default_retries=retries,
+        obs=obs,
     )
     report = executor.run(graph)
     report.raise_on_failure()

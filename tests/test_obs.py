@@ -1,0 +1,405 @@
+"""Unit tests for the observability core (:mod:`repro.obs`).
+
+Covers the tracer (nesting, fake clocks, grafting worker spans, error
+recording, picklability across the pool boundary), the metrics registry
+(counters/gauges/histograms, merge, per-run deltas), the exporters
+(Chrome-trace shape, atomicity, round-tripping), the ART011 artifact
+checker, and the null objects' zero-effect contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.lint.api import check_obs_artifacts
+from repro.obs import (
+    NULL_METRICS,
+    NULL_OBSERVATION,
+    NULL_TRACER,
+    FakeClock,
+    MetricsRegistry,
+    Observation,
+    Tracer,
+    current,
+    metrics,
+    observing,
+    span_tree,
+    tracer,
+)
+from repro.obs.export import (
+    chrome_trace_payload,
+    read_metrics_snapshot,
+    read_trace_events,
+    spans_from_trace_file,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from repro.obs.metrics import METRICS_SCHEMA
+from repro.obs.trace import slowest_spans, spans_from_payload
+
+
+def _errors(findings):
+    return [f for f in findings if f.severity.value == "error"]
+
+
+# -- tracer ------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_by_stack(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("sibling"):
+                pass
+        spans = {span.name: span for span in t.spans}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["sibling"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+
+    def test_fake_clock_is_deterministic(self):
+        first = Tracer(clock=FakeClock())
+        second = Tracer(clock=FakeClock())
+        for t in (first, second):
+            with t.span("a"):
+                with t.span("b"):
+                    pass
+        assert [
+            (s.name, s.start, s.end) for s in first.spans
+        ] == [(s.name, s.start, s.end) for s in second.spans]
+
+    def test_durations_are_non_negative_and_monotone(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("a"):
+            pass
+        span = t.spans[0]
+        assert span.end >= span.start
+        assert span.duration >= 0
+
+    def test_span_records_error_class(self):
+        t = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("nope")
+        assert t.spans[0].args["error"] == "ValueError"
+
+    def test_span_args_via_set(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("task") as span:
+            span.set(rows=40, op="anonymize")
+        assert t.spans[0].args == {"rows": 40, "op": "anonymize"}
+
+    def test_graft_rebases_ids_and_parents(self):
+        worker = Tracer(clock=FakeClock())
+        with worker.span("task"):
+            with worker.span("recode"):
+                pass
+        coordinator = Tracer(clock=FakeClock())
+        with coordinator.span("run"):
+            coordinator.graft(worker.spans)
+        spans = {span.name: span for span in coordinator.spans}
+        assert spans["task"].parent_id == spans["run"].span_id
+        assert spans["recode"].parent_id == spans["task"].span_id
+        ids = [span.span_id for span in coordinator.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_graft_shifts_timestamps(self):
+        worker = Tracer(clock=FakeClock())
+        with worker.span("task"):
+            pass
+        coordinator = Tracer(clock=FakeClock(start=100.0))
+        coordinator.graft(worker.spans, shift=100.0)
+        assert coordinator.spans[0].start == pytest.approx(
+            worker.spans[0].start + 100.0
+        )
+
+    def test_spans_pickle_across_pool_boundary(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("task", category="task", op="anonymize"):
+            pass
+        restored = pickle.loads(pickle.dumps(tuple(t.spans)))
+        assert restored == tuple(t.spans)
+
+    def test_span_tree_ignores_timing(self):
+        fast = Tracer(clock=FakeClock(step=0.001))
+        slow = Tracer(clock=FakeClock(step=7.0))
+        for t in (fast, slow):
+            with t.span("run"):
+                with t.span("b"):
+                    pass
+                with t.span("a"):
+                    pass
+        assert span_tree(fast.spans) == span_tree(slow.spans)
+
+    def test_span_tree_sorts_children(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("run"):
+            with t.span("z"):
+                pass
+            with t.span("a"):
+                pass
+        tree = span_tree(t.spans)
+        assert [child["name"] for child in tree[0]["children"]] == ["a", "z"]
+
+    def test_slowest_spans_orders_by_duration(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        ranked = slowest_spans(t.spans, limit=2)
+        assert [span.name for span in ranked] == ["outer", "inner"]
+
+    def test_spans_from_payload_round_trip(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("task"):
+            pass
+        records = [dataclasses.asdict(span) for span in t.spans]
+        assert spans_from_payload(records) == list(t.spans)
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.inc("cache.hit")
+        m.inc("cache.hit", 2)
+        assert m.counter("cache.hit") == 3
+
+    def test_negative_increment_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.inc("cache.hit", -1)
+
+    def test_histogram_summary(self):
+        m = MetricsRegistry()
+        for value in (0.5, 2.0, 1.0):
+            m.observe("task.exec_seconds", value)
+        hist = m.snapshot()["histograms"]["task.exec_seconds"]
+        assert hist == {"count": 3, "sum": 3.5, "min": 0.5, "max": 2.0}
+
+    def test_snapshot_keys_sorted(self):
+        m = MetricsRegistry()
+        m.inc("z")
+        m.inc("a")
+        snapshot = m.snapshot()
+        assert snapshot["schema"] == METRICS_SCHEMA
+        assert list(snapshot["counters"]) == ["a", "z"]
+
+    def test_merge_folds_worker_snapshot(self):
+        coordinator = MetricsRegistry()
+        coordinator.inc("cache.hit", 2)
+        coordinator.observe("task.exec_seconds", 1.0)
+        worker = MetricsRegistry()
+        worker.inc("cache.hit", 3)
+        worker.observe("task.exec_seconds", 5.0)
+        coordinator.merge(worker.snapshot())
+        snapshot = coordinator.snapshot()
+        assert snapshot["counters"]["cache.hit"] == 5
+        assert snapshot["histograms"]["task.exec_seconds"] == {
+            "count": 2,
+            "sum": 6.0,
+            "min": 1.0,
+            "max": 5.0,
+        }
+
+    def test_delta_since_reports_only_new_activity(self):
+        m = MetricsRegistry()
+        m.inc("cache.hit", 4)
+        m.observe("task.exec_seconds", 1.0)
+        mark = m.mark()
+        m.inc("cache.hit", 2)
+        m.inc("cache.miss")
+        m.observe("task.exec_seconds", 3.0)
+        delta = m.delta_since(mark)
+        assert delta["counters"] == {"cache.hit": 2, "cache.miss": 1}
+        assert delta["histograms"]["task.exec_seconds"]["count"] == 1
+        assert delta["histograms"]["task.exec_seconds"]["sum"] == pytest.approx(3.0)
+
+    def test_delta_since_empty_when_idle(self):
+        m = MetricsRegistry()
+        m.inc("cache.hit")
+        delta = m.delta_since(m.mark())
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+
+# -- null objects ------------------------------------------------------------
+
+
+class TestNullPath:
+    def test_null_tracer_allocates_nothing(self):
+        before = NULL_TRACER.spans
+        with NULL_TRACER.span("anything", rows=10):
+            pass
+        assert NULL_TRACER.spans is before
+        assert NULL_TRACER.spans == ()
+        assert not NULL_TRACER.enabled
+
+    def test_null_metrics_record_nothing(self):
+        NULL_METRICS.inc("cache.hit", 5)
+        NULL_METRICS.observe("task.exec_seconds", 1.0)
+        snapshot = NULL_METRICS.snapshot()
+        assert snapshot["counters"] == {}
+        assert NULL_METRICS.delta_since(NULL_METRICS.mark())["counters"] == {}
+
+    def test_default_observation_is_null(self):
+        assert current() is NULL_OBSERVATION
+        assert tracer() is NULL_TRACER
+        assert metrics() is NULL_METRICS
+
+    def test_observing_installs_and_restores(self):
+        observation = Observation(clock=FakeClock())
+        with observing(observation):
+            assert current() is observation
+            assert tracer() is observation.trace
+            assert metrics() is observation.metrics
+        assert current() is NULL_OBSERVATION
+
+    def test_observing_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with observing(Observation(clock=FakeClock())):
+                raise RuntimeError("boom")
+        assert current() is NULL_OBSERVATION
+
+
+# -- exporters ---------------------------------------------------------------
+
+
+class TestExport:
+    def _traced(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("run", category="executor"):
+            with t.span("task-a", category="task", op="anonymize"):
+                pass
+            with t.span("task-b", category="task", op="measure"):
+                pass
+        return t
+
+    def test_chrome_trace_shape(self, tmp_path):
+        t = self._traced()
+        path = write_chrome_trace(t.spans, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.obs/trace@1"
+        events = payload["traceEvents"]
+        assert events[0]["ph"] == "M"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"run", "task-a", "task-b"}
+        timestamps = [e["ts"] for e in complete]
+        assert timestamps == sorted(timestamps)
+        assert all(e["dur"] >= 0 for e in complete)
+
+    def test_trace_round_trips_spans(self, tmp_path):
+        t = self._traced()
+        path = write_chrome_trace(t.spans, tmp_path / "trace.json")
+        restored = {span.name: span for span in spans_from_trace_file(path)}
+        original = {span.name: span for span in t.spans}
+        for name, span in original.items():
+            assert restored[name].category == span.category
+            assert restored[name].args == span.args
+        assert (
+            restored["task-a"].parent_id
+            == restored["run"].span_id
+        )
+
+    def test_dangling_parent_dropped_from_slice(self, tmp_path):
+        t = Tracer(clock=FakeClock())
+        with t.span("enclosing"):
+            with t.span("inner"):
+                pass
+            # Export only the inner span: its parent is outside the slice.
+            path = write_chrome_trace(t.spans, tmp_path / "trace.json")
+        events = [e for e in read_trace_events(path) if e["ph"] == "X"]
+        assert "parent" not in events[0]["args"]
+        assert not _errors(check_obs_artifacts(path))
+
+    def test_metrics_snapshot_round_trips(self, tmp_path):
+        m = MetricsRegistry()
+        m.inc("cache.hit", 3)
+        m.observe("task.exec_seconds", 0.25)
+        path = write_metrics_snapshot(m.snapshot(), tmp_path / "metrics.json")
+        assert read_metrics_snapshot(path) == m.snapshot()
+
+
+# -- ART011 ------------------------------------------------------------------
+
+
+class TestArt011:
+    def _trace_file(self, tmp_path):
+        t = Tracer(clock=FakeClock())
+        with t.span("run"):
+            with t.span("task"):
+                pass
+        return write_chrome_trace(t.spans, tmp_path / "trace.json")
+
+    def test_clean_trace_passes(self, tmp_path):
+        assert not _errors(check_obs_artifacts(self._trace_file(tmp_path)))
+
+    def test_clean_metrics_pass(self, tmp_path):
+        m = MetricsRegistry()
+        m.inc("cache.hit")
+        m.observe("task.exec_seconds", 1.0)
+        path = write_metrics_snapshot(m.snapshot(), tmp_path / "metrics.json")
+        assert not _errors(check_obs_artifacts(path))
+
+    def test_negative_counter_flagged(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({
+            "schema": "repro.obs/metrics@1",
+            "counters": {"cache.hit": -1},
+            "gauges": {},
+            "histograms": {},
+        }))
+        findings = _errors(check_obs_artifacts(path))
+        assert findings and "cache.hit" in findings[0].message
+
+    def test_histogram_bounds_enforced(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({
+            "schema": "repro.obs/metrics@1",
+            "counters": {},
+            "gauges": {},
+            "histograms": {"task.exec_seconds": {
+                "count": 2, "sum": 100.0, "min": 1.0, "max": 2.0,
+            }},
+        }))
+        assert _errors(check_obs_artifacts(path))
+
+    def test_dangling_parent_flagged(self, tmp_path):
+        path = self._trace_file(tmp_path)
+        payload = json.loads(path.read_text())
+        for event in payload["traceEvents"]:
+            if event["ph"] == "X" and "parent" not in event["args"]:
+                event["args"]["parent"] = 999
+        path.write_text(json.dumps(payload))
+        findings = _errors(check_obs_artifacts(path))
+        assert findings and "999" in findings[0].message
+
+    def test_duplicate_span_id_flagged(self, tmp_path):
+        path = self._trace_file(tmp_path)
+        payload = json.loads(path.read_text())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        complete[1]["args"]["span"] = complete[0]["args"]["span"]
+        complete[1]["args"].pop("parent", None)
+        path.write_text(json.dumps(payload))
+        assert _errors(check_obs_artifacts(path))
+
+    def test_non_monotone_timestamps_flagged(self, tmp_path):
+        path = self._trace_file(tmp_path)
+        payload = json.loads(path.read_text())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        complete[-1]["ts"] = -5.0
+        path.write_text(json.dumps(payload))
+        assert _errors(check_obs_artifacts(path))
+
+    def test_unrecognizable_file_flagged(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        findings = _errors(check_obs_artifacts(path))
+        assert findings and "neither" in findings[0].message
