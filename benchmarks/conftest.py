@@ -9,14 +9,22 @@ kernel with pytest-benchmark, and prints the reproduced table/figure data
 
 from __future__ import annotations
 
+import json
+import subprocess
+from pathlib import Path
+
 import pytest
 
 from repro.datasets import adult_dataset, adult_hierarchies
 from repro.datasets import paper_tables
 
+#: Schema id of benchmark trajectory files — must match
+#: ``repro.lint.artifacts.BENCH_SCHEMA`` (ART012 validates what we emit).
+BENCH_SCHEMA = "repro.bench/trajectory@1"
+
 
 def pytest_addoption(parser):
-    """Register ``--quick``: smoke mode for CI (tiny sizes, no perf floors)."""
+    """Register ``--quick`` (CI smoke mode) and ``--bench-json`` (trajectory)."""
     parser.addoption(
         "--quick",
         action="store_true",
@@ -24,12 +32,74 @@ def pytest_addoption(parser):
         help="run benchmarks in smoke mode: small inputs, correctness "
         "assertions only, no throughput floors",
     )
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="append this run's wall-time percentiles to the BENCH_*.json "
+        "trajectory at PATH (created if missing; validated by ART012)",
+    )
 
 
 @pytest.fixture(scope="session")
 def quick(request):
     """Whether the run is in ``--quick`` smoke mode."""
     return request.config.getoption("--quick")
+
+
+@pytest.fixture(scope="session")
+def bench_json(request):
+    """Path of the ``--bench-json`` trajectory file, or ``None``."""
+    return request.config.getoption("--bench-json")
+
+
+def percentile(values, q):
+    """Linear-interpolated ``q``-quantile (0..1) of a non-empty sample."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def _git_rev():
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def record_trajectory(path, suite, cases, quick):
+    """Append one ``{git_rev, quick, cases}`` entry to a BENCH trajectory.
+
+    Creates the file with the ``repro.bench/trajectory@1`` envelope if it
+    does not exist; otherwise appends to its ``entries`` list so the file
+    accumulates wall-time percentiles over the repo's history.  Written
+    sorted and indented so trajectory diffs stay reviewable.
+    """
+    target = Path(path)
+    payload = {"schema": BENCH_SCHEMA, "suite": suite, "entries": []}
+    if target.exists():
+        existing = json.loads(target.read_text(encoding="utf-8"))
+        if existing.get("schema") == BENCH_SCHEMA and existing.get("suite") == suite:
+            payload = existing
+    payload["entries"].append(
+        {"git_rev": _git_rev(), "quick": bool(quick), "cases": cases}
+    )
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
 
 
 def emit(title: str, lines) -> None:

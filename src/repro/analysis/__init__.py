@@ -16,7 +16,9 @@ from .individuals import (
 from .matrix import (
     format_relation_matrix,
     index_matrix,
+    index_matrix_serial,
     relation_matrix,
+    relation_matrix_serial,
     win_counts,
 )
 from .report import comparison_report, property_report
@@ -39,7 +41,9 @@ __all__ = [
     "scatter_plot",
     "format_relation_matrix",
     "index_matrix",
+    "index_matrix_serial",
     "relation_matrix",
+    "relation_matrix_serial",
     "win_counts",
     "comparison_report",
     "default_measures",

@@ -68,33 +68,20 @@ def _pairwise_fanout(
     }
 
 
-def relation_matrix(
+def relation_matrix_serial(
     vectors: Mapping[str, PropertyVector],
     comparator: MetricComparator | None = None,
-    executor: StudyExecutor | None = None,
 ) -> dict[PairKey, Relation]:
-    """All ordered-pair relations between the named property vectors.
+    """All ordered-pair relations, computed in-process.
 
-    With ``comparator=None`` the strict dominance relation of Table 4 is
-    used; otherwise the given ▶-better comparator.  With ``executor`` the
-    cells run as runtime tasks (parallel for ``jobs > 1``).
+    The pure half of :func:`relation_matrix`: no executor, no task graph —
+    and therefore the path registered task operations (``compare``) call,
+    so the parallel-safety pass can certify them without the conservative
+    call graph dragging a nested :class:`StudyExecutor` (clocks, run-dir
+    IO, observability state) into their effect summaries.
     """
     names = list(vectors)
     matrix: dict[PairKey, Relation] = {}
-    if executor is not None:
-        matrix = _pairwise_fanout(
-            vectors,
-            "analysis.relation-cell",
-            lambda first, second: {
-                "first": vectors[first],
-                "second": vectors[second],
-                "comparator": comparator,
-            },
-            executor,
-        )
-        for name in names:
-            matrix[(name, name)] = Relation.EQUIVALENT
-        return matrix
     for first in names:
         for second in names:
             if first == second:
@@ -110,6 +97,48 @@ def relation_matrix(
     return matrix
 
 
+def relation_matrix(
+    vectors: Mapping[str, PropertyVector],
+    comparator: MetricComparator | None = None,
+    executor: StudyExecutor | None = None,
+) -> dict[PairKey, Relation]:
+    """All ordered-pair relations between the named property vectors.
+
+    With ``comparator=None`` the strict dominance relation of Table 4 is
+    used; otherwise the given ▶-better comparator.  With ``executor`` the
+    cells run as runtime tasks (parallel for ``jobs > 1``).
+    """
+    if executor is None:
+        return relation_matrix_serial(vectors, comparator)
+    matrix = _pairwise_fanout(
+        vectors,
+        "analysis.relation-cell",
+        lambda first, second: {
+            "first": vectors[first],
+            "second": vectors[second],
+            "comparator": comparator,
+        },
+        executor,
+    )
+    for name in vectors:
+        matrix[(name, name)] = Relation.EQUIVALENT
+    return matrix
+
+
+def index_matrix_serial(
+    vectors: Mapping[str, PropertyVector],
+    index: Callable[[PropertyVector, PropertyVector], float],
+) -> dict[PairKey, float]:
+    """All ordered-pair binary index values, computed in-process."""
+    names = list(vectors)
+    return {
+        (first, second): index(vectors[first], vectors[second])
+        for first in names
+        for second in names
+        if first != second
+    }
+
+
 def index_matrix(
     vectors: Mapping[str, PropertyVector],
     index: Callable[[PropertyVector, PropertyVector], float],
@@ -118,24 +147,18 @@ def index_matrix(
     """All ordered-pair binary index values (e.g. ``P_cov`` between every
     pair of candidate anonymizations).  With ``executor`` the cells run as
     runtime tasks."""
-    if executor is not None:
-        return _pairwise_fanout(
-            vectors,
-            "analysis.index-cell",
-            lambda first, second: {
-                "first": vectors[first],
-                "second": vectors[second],
-                "index": index,
-            },
-            executor,
-        )
-    names = list(vectors)
-    return {
-        (first, second): index(vectors[first], vectors[second])
-        for first in names
-        for second in names
-        if first != second
-    }
+    if executor is None:
+        return index_matrix_serial(vectors, index)
+    return _pairwise_fanout(
+        vectors,
+        "analysis.index-cell",
+        lambda first, second: {
+            "first": vectors[first],
+            "second": vectors[second],
+            "index": index,
+        },
+        executor,
+    )
 
 
 def win_counts(matrix: Mapping[PairKey, Relation]) -> dict[str, int]:

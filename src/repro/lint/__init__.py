@@ -21,6 +21,13 @@ Two layers share one diagnostic core:
   boundary through exceptions, logs, writers or provenance — the
   ``REP101``–``REP104`` family.  Violations are fixed by routing messages
   through :func:`repro.lint.redact.redact_value`.
+* **Layer 4, parallel-safety analysis** (:mod:`repro.lint.purity` on the
+  :mod:`repro.lint.callgraph` whole-program call graph) certifies every
+  registered task operation for distributed execution — no module-state
+  writes, no ambient nondeterminism, picklable payloads, complete cache
+  keys, no persisted iteration order, no inline-only reachability — the
+  ``REP200``–``REP206`` family, with machine-readable verdicts in
+  ``lint/op_certificates.json``.
 
 Run all of it from the command line with ``repro lint [paths] [--strict]
 [--format json] [--select REP1] [--baseline FILE] [--artifacts]``, or
@@ -30,13 +37,16 @@ with examples in ``docs/static_analysis.md``.
 
 from .api import (
     ARTIFACT_RULES,
+    PROGRAM_RULES,
     apply_baseline,
+    check_bench_artifacts,
     check_cache_store,
     check_hierarchies,
     check_hierarchy,
     check_index_registry,
     check_lattice,
     check_obs_artifacts,
+    check_parallel_safety,
     check_privacy_parameters,
     check_profile,
     check_property_vectors,
@@ -44,13 +54,17 @@ from .api import (
     check_shipped_artifacts,
     check_unary_index,
     ensure_valid_hierarchies,
+    expand_selection,
     lint_file,
     lint_paths,
     lint_source,
     load_baseline,
+    op_certificates,
     redact_value,
     registered_rules,
+    render_certificates,
     write_baseline,
+    write_op_certificates,
 )
 from .diagnostics import Diagnostic, DiagnosticCollector, LintError, Severity
 from .engine import LintContext, Rule, RuleVisitor, register
@@ -58,19 +72,26 @@ from .report import render, render_json, render_text
 
 __all__ = [
     "ARTIFACT_RULES",
+    "PROGRAM_RULES",
     "apply_baseline",
+    "check_bench_artifacts",
     "check_cache_store",
     "check_hierarchies",
     "check_hierarchy",
     "check_index_registry",
     "check_lattice",
     "check_obs_artifacts",
+    "check_parallel_safety",
     "check_privacy_parameters",
     "check_profile",
     "check_property_vectors",
     "check_run_artifacts",
     "check_shipped_artifacts",
     "check_unary_index",
+    "expand_selection",
+    "op_certificates",
+    "render_certificates",
+    "write_op_certificates",
     "Diagnostic",
     "DiagnosticCollector",
     "ensure_valid_hierarchies",

@@ -20,6 +20,7 @@ from typing import Any, Iterable, Mapping
 from ..hierarchy.base import Hierarchy
 from .artifacts import (
     ARTIFACT_RULES,
+    check_bench_artifacts,
     check_cache_store,
     check_hierarchies,
     check_hierarchy,
@@ -40,7 +41,20 @@ from .diagnostics import (
     sort_diagnostics,
 )
 from .baseline import apply_baseline, load_baseline, write_baseline
-from .engine import lint_file, lint_paths, lint_source, registered_rules
+from .engine import (
+    expand_selection,
+    lint_file,
+    lint_paths,
+    lint_source,
+    registered_rules,
+)
+from .purity import (
+    PROGRAM_RULES,
+    check_parallel_safety,
+    op_certificates,
+    render_certificates,
+    write_op_certificates,
+)
 from .redact import redact_value
 from .report import render
 from . import rules as _rules  # noqa: F401 — importing registers REP001-REP005
@@ -49,12 +63,14 @@ from . import taint as _taint  # noqa: F401 — importing registers REP101-REP10
 __all__ = [
     "apply_baseline",
     "ARTIFACT_RULES",
+    "check_bench_artifacts",
     "check_cache_store",
     "check_hierarchies",
     "check_hierarchy",
     "check_index_registry",
     "check_lattice",
     "check_obs_artifacts",
+    "check_parallel_safety",
     "check_privacy_parameters",
     "check_profile",
     "check_property_vectors",
@@ -63,18 +79,23 @@ __all__ = [
     "check_unary_index",
     "Diagnostic",
     "ensure_valid_hierarchies",
+    "expand_selection",
     "has_blocking",
     "lint_file",
     "lint_paths",
     "lint_source",
     "LintError",
     "load_baseline",
+    "op_certificates",
+    "PROGRAM_RULES",
     "redact_value",
     "registered_rules",
     "render",
+    "render_certificates",
     "Severity",
     "sort_diagnostics",
     "write_baseline",
+    "write_op_certificates",
 ]
 
 #: Rules whose ERROR findings make a recoding semantically wrong and
@@ -126,7 +147,7 @@ def ensure_valid_hierarchies(hierarchies: Mapping[str, Hierarchy]) -> None:
         )
     for hierarchy in validated:
         try:
-            _validated_hierarchies.add(hierarchy)
+            _validated_hierarchies.add(hierarchy)  # lint: disable=REP201 -- idempotent weak-set memo of a pure validation; never observed by results
         except TypeError:
             pass
 

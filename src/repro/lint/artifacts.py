@@ -23,6 +23,7 @@ Rule ids
 ``ART009``  runtime run-log contract (manifest + events)
 ``ART010``  content-addressed cache store integrity
 ``ART011``  observability artifact contract (trace + metrics files)
+``ART012``  benchmark trajectory contract (``BENCH_*.json`` files)
 ========  ====================================================
 """
 
@@ -1003,6 +1004,126 @@ def check_obs_artifacts(path: str | Path, label: str | None = None) -> list[Diag
     return out.findings
 
 
+#: Required numeric fields of one benchmark case and whether they must be
+#: strictly positive (n, repeats) or merely non-negative (wall times).
+_BENCH_CASE_FIELDS = (
+    ("n", True),
+    ("repeats", True),
+    ("p50_wall_s", False),
+    ("p95_wall_s", False),
+)
+
+#: Schema id of benchmark trajectory files (``BENCH_*.json``).
+BENCH_SCHEMA = "repro.bench/trajectory@1"
+
+
+def check_bench_artifacts(path: str | Path, label: str | None = None) -> list[Diagnostic]:
+    """Validate a committed benchmark trajectory file (``ART012``).
+
+    A ``BENCH_<suite>.json`` file records wall-time percentiles over the
+    repo's history so performance regressions are diffable in review.  The
+    contract: the ``repro.bench/trajectory@1`` schema, a non-empty suite
+    name, and a list of entries each carrying the git revision that
+    produced it, a ``quick`` flag, and per-size cases with ``n``,
+    ``repeats``, ``p50_wall_s <= p95_wall_s`` and a true
+    ``plane_equivalent`` flag (a recorded plane divergence is itself an
+    error — the benchmark doubles as an equivalence witness).
+    """
+    out = DiagnosticCollector()
+    file_path = Path(path)
+    where = {"path": label or str(file_path)}
+    try:
+        with file_path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        out.error("ART012", f"{file_path} does not exist", **where)
+        return out.findings
+    except (json.JSONDecodeError, OSError) as exc:
+        out.error("ART012", f"{file_path} is not readable JSON: {exc}", **where)
+        return out.findings
+    if not isinstance(payload, dict):
+        out.error("ART012", "a benchmark trajectory is a JSON object", **where)
+        return out.findings
+    if payload.get("schema") != BENCH_SCHEMA:
+        out.error(
+            "ART012",
+            f"schema is {payload.get('schema')!r}, expected {BENCH_SCHEMA!r}",
+            **where,
+        )
+        return out.findings
+    suite = payload.get("suite")
+    if not isinstance(suite, str) or not suite:
+        out.error("ART012", "suite must be a non-empty string", **where)
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        out.error(
+            "ART012",
+            "entries must be a non-empty list (one entry per recorded run)",
+            hint="regenerate with benchmarks/test_bench_recode.py --quick --bench-json",
+            **where,
+        )
+        return out.findings
+    for position, entry in enumerate(entries):
+        tag = f"entries[{position}]"
+        if not isinstance(entry, dict):
+            out.error("ART012", f"{tag} must be an object", **where)
+            continue
+        git_rev = entry.get("git_rev")
+        if not isinstance(git_rev, str) or not git_rev:
+            out.error("ART012", f"{tag}.git_rev must be a non-empty string", **where)
+        if not isinstance(entry.get("quick"), bool):
+            out.error("ART012", f"{tag}.quick must be a boolean", **where)
+        cases = entry.get("cases")
+        if not isinstance(cases, list) or not cases:
+            out.error("ART012", f"{tag}.cases must be a non-empty list", **where)
+            continue
+        for case_position, case in enumerate(cases):
+            case_tag = f"{tag}.cases[{case_position}]"
+            if not isinstance(case, dict):
+                out.error("ART012", f"{case_tag} must be an object", **where)
+                continue
+            bad = False
+            for field_name, strictly_positive in _BENCH_CASE_FIELDS:
+                value = case.get(field_name)
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    out.error(
+                        "ART012",
+                        f"{case_tag}.{field_name} must be a number",
+                        **where,
+                    )
+                    bad = True
+                elif strictly_positive and value <= 0:
+                    out.error(
+                        "ART012",
+                        f"{case_tag}.{field_name} must be positive, got {value}",
+                        **where,
+                    )
+                    bad = True
+                elif value < 0:
+                    out.error(
+                        "ART012",
+                        f"{case_tag}.{field_name} must be non-negative, got {value}",
+                        **where,
+                    )
+                    bad = True
+            if not bad and case["p50_wall_s"] > case["p95_wall_s"]:
+                out.error(
+                    "ART012",
+                    f"{case_tag} has p50_wall_s {case['p50_wall_s']} > "
+                    f"p95_wall_s {case['p95_wall_s']}",
+                    **where,
+                )
+            if case.get("plane_equivalent") is not True:
+                out.error(
+                    "ART012",
+                    f"{case_tag}.plane_equivalent must be true; a recorded "
+                    "plane divergence invalidates the trajectory",
+                    hint="investigate the row/columnar divergence before committing",
+                    **where,
+                )
+    return out.findings
+
+
 #: Artifact rule ids -> one-line descriptions, for ``--select`` validation
 #: (artifact rules live outside the AST-rule registry in :mod:`.engine`).
 ARTIFACT_RULES: dict[str, str] = {
@@ -1017,4 +1138,5 @@ ARTIFACT_RULES: dict[str, str] = {
     "ART009": "runtime run-log contract (manifest + events)",
     "ART010": "content-addressed cache store integrity",
     "ART011": "observability artifact contract (trace + metrics files)",
+    "ART012": "benchmark trajectory contract (BENCH_*.json files)",
 }

@@ -25,6 +25,7 @@ from .baseline import (
     write_baseline,
 )
 from .diagnostics import Diagnostic, has_blocking
+from .engine import expand_selection
 from .report import FORMATS, render
 
 
@@ -79,39 +80,38 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="validate runtime artifacts at PATH: a study run directory "
         "(manifest.json + events.jsonl, ART009; trace.json/metrics.json, "
-        "ART011), a content-addressed cache store (objects/, ART010), or "
-        "an exported trace/metrics JSON file (ART011)",
+        "ART011), a content-addressed cache store (objects/, ART010), an "
+        "exported trace/metrics JSON file (ART011), or a BENCH_*.json "
+        "benchmark trajectory (ART012)",
+    )
+    parser.add_argument(
+        "--certify-ops",
+        metavar="FILE",
+        help="run the Layer 4 parallel-safety analysis over the lint paths "
+        "and write per-op effect certificates (JSON) to FILE",
     )
 
 
-def _split_selectors(select: Sequence[str] | None) -> tuple[list[str] | None, list[str]]:
-    """Partition ``--select`` into (code selectors, artifact selectors).
+def _partition_selectors(
+    select: Sequence[str] | None,
+) -> tuple[list[str] | None, list[str], list[str]]:
+    """Partition ``--select`` into (code, program, artifact) rule ids.
 
-    Artifact rules (``ART...``) live outside the AST-rule registry, so they
-    are validated here against :data:`repro.lint.artifacts.ARTIFACT_RULES`
-    with the same prefix semantics the code-rule engine uses.  Raises
-    ``ValueError`` on a selector matching neither family.
+    One code path for every rule family: the selectors are expanded over
+    the union of the AST-rule registry, the Layer 4 program rules and the
+    artifact checkers with :func:`repro.lint.engine.expand_selection`, so
+    ``REP1``, ``REP2``, ``ART`` and exact ids all get identical prefix
+    semantics.  Raises ``ValueError`` on a selector matching nothing.
     """
     if select is None:
-        return None, []
-    code: list[str] = []
-    artifact: list[str] = []
-    for selector in select:
-        if selector.upper().startswith("ART"):
-            matches = [
-                rule_id
-                for rule_id in api.ARTIFACT_RULES
-                if rule_id == selector or rule_id.startswith(selector)
-            ]
-            if not matches:
-                raise ValueError(
-                    f"unknown artifact rule selector {selector!r}; "
-                    f"known: {sorted(api.ARTIFACT_RULES)}"
-                )
-            artifact.append(selector)
-        else:
-            code.append(selector)
-    return (code or None), artifact
+        return None, [], []
+    registry = set(api.registered_rules())
+    universe = registry | set(api.PROGRAM_RULES) | set(api.ARTIFACT_RULES)
+    expanded = expand_selection(select, universe=universe)
+    code = [rule_id for rule_id in expanded if rule_id in registry]
+    program = [rule_id for rule_id in expanded if rule_id in api.PROGRAM_RULES]
+    artifact = [rule_id for rule_id in expanded if rule_id in api.ARTIFACT_RULES]
+    return (code or None), program, artifact
 
 
 def run(args: argparse.Namespace) -> int:
@@ -121,12 +121,27 @@ def run(args: argparse.Namespace) -> int:
         return 2
     findings: list[Diagnostic] = []
     try:
-        code_select, artifact_select = _split_selectors(args.select)
-        # A --select naming only artifact rules asks for artifact checks, not
-        # a full code sweep under "no filter".
+        code_select, program_select, artifact_select = _partition_selectors(
+            args.select
+        )
+        # A --select naming only artifact/program rules asks for those
+        # checks, not a full code sweep under "no filter".
         run_code = not args.no_code and not (args.select and code_select is None)
         if run_code:
             findings.extend(api.lint_paths(args.paths, select=code_select))
+        if program_select:
+            findings.extend(
+                api.check_parallel_safety(args.paths, select=program_select)
+            )
+        if args.certify_ops:
+            certificates = api.write_op_certificates(args.paths, args.certify_ops)
+            verdicts = [op["verdict"] for op in certificates["ops"].values()]
+            print(
+                f"wrote {len(verdicts)} op certificate(s) to {args.certify_ops} "
+                f"({verdicts.count('certified')} certified, "
+                f"{verdicts.count('inline-only')} inline-only, "
+                f"{verdicts.count('uncertified')} uncertified)"
+            )
     except ValueError as exc:  # unknown rule id or nonexistent path
         print(exc)
         return 2
@@ -138,7 +153,10 @@ def run(args: argparse.Namespace) -> int:
             print(f"--runtime path does not exist: {runtime_path}")
             return 2
         if target.is_file():
-            findings.extend(api.check_obs_artifacts(target))
+            if target.name.startswith("BENCH_") and target.suffix == ".json":
+                findings.extend(api.check_bench_artifacts(target))
+            else:
+                findings.extend(api.check_obs_artifacts(target))
             continue
         is_run = (target / "manifest.json").exists() or (
             target / "events.jsonl"
@@ -161,17 +179,13 @@ def run(args: argparse.Namespace) -> int:
             findings.extend(api.check_cache_store(target))
 
     if artifact_select:
-        # Code findings were already narrowed by the engine; apply the same
-        # prefix filter across everything so --select governs the report.
-        selectors = tuple(artifact_select) + tuple(code_select or ())
-        findings = [
-            finding
-            for finding in findings
-            if any(
-                finding.rule == selector or finding.rule.startswith(selector)
-                for selector in selectors
-            )
-        ]
+        # Code/program findings were already narrowed by their passes;
+        # filter the artifact findings too so --select governs the report.
+        # Expanded ids are exact, so plain membership suffices.
+        selected = set(artifact_select) | set(program_select) | set(
+            code_select or ()
+        )
+        findings = [finding for finding in findings if finding.rule in selected]
 
     baseline_note = ""
     if args.baseline and args.update_baseline:

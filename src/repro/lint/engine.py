@@ -129,20 +129,26 @@ def registered_rules() -> dict[str, type[Rule]]:
     return dict(sorted(_REGISTRY.items()))
 
 
-def expand_selection(select: Sequence[str]) -> list[str]:
-    """Expand rule-id selectors (exact ids or prefixes) to registered ids.
+def expand_selection(
+    select: Sequence[str], universe: Iterable[str] | None = None
+) -> list[str]:
+    """Expand rule-id selectors (exact ids or prefixes) to known ids.
 
     ``REP1`` selects the whole ``REP1xx`` family; ``REP001`` selects just
-    that rule.  A selector matching nothing raises ``ValueError`` — a
-    typo'd family in CI must fail loudly, not lint nothing.
+    that rule.  One code path serves every rule family: ``universe``
+    defaults to the AST-rule registry, but callers owning a larger id
+    space (the CLI unions in the whole-program ``REP2xx`` rules and the
+    ``ART*`` artifact checkers) pass it explicitly and get identical
+    prefix semantics.  A selector matching nothing raises ``ValueError`` —
+    a typo'd family in CI must fail loudly, not lint nothing.
     """
-    registry = registered_rules()
+    known = sorted(registered_rules() if universe is None else universe)
     expanded: list[str] = []
     unknown: list[str] = []
     for selector in select:
         matches = [
             rule_id
-            for rule_id in registry
+            for rule_id in known
             if rule_id == selector or rule_id.startswith(selector)
         ]
         if not matches:
@@ -151,9 +157,7 @@ def expand_selection(select: Sequence[str]) -> list[str]:
             if rule_id not in expanded:
                 expanded.append(rule_id)
     if unknown:
-        raise ValueError(
-            f"unknown rule id(s) {unknown}; registered: {sorted(registry)}"
-        )
+        raise ValueError(f"unknown rule id(s) {unknown}; registered: {known}")
     return expanded
 
 
@@ -176,6 +180,15 @@ _SUPPRESSION_PATTERN = re.compile(
 #: to the suppression validator.
 _ENGINE_IDS = frozenset({"REP000", "REP006"})
 
+#: Ids of the Layer 4 whole-program rules (:mod:`repro.lint.purity`).
+#: They are not per-file registry rules — the program pass applies its own
+#: suppressions — but their disable comments live in ordinary source lines,
+#: so the per-file suppression validator must recognize them instead of
+#: reporting REP006.
+PROGRAM_RULE_IDS = frozenset(
+    {"REP200", "REP201", "REP202", "REP203", "REP204", "REP205", "REP206"}
+)
+
 
 def parse_suppressions(source: str) -> tuple[dict[int, set[str]], list[Diagnostic]]:
     """Per-line suppressed rule ids, plus diagnostics for unknown ids.
@@ -184,7 +197,7 @@ def parse_suppressions(source: str) -> tuple[dict[int, set[str]], list[Diagnosti
     id in a disable comment is itself a finding — a typo'd suppression
     that silently suppresses nothing (or the wrong thing) must surface.
     """
-    known = set(registered_rules()) | _ENGINE_IDS
+    known = set(registered_rules()) | _ENGINE_IDS | PROGRAM_RULE_IDS
     suppressions: dict[int, set[str]] = {}
     malformed: list[tuple[int, str]] = []
     for line_number, line in enumerate(source.splitlines(), start=1):

@@ -1,0 +1,1177 @@
+"""Layer 4, part 2 — effect summaries and the parallel-safety rules.
+
+Built on the call graph of :mod:`repro.lint.callgraph`, this module
+computes a per-function *effect summary* and certifies every registered
+task operation for distributed execution.  The effect lattice has five
+categories:
+
+``writes-global``
+    assigns a module global, mutates module-level container state, or
+    writes ``os.environ`` — state a worker process would fork away from
+    the coordinator;
+``ambient``
+    reads ambient nondeterminism: wall-clock time, environment variables,
+    the process-global ``random`` state (or an *unseeded* generator
+    constructor — seeded ones, the ``derive_seed``-threading idiom, are
+    exempt), or the filesystem outside the sanctioned cache/run-dir
+    modules;
+``mutates-argument``
+    mutates one of its parameters in place (recorded in certificates;
+    not itself a REP2xx rule since callers may pass fresh values);
+``unordered``
+    a dict/set-iteration order may flow into the return value
+    (:class:`~repro.lint.rules.UnorderedIterationRule` made
+    interprocedural);
+``unpicklable``
+    the return value may hold a lambda, locally-defined function or
+    generator — values that cannot cross a process boundary.
+
+Summaries are sets of *origin* witness sites, propagated to a fixpoint in
+reverse call order: ``writes-global``/``ambient``/``mutates-argument``
+flow to every caller unconditionally (calling an effectful function is
+effectful), ``unordered``/``unpicklable`` only along call edges whose
+result may reach the caller's return value.  The pass then reports:
+
+========  ==========================================================
+REP200    a REP2xx waiver comment without a justification (unaudited)
+REP201    a registered task op reaches a global/module-state write
+REP202    a task op reaches ambient nondeterminism
+REP203    a TaskSpec payload or op return is not picklable
+REP204    an op result depends on an input outside its cache key
+REP205    dict/set iteration order reaches an op's returned value
+REP206    an inline-only op is reachable from a parallel-eligible op
+========  ==========================================================
+
+Waivers use the ordinary disable-comment syntax plus a mandatory
+justification: ``# lint: disable=REP201 -- deterministic idempotent
+memo``.  A waiver without the ``--`` justification is itself reported
+(REP200), which is what "zero unaudited waivers" means in CI.
+
+:func:`op_certificates` distills the same analysis into a machine-readable
+document (schema ``repro.lint/op-certificates@1``) the future distributed
+scheduler can refuse to ship uncertified operations over.  Rendering is
+canonical — sorted keys, no timestamps — so regeneration is byte-stable.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from .callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    OpRegistration,
+    ProgramIndex,
+    _walk_same_function,
+    build_program_index,
+    returned_name_closure,
+)
+from .diagnostics import Diagnostic, Severity
+from .engine import _SUPPRESSION_PATTERN, PROGRAM_RULE_IDS
+from .rules import _RANDOM_GLOBAL, _call_args_seeded, _is_set_expression
+
+#: Rule metadata for the whole-program pass, mirroring the shape of
+#: :func:`repro.lint.api.summarize_rules` for the per-file registry.
+PROGRAM_RULES: dict[str, dict[str, str]] = {
+    "REP200": {
+        "title": "REP2xx waiver comment without a justification",
+        "severity": "warning",
+        "hint": "append ` -- <why this effect is safe>` to the disable comment",
+    },
+    "REP201": {
+        "title": "task op reaches a global/module-state write",
+        "severity": "error",
+        "hint": "thread the state through params/results, or waive with a justification",
+    },
+    "REP202": {
+        "title": "task op reaches ambient nondeterminism",
+        "severity": "error",
+        "hint": "derive randomness from derive_seed-threaded params, not ambient state",
+    },
+    "REP203": {
+        "title": "TaskSpec payload or op return is not picklable by construction",
+        "severity": "error",
+        "hint": "register the op inline_only, or pass data instead of callables",
+    },
+    "REP204": {
+        "title": "op result depends on an input outside its ResultCache key",
+        "severity": "error",
+        "hint": "thread the input through params (with_seed) so it reaches the cache key",
+    },
+    "REP205": {
+        "title": "dict/set iteration order reaches an op's returned value",
+        "severity": "warning",
+        "hint": "iterate sorted(...) before the value escapes into a task result",
+    },
+    "REP206": {
+        "title": "inline-only op reachable from a parallel-eligible op",
+        "severity": "error",
+        "hint": "split the inline dependency out of the parallel op's call path",
+    },
+}
+
+# Effect categories.
+WRITES_GLOBAL = "writes-global"
+AMBIENT = "ambient"
+MUTATES_ARGUMENT = "mutates-argument"
+UNORDERED = "unordered"
+UNPICKLABLE = "unpicklable"
+
+#: Categories that flow to every caller (calling an effectful function is
+#: itself effectful) vs. those that only matter when the callee's result
+#: can reach the caller's return value.
+_UNCONDITIONAL = (WRITES_GLOBAL, AMBIENT, MUTATES_ARGUMENT)
+_RETURN_FLOW = (UNORDERED, UNPICKLABLE)
+
+CATEGORIES = (*_UNCONDITIONAL, *_RETURN_FLOW)
+
+#: Modules whose filesystem access is sanctioned: the content-addressed
+#: cache store and the run directory are *designed* to be written from
+#: tasks' surroundings, and the IO there is keyed by content digests.
+_SANCTIONED_IO_MODULES = frozenset(
+    {"repro.runtime.cache", "repro.runtime.rundir", "repro.runtime.run"}
+)
+
+#: ``time`` members whose call reads the wall clock / process clock.
+_TIME_MEMBERS = frozenset(
+    {
+        "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+        "perf_counter_ns", "process_time", "process_time_ns", "localtime",
+        "gmtime", "ctime",
+    }
+)
+
+#: ``os`` members that read or enumerate ambient process/filesystem state.
+_OS_AMBIENT_MEMBERS = frozenset(
+    {"getenv", "getcwd", "getpid", "urandom", "listdir", "walk", "scandir"}
+)
+
+#: Attribute method names specific enough to be filesystem access on any
+#: plausible receiver (``pathlib.Path`` and file objects).
+_FS_METHODS = frozenset(
+    {
+        "read_text", "write_text", "read_bytes", "write_bytes", "mkdir",
+        "rmdir", "unlink", "touch", "iterdir", "rglob", "hardlink_to",
+        "symlink_to", "rename_to",
+    }
+)
+
+#: Container-mutating method names: calling one on a module global is a
+#: module-state write; on a parameter, an argument mutation.
+_MUTATING_METHODS = frozenset(
+    {
+        "add", "append", "extend", "update", "setdefault", "pop", "popitem",
+        "clear", "remove", "discard", "insert", "sort", "reverse",
+    }
+)
+
+
+def _portable_path(path: str | Path) -> str:
+    """POSIX rendering, relative to the working directory when under it.
+
+    Certificates must not encode how the analysis was invoked: scanning
+    ``src`` and scanning ``/abs/path/to/src`` from the repo root have to
+    produce identical bytes, so absolute paths inside the working tree
+    collapse to their relative form.
+    """
+    candidate = Path(path)
+    if candidate.is_absolute():
+        try:
+            candidate = candidate.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+@dataclass(frozen=True, order=True)
+class Origin:
+    """One witness site for an effect: where it syntactically happens."""
+
+    category: str
+    path: str
+    line: int
+    function: str  # qualname of the function containing the site
+    description: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping with POSIX paths (certificate stability)."""
+        return {
+            "category": self.category,
+            "path": _portable_path(self.path),
+            "line": self.line,
+            "function": self.function,
+            "description": self.description,
+        }
+
+
+@dataclass
+class ProgramAnalysis:
+    """The call graph plus converged per-function effect summaries."""
+
+    index: ProgramIndex
+    summaries: dict[str, dict[str, frozenset[Origin]]]
+
+    def effects_of(self, qualname: str) -> dict[str, frozenset[Origin]]:
+        """One function's converged effect summary (empty if unindexed)."""
+        return self.summaries.get(qualname, {})
+
+
+# -- local (intraprocedural) effect detection --------------------------------
+
+class _ModuleAliases:
+    """Import aliases one module's effect detector needs."""
+
+    def __init__(self, module: ModuleInfo):
+        self.time: set[str] = set()
+        self.os: set[str] = set()
+        self.random: set[str] = set()
+        self.numpy_random: set[str] = set()
+        self.from_random: set[str] = set()
+        self.from_numpy_random: set[str] = set()
+        self.datetime_classes: set[str] = set()
+        self.modules: set[str] = set()  # every name bound to a module
+        for bound, target in module.imports.items():
+            head = target.split(".")[0]
+            if target == "time":
+                self.time.add(bound)
+            elif target == "os":
+                self.os.add(bound)
+            elif target == "random":
+                self.random.add(bound)
+            elif target in {"numpy.random", "np.random"}:
+                self.numpy_random.add(bound)
+            elif head == "random" and "." in target:
+                self.from_random.add(bound)
+            elif target.startswith("numpy.random."):
+                self.from_numpy_random.add(bound)
+            elif target in {"datetime.datetime", "datetime.date"}:
+                self.datetime_classes.add(bound)
+            # Module-or-symbol: a plain `import x` or `from pkg import mod`.
+            self.modules.add(bound)
+
+
+def _bound_target_names(target: ast.AST):
+    """Names an assignment target *binds* (``x``, ``a, b`` — not ``x[k]``).
+
+    A subscript/attribute target mutates an existing object rather than
+    binding a local, so its base name must NOT count as locally bound —
+    otherwise ``_MEMO[key] = ...`` would hide the module global ``_MEMO``
+    from the effect analysis.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Starred):
+        yield from _bound_target_names(target.value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _bound_target_names(element)
+
+
+def _local_names(node: ast.AST) -> set[str]:
+    """Names bound locally in one function (params, assignments, loops)."""
+    names: set[str] = set()
+    arguments = getattr(node, "args", None)
+    if isinstance(arguments, ast.arguments):
+        for arg in (
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ):
+            names.add(arg.arg)
+        if arguments.vararg:
+            names.add(arguments.vararg.arg)
+        if arguments.kwarg:
+            names.add(arguments.kwarg.arg)
+    for child in _walk_same_function(node):
+        if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                child.targets if isinstance(child, ast.Assign) else [child.target]
+            )
+            for target in targets:
+                names.update(_bound_target_names(target))
+        elif isinstance(child, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(child.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(child, (ast.With, ast.AsyncWith)):
+            for item in child.items:
+                if item.optional_vars is not None:
+                    for sub in ast.walk(item.optional_vars):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+        elif isinstance(child, ast.comprehension):
+            for sub in ast.walk(child.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def _parameter_names(node: ast.AST) -> set[str]:
+    arguments = getattr(node, "args", None)
+    if not isinstance(arguments, ast.arguments):
+        return set()
+    names = {
+        arg.arg
+        for arg in (*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs)
+    }
+    names.discard("self")
+    names.discard("cls")
+    return names
+
+
+def _declared_globals(node: ast.AST) -> set[str]:
+    declared: set[str] = set()
+    for child in _walk_same_function(node):
+        if isinstance(child, (ast.Global, ast.Nonlocal)):
+            declared.update(child.names)
+    return declared
+
+
+def _base_name(node: ast.AST) -> str | None:
+    """The root Name of a subscript/attribute chain (``a.b[c].d`` -> ``a``)."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _local_effects(
+    fn: FunctionInfo, module: ModuleInfo, aliases: _ModuleAliases
+) -> set[Origin]:
+    """Effect origins visible in one function body (no propagation)."""
+    node = fn.node
+    origins: set[Origin] = set()
+    locals_bound = _local_names(node)
+    parameters = _parameter_names(node)
+    declared_globals = _declared_globals(node)
+    shadowed = locals_bound - declared_globals
+    module_state = (module.module_globals | aliases.modules) - shadowed
+    # For method-call mutation (``X.add(...)``) only module-level
+    # *variables* count: ``np.sort(x)`` is a function call on an imported
+    # module, not a mutation of it.
+    mutable_globals = module.module_globals - shadowed
+    sanctioned_io = module.name in _SANCTIONED_IO_MODULES
+
+    def witness(category: str, site: ast.AST, description: str) -> None:
+        origins.add(
+            Origin(
+                category=category,
+                path=module.path,
+                line=getattr(site, "lineno", fn.line),
+                function=fn.qualname,
+                description=description,
+            )
+        )
+
+    def classify_target(target: ast.AST, site: ast.AST) -> None:
+        """A store/delete target: global write or argument mutation?"""
+        if isinstance(target, ast.Name):
+            if target.id in declared_globals:
+                witness(
+                    WRITES_GLOBAL, site, f"assigns module global {target.id!r}"
+                )
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = _base_name(target)
+            if base is None or base in {"self", "cls"}:
+                return
+            if base in parameters:
+                witness(MUTATES_ARGUMENT, site, f"mutates parameter {base!r}")
+            elif base in module_state:
+                if _is_environ_target(target, aliases):
+                    witness(
+                        WRITES_GLOBAL, site, "writes os.environ (process state)"
+                    )
+                else:
+                    witness(
+                        WRITES_GLOBAL,
+                        site,
+                        f"mutates module-level state {base!r}",
+                    )
+
+    for child in _walk_same_function(node):
+        if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                child.targets if isinstance(child, ast.Assign) else [child.target]
+            )
+            for target in targets:
+                classify_target(target, child)
+        elif isinstance(child, ast.Delete):
+            for target in child.targets:
+                classify_target(target, child)
+        elif isinstance(child, ast.Call):
+            _classify_call(
+                child,
+                witness,
+                aliases,
+                parameters,
+                mutable_globals,
+                sanctioned_io,
+            )
+
+    origins.update(_return_effects(fn, module))
+    return origins
+
+
+def _is_environ_target(target: ast.AST, aliases: _ModuleAliases) -> bool:
+    for sub in ast.walk(target):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "environ"
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id in aliases.os
+        ):
+            return True
+    return False
+
+
+def _classify_call(
+    call: ast.Call,
+    witness,
+    aliases: _ModuleAliases,
+    parameters: set[str],
+    mutable_globals: set[str],
+    sanctioned_io: bool,
+) -> None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open" and not sanctioned_io:
+            witness(AMBIENT, call, "opens a file outside the cache/run-dir plane")
+        elif func.id in aliases.from_random and func.id in _RANDOM_GLOBAL:
+            witness(
+                AMBIENT, call, f"random.{func.id}() samples the process-global state"
+            )
+        elif func.id in aliases.from_random and func.id == "Random":
+            if not _call_args_seeded(call):
+                witness(AMBIENT, call, "random.Random() constructed without a seed")
+        elif func.id in aliases.from_numpy_random and func.id == "default_rng":
+            if not _call_args_seeded(call):
+                witness(
+                    AMBIENT, call, "numpy.random.default_rng() without a seed"
+                )
+        return
+    if not isinstance(func, ast.Attribute):
+        return
+    owner = func.value
+    attr = func.attr
+    if isinstance(owner, ast.Name):
+        if owner.id in aliases.time and attr in _TIME_MEMBERS:
+            witness(AMBIENT, call, f"reads the clock via time.{attr}()")
+            return
+        if owner.id in aliases.os:
+            if attr in _OS_AMBIENT_MEMBERS and (
+                sanctioned_io is False or attr in {"getenv", "urandom"}
+            ):
+                witness(AMBIENT, call, f"reads ambient state via os.{attr}()")
+            return
+        if owner.id in aliases.random:
+            if attr in _RANDOM_GLOBAL or attr == "seed":
+                witness(
+                    AMBIENT,
+                    call,
+                    f"random.{attr}() samples the process-global state",
+                )
+            elif attr == "Random" and not _call_args_seeded(call):
+                witness(AMBIENT, call, "random.Random() constructed without a seed")
+            return
+        if owner.id in aliases.numpy_random or owner.id in aliases.datetime_classes:
+            if attr == "default_rng" and not _call_args_seeded(call):
+                witness(AMBIENT, call, "numpy.random.default_rng() without a seed")
+            elif attr in {"now", "utcnow", "today"}:
+                witness(AMBIENT, call, f"reads the clock via {owner.id}.{attr}()")
+            return
+    # os.environ.get(...) — owner is the Attribute `os.environ`.
+    if (
+        isinstance(owner, ast.Attribute)
+        and owner.attr == "environ"
+        and isinstance(owner.value, ast.Name)
+        and owner.value.id in aliases.os
+    ):
+        witness(AMBIENT, call, "reads os.environ")
+        return
+    if attr in _FS_METHODS and not sanctioned_io:
+        witness(AMBIENT, call, f".{attr}() touches the filesystem")
+        return
+    if attr in _MUTATING_METHODS and isinstance(owner, (ast.Name, ast.Subscript, ast.Attribute)):
+        base = _base_name(owner)
+        if base is None or base in {"self", "cls"}:
+            return
+        if base in parameters:
+            witness(MUTATES_ARGUMENT, call, f"mutates parameter {base!r} via .{attr}()")
+        elif base in mutable_globals:
+            witness(
+                WRITES_GLOBAL,
+                call,
+                f"mutates module-level state {base!r} via .{attr}()",
+            )
+
+
+def _return_effects(fn: FunctionInfo, module: ModuleInfo) -> set[Origin]:
+    """``unordered`` and ``unpicklable`` origins tied to the return value."""
+    node = fn.node
+    origins: set[Origin] = set()
+    closure = returned_name_closure(node)
+
+    def witness(category: str, site: ast.AST, description: str) -> None:
+        origins.add(
+            Origin(
+                category=category,
+                path=module.path,
+                line=getattr(site, "lineno", fn.line),
+                function=fn.qualname,
+                description=description,
+            )
+        )
+
+    # unpicklable: generators, returned lambdas, returned local functions.
+    nested_defs = {
+        child.name
+        for child in ast.walk(node)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and child is not node
+    }
+    for child in _walk_same_function(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            witness(UNPICKLABLE, child, "generator results cannot cross a process boundary")
+        elif isinstance(child, ast.Return) and child.value is not None:
+            for sub in ast.walk(child.value):
+                if isinstance(sub, ast.Lambda):
+                    witness(UNPICKLABLE, sub, "returns a lambda")
+                elif isinstance(sub, ast.Name) and sub.id in nested_defs:
+                    witness(
+                        UNPICKLABLE,
+                        sub,
+                        f"returns locally-defined function {sub.id!r}",
+                    )
+    if isinstance(node, ast.Lambda):
+        for sub in ast.walk(node.body):
+            if isinstance(sub, ast.Lambda):
+                witness(UNPICKLABLE, sub, "returns a lambda")
+
+    # unordered: set-iteration whose value can reach the return value.
+    set_names: set[str] = set()
+    for child in _walk_same_function(node):
+        if isinstance(child, ast.Assign) and _is_set_expression(child.value, set()):
+            set_names.update(
+                target.id for target in child.targets if isinstance(target, ast.Name)
+            )
+
+    def unordered_sites(expr: ast.AST) -> list[tuple[ast.AST, str]]:
+        sites: list[tuple[ast.AST, str]] = []
+        for sub in ast.walk(expr):
+            if isinstance(sub, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if any(
+                    _is_set_expression(generator.iter, set_names)
+                    for generator in sub.generators
+                ):
+                    sites.append((sub, "comprehension iterates a set in hash order"))
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in {"list", "tuple"}
+                and len(sub.args) == 1
+                and _is_set_expression(sub.args[0], set_names)
+            ):
+                sites.append(
+                    (sub, f"{sub.func.id}() materializes a set in hash order")
+                )
+        return sites
+
+    for child in _walk_same_function(node):
+        if isinstance(child, ast.Return) and child.value is not None:
+            for site, description in unordered_sites(child.value):
+                witness(UNORDERED, site, description)
+        elif isinstance(child, ast.Assign):
+            targets = {
+                target.id for target in child.targets if isinstance(target, ast.Name)
+            }
+            if targets & closure:
+                for site, description in unordered_sites(child.value):
+                    witness(UNORDERED, site, description)
+        elif isinstance(child, (ast.For, ast.AsyncFor)) and _is_set_expression(
+            child.iter, set_names
+        ):
+            if _loop_feeds_closure(child, closure):
+                witness(
+                    UNORDERED,
+                    child,
+                    "for-loop over a set feeds the returned value in hash order",
+                )
+    if isinstance(node, ast.Lambda):
+        for site, description in unordered_sites(node.body):
+            witness(UNORDERED, site, description)
+    return origins
+
+
+def _loop_feeds_closure(loop: ast.For | ast.AsyncFor, closure: set[str]) -> bool:
+    """Whether a loop body stores/appends into a name that may be returned."""
+    for child in ast.walk(loop):
+        if isinstance(child, (ast.Assign, ast.AugAssign)):
+            targets = (
+                child.targets if isinstance(child, ast.Assign) else [child.target]
+            )
+            for target in targets:
+                base = (
+                    target.id
+                    if isinstance(target, ast.Name)
+                    else _base_name(target)
+                    if isinstance(target, (ast.Subscript, ast.Attribute))
+                    else None
+                )
+                if base in closure:
+                    return True
+        elif (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in _MUTATING_METHODS
+        ):
+            base = _base_name(child.func.value)
+            if base in closure:
+                return True
+    return False
+
+
+# -- interprocedural fixpoint ------------------------------------------------
+
+def _fixpoint(
+    index: ProgramIndex, local: Mapping[str, set[Origin]]
+) -> dict[str, dict[str, frozenset[Origin]]]:
+    """Propagate effect origins to a fixpoint over the call graph.
+
+    A plain worklist over the (small) program graph: monotone set union,
+    so convergence is guaranteed; the deterministic iteration order makes
+    the result — and hence the certificates — run-stable.
+    """
+    summaries: dict[str, dict[str, set[Origin]]] = {
+        qualname: {category: set() for category in CATEGORIES}
+        for qualname in index.functions
+    }
+    for qualname, origins in local.items():
+        for origin in origins:
+            summaries[qualname][origin.category].add(origin)
+    changed = True
+    while changed:
+        changed = False
+        for caller in sorted(index.edges):
+            if caller not in summaries:
+                continue
+            caller_summary = summaries[caller]
+            for callee, site in sorted(index.edges[caller].items()):
+                callee_summary = summaries.get(callee)
+                if callee_summary is None:
+                    continue
+                categories: Iterable[str] = (
+                    CATEGORIES if site.to_return else _UNCONDITIONAL
+                )
+                for category in categories:
+                    incoming = callee_summary[category]
+                    if incoming - caller_summary[category]:
+                        caller_summary[category] |= incoming
+                        changed = True
+    return {
+        qualname: {
+            category: frozenset(origins)
+            for category, origins in by_category.items()
+        }
+        for qualname, by_category in summaries.items()
+    }
+
+
+_ANALYSIS_MEMO: dict[tuple, ProgramAnalysis] = {}
+_ANALYSIS_MEMO_LIMIT = 4
+
+
+def analyze_program(paths: Sequence[str | Path]) -> ProgramAnalysis:
+    """Index ``paths`` and converge effect summaries (memoized on mtimes)."""
+    from .engine import iter_python_files
+
+    fingerprint = tuple(
+        (str(file_path), file_path.stat().st_mtime_ns, file_path.stat().st_size)
+        for file_path in iter_python_files([Path(p) for p in paths])
+    )
+    cached = _ANALYSIS_MEMO.get(fingerprint)
+    if cached is not None:
+        return cached
+    index = build_program_index(paths)
+    local: dict[str, set[Origin]] = {}
+    alias_cache: dict[str, _ModuleAliases] = {}
+    for qualname, fn in index.functions.items():
+        module = index.modules.get(fn.module)
+        if module is None:
+            continue
+        aliases = alias_cache.get(module.name)
+        if aliases is None:
+            aliases = alias_cache[module.name] = _ModuleAliases(module)
+        local[qualname] = _local_effects(fn, module, aliases)
+    analysis = ProgramAnalysis(index=index, summaries=_fixpoint(index, local))
+    if len(_ANALYSIS_MEMO) >= _ANALYSIS_MEMO_LIMIT:
+        _ANALYSIS_MEMO.pop(next(iter(_ANALYSIS_MEMO)))
+    _ANALYSIS_MEMO[fingerprint] = analysis
+    return analysis
+
+
+# -- findings ----------------------------------------------------------------
+
+@dataclass
+class _RawFinding:
+    """A pre-suppression finding with the ops it certifiably taints."""
+
+    diagnostic: Diagnostic
+    ops: tuple[str, ...]
+
+
+def _severity(rule: str) -> Severity:
+    return Severity(PROGRAM_RULES[rule]["severity"])
+
+
+def _diag(
+    rule: str, message: str, path: str, line: int, column: int = 0
+) -> Diagnostic:
+    return Diagnostic(
+        rule=rule,
+        message=message,
+        severity=_severity(rule),
+        path=path,
+        line=line,
+        column=column,
+        hint=PROGRAM_RULES[rule]["hint"],
+    )
+
+
+_CATEGORY_RULE = {
+    WRITES_GLOBAL: "REP201",
+    AMBIENT: "REP202",
+    UNPICKLABLE: "REP203",
+    UNORDERED: "REP205",
+}
+
+_CATEGORY_VERB = {
+    WRITES_GLOBAL: "reaches a module-state write",
+    AMBIENT: "reaches ambient nondeterminism",
+    UNPICKLABLE: "may return an unpicklable value",
+    UNORDERED: "lets unordered iteration reach its result",
+}
+
+
+def _chain(index: ProgramIndex, origin_fn: str, op_fn: str) -> str:
+    path = index.call_path(op_fn, origin_fn)
+    if not path or len(path) == 1:
+        return ""
+    names = [index.functions[q].short if q in index.functions else q for q in path]
+    return " -> ".join(names)
+
+
+def _op_effect_findings(analysis: ProgramAnalysis) -> list[_RawFinding]:
+    """REP201/202/203/205 — one finding per effect origin, naming all ops."""
+    index = analysis.index
+    by_origin: dict[Origin, list[str]] = {}
+    for op_name in sorted(index.ops):
+        registration = index.ops[op_name]
+        summary = analysis.effects_of(registration.function)
+        for category in (WRITES_GLOBAL, AMBIENT, UNPICKLABLE, UNORDERED):
+            for origin in summary.get(category, ()):
+                by_origin.setdefault(origin, []).append(op_name)
+    findings: list[_RawFinding] = []
+    for origin in sorted(by_origin):
+        ops = by_origin[origin]
+        rule = _CATEGORY_RULE[origin.category]
+        first_fn = index.ops[ops[0]].function
+        chain = _chain(index, origin.function, first_fn)
+        message = (
+            f"task op{'s' if len(ops) > 1 else ''} "
+            f"{', '.join(repr(op) for op in ops)} "
+            f"{_CATEGORY_VERB[origin.category]}: {origin.description}"
+        )
+        if chain:
+            message += f" [via {chain}]"
+        findings.append(
+            _RawFinding(
+                diagnostic=_diag(rule, message, origin.path, origin.line),
+                ops=tuple(ops),
+            )
+        )
+    return findings
+
+
+def _taskspec_findings(analysis: ProgramAnalysis) -> list[_RawFinding]:
+    """REP203 — TaskSpec payloads holding callables for non-inline ops."""
+    index = analysis.index
+    findings: list[_RawFinding] = []
+    for qualname in sorted(index.functions):
+        fn = index.functions[qualname]
+        module = index.modules.get(fn.module)
+        if module is None:
+            continue
+        for call in _taskspec_calls(fn.node):
+            op_name = _taskspec_op(call)
+            if op_name is None:
+                continue
+            registration = index.ops.get(op_name)
+            if registration is not None and registration.inline_only:
+                continue
+            payload = _taskspec_params(call)
+            if payload is None:
+                continue
+            for key, value in zip(payload.keys, payload.values):
+                if isinstance(value, ast.Lambda):
+                    label = (
+                        repr(key.value) if isinstance(key, ast.Constant) else "<key>"
+                    )
+                    findings.append(
+                        _RawFinding(
+                            diagnostic=_diag(
+                                "REP203",
+                                f"TaskSpec for op {op_name!r} carries a lambda "
+                                f"under params[{label}]; the payload cannot "
+                                "cross a process boundary",
+                                module.path,
+                                value.lineno,
+                            ),
+                            ops=(op_name,) if registration else (),
+                        )
+                    )
+    return findings
+
+
+def _taskspec_calls(node: ast.AST):
+    for child in _walk_same_function(node):
+        if (
+            isinstance(child, ast.Call)
+            and (
+                (isinstance(child.func, ast.Name) and child.func.id == "TaskSpec")
+                or (
+                    isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "TaskSpec"
+                )
+            )
+        ):
+            yield child
+
+
+def _taskspec_op(call: ast.Call) -> str | None:
+    for keyword in call.keywords:
+        if keyword.arg == "op" and isinstance(keyword.value, ast.Constant):
+            value = keyword.value.value
+            return value if isinstance(value, str) else None
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        value = call.args[1].value
+        return value if isinstance(value, str) else None
+    return None
+
+
+def _taskspec_params(call: ast.Call) -> ast.Dict | None:
+    for keyword in call.keywords:
+        if keyword.arg == "params" and isinstance(keyword.value, ast.Dict):
+            return keyword.value
+    if len(call.args) >= 3 and isinstance(call.args[2], ast.Dict):
+        return call.args[2]
+    return None
+
+
+def _cache_key_findings(analysis: ProgramAnalysis) -> list[_RawFinding]:
+    """REP204 — executor-seed dependence and pinned-epoch cache keys."""
+    index = analysis.index
+    findings: list[_RawFinding] = []
+    for op_name in sorted(index.ops):
+        registration = index.ops[op_name]
+        fn = index.functions.get(registration.function)
+        if fn is None or isinstance(fn.node, ast.Lambda):
+            continue
+        arguments = fn.node.args
+        positional = [*arguments.posonlyargs, *arguments.args]
+        if len(positional) < 3:
+            continue
+        seed_param = positional[2].arg
+        if seed_param in returned_name_closure(fn.node):
+            findings.append(
+                _RawFinding(
+                    diagnostic=_diag(
+                        "REP204",
+                        f"task op {op_name!r} result depends on the executor "
+                        f"seed argument {seed_param!r}, which is not part of "
+                        "its ResultCache key; thread the seed through params "
+                        "(with_seed) instead",
+                        fn.path,
+                        fn.line,
+                    ),
+                    ops=(op_name,),
+                )
+            )
+    for qualname in sorted(index.functions):
+        fn = index.functions[qualname]
+        module = index.modules.get(fn.module)
+        if module is None:
+            continue
+        for call in _walk_same_function(fn.node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            is_cache_key = (
+                isinstance(func, ast.Name) and func.id == "CacheKey"
+            ) or (isinstance(func, ast.Attribute) and func.attr == "CacheKey")
+            if not is_cache_key:
+                continue
+            for keyword in call.keywords:
+                if keyword.arg == "epoch" and isinstance(
+                    keyword.value, ast.Constant
+                ):
+                    findings.append(
+                        _RawFinding(
+                            diagnostic=_diag(
+                                "REP204",
+                                "CacheKey constructed with a literal epoch "
+                                f"({keyword.value.value!r}); pinning the epoch "
+                                "bypasses CODE_EPOCH sensitivity and lets "
+                                "stale cache entries satisfy new code",
+                                module.path,
+                                call.lineno,
+                            ),
+                            ops=(),
+                        )
+                    )
+    return findings
+
+
+def _inline_reach_findings(analysis: ProgramAnalysis) -> list[_RawFinding]:
+    """REP206 — a parallel-eligible op whose call graph hits an inline op."""
+    index = analysis.index
+    inline_functions = {
+        registration.function: name
+        for name, registration in index.ops.items()
+        if registration.inline_only
+    }
+    findings: list[_RawFinding] = []
+    for op_name in sorted(index.ops):
+        registration = index.ops[op_name]
+        if registration.inline_only:
+            continue
+        reached = index.reachable([registration.function]) & set(inline_functions)
+        for inline_fn in sorted(reached):
+            inline_name = inline_functions[inline_fn]
+            chain = _chain(index, inline_fn, registration.function)
+            message = (
+                f"parallel-eligible op {op_name!r} reaches inline-only op "
+                f"{inline_name!r}; the executor cannot honor inline_only "
+                "inside a worker process"
+            )
+            if chain:
+                message += f" [via {chain}]"
+            findings.append(
+                _RawFinding(
+                    diagnostic=_diag(
+                        "REP206", message, registration.path, registration.line
+                    ),
+                    ops=(op_name,),
+                )
+            )
+    return findings
+
+
+# -- suppressions & waivers --------------------------------------------------
+
+@dataclass(frozen=True)
+class Waiver:
+    """One audited (or unaudited) REP2xx disable comment that fired."""
+
+    rule: str
+    path: str
+    line: int
+    justification: str
+    ops: tuple[str, ...]
+
+
+def _file_suppressions(
+    source: str,
+) -> dict[int, tuple[set[str], str]]:
+    """line -> (suppressed REP2xx ids, justification text after ``--``)."""
+    table: dict[int, tuple[set[str], str]] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_PATTERN.search(line)
+        if match is None:
+            continue
+        ids = {
+            token.strip()
+            for token in match.group(1).split(",")
+            if token.strip() in PROGRAM_RULE_IDS
+        }
+        if not ids:
+            continue
+        remainder = line[match.end():].lstrip()
+        justification = remainder[2:].strip() if remainder.startswith("--") else ""
+        table[line_number] = (ids, justification)
+    return table
+
+
+def _apply_program_suppressions(
+    analysis: ProgramAnalysis, raw: list[_RawFinding]
+) -> tuple[list[_RawFinding], list[Waiver], list[Diagnostic]]:
+    """Split raw findings into (surviving, waived, REP200 audit warnings)."""
+    suppression_cache: dict[str, dict[int, tuple[set[str], str]]] = {}
+    surviving: list[_RawFinding] = []
+    waivers: list[Waiver] = []
+    unaudited: dict[tuple[str, int], Diagnostic] = {}
+    sources = {
+        module.path: module.source for module in analysis.index.modules.values()
+    }
+    for finding in raw:
+        diagnostic = finding.diagnostic
+        table = suppression_cache.get(diagnostic.path)
+        if table is None:
+            source = sources.get(diagnostic.path)
+            table = _file_suppressions(source) if source is not None else {}
+            suppression_cache[diagnostic.path] = table
+        entry = table.get(diagnostic.line)
+        if entry is None or diagnostic.rule not in entry[0]:
+            surviving.append(finding)
+            continue
+        ids, justification = entry
+        waivers.append(
+            Waiver(
+                rule=diagnostic.rule,
+                path=diagnostic.path,
+                line=diagnostic.line,
+                justification=justification,
+                ops=finding.ops,
+            )
+        )
+        if not justification:
+            key = (diagnostic.path, diagnostic.line)
+            unaudited.setdefault(
+                key,
+                _diag(
+                    "REP200",
+                    f"waiver for {', '.join(sorted(ids))} has no justification; "
+                    "append ` -- <reason>` so the audit trail explains why "
+                    "the effect is safe",
+                    diagnostic.path,
+                    diagnostic.line,
+                ),
+            )
+    return surviving, waivers, list(unaudited.values())
+
+
+# -- public pass -------------------------------------------------------------
+
+def _raw_findings(analysis: ProgramAnalysis) -> list[_RawFinding]:
+    return [
+        *_op_effect_findings(analysis),
+        *_taskspec_findings(analysis),
+        *_cache_key_findings(analysis),
+        *_inline_reach_findings(analysis),
+    ]
+
+
+def check_parallel_safety(
+    paths: Sequence[str | Path], select: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """Run the Layer 4 pass over ``paths`` and return surviving findings.
+
+    ``select`` narrows to specific REP2xx ids (already expanded by the
+    caller); ``None`` runs all of them.  Waived findings are dropped, but
+    an unjustified waiver surfaces as REP200 — zero unaudited waivers is
+    part of the strict-mode contract.
+    """
+    analysis = analyze_program(paths)
+    surviving, _waivers, audit = _apply_program_suppressions(
+        analysis, _raw_findings(analysis)
+    )
+    findings = [finding.diagnostic for finding in surviving] + audit
+    if select is not None:
+        wanted = set(select)
+        findings = [f for f in findings if f.rule in wanted]
+    return findings
+
+
+# -- certificates ------------------------------------------------------------
+
+CERTIFICATE_SCHEMA = "repro.lint/op-certificates@1"
+
+VERDICT_CERTIFIED = "certified"
+VERDICT_INLINE_ONLY = "inline-only"
+VERDICT_UNCERTIFIED = "uncertified"
+
+
+def op_certificates(paths: Sequence[str | Path]) -> dict[str, Any]:
+    """Per-op effect summaries + shipping verdicts, as a JSON-able dict.
+
+    The verdict a distributed scheduler consumes: ``certified`` ops are
+    safe to ship to a worker over the shared ResultCache, ``inline-only``
+    ops must stay in the coordinator, ``uncertified`` ops have at least
+    one unwaived REP2xx finding and must not be shipped at all.  Contains
+    no timestamps, hostnames or git state — regeneration over the same
+    tree is byte-identical.
+    """
+    analysis = analyze_program(paths)
+    surviving, waivers, audit = _apply_program_suppressions(
+        analysis, _raw_findings(analysis)
+    )
+    tainted: dict[str, list[str]] = {}
+    for finding in surviving:
+        for op_name in finding.ops:
+            tainted.setdefault(op_name, []).append(
+                f"{finding.diagnostic.rule}: {finding.diagnostic.message}"
+            )
+    ops: dict[str, Any] = {}
+    for op_name in sorted(analysis.index.ops):
+        registration = analysis.index.ops[op_name]
+        summary = analysis.effects_of(registration.function)
+        effects = {
+            category: [
+                origin.to_dict()
+                for origin in sorted(summary.get(category, ()))
+            ]
+            for category in CATEGORIES
+            if summary.get(category)
+        }
+        op_waivers = [
+            {
+                "rule": waiver.rule,
+                "path": _portable_path(waiver.path),
+                "line": waiver.line,
+                "justification": waiver.justification,
+            }
+            for waiver in sorted(
+                (w for w in waivers if op_name in w.ops),
+                key=lambda w: (w.path, w.line, w.rule),
+            )
+        ]
+        if registration.inline_only:
+            verdict = VERDICT_INLINE_ONLY
+        elif tainted.get(op_name):
+            verdict = VERDICT_UNCERTIFIED
+        else:
+            verdict = VERDICT_CERTIFIED
+        ops[op_name] = {
+            "function": registration.function,
+            "path": _portable_path(registration.path),
+            "line": registration.line,
+            "inline_only": registration.inline_only,
+            "effects": effects,
+            "waivers": op_waivers,
+            "findings": sorted(tainted.get(op_name, [])),
+            "verdict": verdict,
+        }
+    return {
+        "schema": CERTIFICATE_SCHEMA,
+        "ops": ops,
+        "unaudited_waivers": len(audit),
+    }
+
+
+def render_certificates(certificates: Mapping[str, Any]) -> str:
+    """Canonical byte-stable rendering (sorted keys, fixed indent)."""
+    return json.dumps(certificates, indent=2, sort_keys=True) + "\n"
+
+
+def write_op_certificates(
+    paths: Sequence[str | Path], output: str | Path
+) -> dict[str, Any]:
+    """Generate certificates for ``paths`` and write them to ``output``."""
+    certificates = op_certificates(paths)
+    output_path = Path(output)
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(render_certificates(certificates), encoding="utf-8")
+    return certificates

@@ -65,6 +65,7 @@ from .task import (
     canonical_json,
     derive_seed,
     register_op,
+    registered_ops,
     resolve_op,
 )
 
@@ -100,6 +101,7 @@ __all__ = [
     "read_events",
     "read_manifest",
     "register_op",
+    "registered_ops",
     "resolve_op",
     "run_release_grid",
     "run_study",

@@ -249,7 +249,7 @@ def _materialize_dataset(
             builder = DATASET_PROVIDERS[provider]
         except KeyError:
             raise StudyError(f"unknown dataset provider {provider!r}") from None
-        _DATASET_MEMO[key] = builder(**dict(params))
+        _DATASET_MEMO[key] = builder(**dict(params))  # lint: disable=REP201 -- idempotent per-process memo of a deterministic provider; every worker converges to the identical value
     return _DATASET_MEMO[key]
 
 
@@ -288,11 +288,11 @@ def _op_compare(params: Mapping[str, Any], deps: Mapping[str, Any], seed: int) -
     """Pairwise strict-dominance comparison of upstream property vectors."""
     # Late import: repro.analysis imports the runtime for its own
     # parallel paths; binding at call time keeps the layering acyclic.
-    from ..analysis.matrix import relation_matrix, win_counts
+    from ..analysis.matrix import relation_matrix_serial, win_counts
 
     labels: Mapping[str, str] = params["labels"]
     vectors = {labels[task_id]: deps[task_id] for task_id in params["order"]}
-    matrix = relation_matrix(vectors)
+    matrix = relation_matrix_serial(vectors)
     return {
         "property": params["property"],
         "relations": {pair: relation for pair, relation in matrix.items()},

@@ -1,5 +1,7 @@
-"""Tests for Layer 1 of repro.lint: artifact analysis (ART001-ART008)."""
+"""Tests for Layer 1 of repro.lint: artifact analysis (ART001-ART008, ART012)."""
 
+import json
+from pathlib import Path
 from types import SimpleNamespace
 
 import pytest
@@ -14,6 +16,8 @@ from repro.hierarchy.categorical import TaxonomyHierarchy
 from repro.hierarchy.lattice import Lattice
 from repro.lint import api
 from repro.lint.artifacts import (
+    BENCH_SCHEMA,
+    check_bench_artifacts,
     check_hierarchies,
     check_hierarchy,
     check_index_registry,
@@ -461,3 +465,113 @@ class TestEngineGate:
     def test_paper_schemes_recode_through_the_gate(self):
         release = paper_tables.t3a()
         assert len(release) == len(paper_tables.table1())
+
+
+def _bench_payload(**overrides):
+    """A minimal valid ``repro.bench/trajectory@1`` payload."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "suite": "recode",
+        "entries": [
+            {
+                "git_rev": "abc1234",
+                "quick": True,
+                "cases": [
+                    {
+                        "n": 300,
+                        "repeats": 3,
+                        "p50_wall_s": 0.01,
+                        "p95_wall_s": 0.02,
+                        "plane_equivalent": True,
+                    }
+                ],
+            }
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCheckBenchArtifacts:
+    def _write(self, tmp_path, payload):
+        target = tmp_path / "BENCH_recode.json"
+        target.write_text(json.dumps(payload), encoding="utf-8")
+        return target
+
+    def test_valid_trajectory_is_clean(self, tmp_path):
+        assert check_bench_artifacts(self._write(tmp_path, _bench_payload())) == []
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        findings = check_bench_artifacts(tmp_path / "BENCH_nope.json")
+        assert rule_ids(findings) == ["ART012"]
+
+    def test_wrong_schema_is_an_error(self, tmp_path):
+        target = self._write(tmp_path, _bench_payload(schema="bogus@0"))
+        findings = check_bench_artifacts(target)
+        assert findings and "schema" in findings[0].message
+
+    def test_empty_entries_is_an_error(self, tmp_path):
+        target = self._write(tmp_path, _bench_payload(entries=[]))
+        findings = check_bench_artifacts(target)
+        assert findings and "entries" in findings[0].message
+
+    def test_missing_git_rev_is_an_error(self, tmp_path):
+        payload = _bench_payload()
+        payload["entries"][0]["git_rev"] = ""
+        findings = check_bench_artifacts(self._write(tmp_path, payload))
+        assert any("git_rev" in f.message for f in findings)
+
+    def test_percentile_inversion_is_an_error(self, tmp_path):
+        payload = _bench_payload()
+        payload["entries"][0]["cases"][0]["p50_wall_s"] = 0.5
+        findings = check_bench_artifacts(self._write(tmp_path, payload))
+        assert any("p50_wall_s" in f.message for f in findings)
+
+    def test_boolean_masquerading_as_number_is_an_error(self, tmp_path):
+        payload = _bench_payload()
+        payload["entries"][0]["cases"][0]["n"] = True
+        findings = check_bench_artifacts(self._write(tmp_path, payload))
+        assert any("must be a number" in f.message for f in findings)
+
+    def test_plane_divergence_is_an_error(self, tmp_path):
+        payload = _bench_payload()
+        payload["entries"][0]["cases"][0]["plane_equivalent"] = False
+        findings = check_bench_artifacts(self._write(tmp_path, payload))
+        assert any("plane_equivalent" in f.message for f in findings)
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+    def test_committed_trajectory_is_clean(self):
+        committed = Path(__file__).resolve().parent.parent / "BENCH_recode.json"
+        assert committed.exists(), "BENCH_recode.json must be committed"
+        assert check_bench_artifacts(committed) == []
+
+
+class TestBenchCli:
+    def test_runtime_flag_dispatches_bench_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clean = tmp_path / "BENCH_ok.json"
+        clean.write_text(json.dumps(_bench_payload()), encoding="utf-8")
+        assert main(["lint", "--no-code", "--runtime", str(clean)]) == 0
+
+        broken_payload = _bench_payload()
+        broken_payload["entries"][0]["cases"][0]["plane_equivalent"] = False
+        broken = tmp_path / "BENCH_bad.json"
+        broken.write_text(json.dumps(broken_payload), encoding="utf-8")
+        assert main(["lint", "--no-code", "--runtime", str(broken)]) == 1
+        assert "ART012" in capsys.readouterr().out
+
+    def test_select_art012_filters_runtime_findings(self, tmp_path, capsys):
+        from repro.cli import main
+
+        broken_payload = _bench_payload(schema="bogus@0")
+        broken = tmp_path / "BENCH_bad.json"
+        broken.write_text(json.dumps(broken_payload), encoding="utf-8")
+        assert (
+            main(
+                ["lint", "--no-code", "--runtime", str(broken), "--select", "ART012"]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "ART012" in out
