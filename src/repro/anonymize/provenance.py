@@ -40,10 +40,14 @@ def write_release(
 
     Returns the sidecar path.
     """
+    # Late import: this module loads from the anonymize package init, and
+    # repro.utility's package init re-enters the engine's import chain.
+    from ..utility.atomic import atomic_writer
+
     data_path = Path(data_path)
     write_csv(anonymization.released, data_path)
     sidecar = data_path.with_suffix(data_path.suffix + ".provenance.json")
-    with open(sidecar, "w") as handle:
+    with atomic_writer(sidecar, "w", encoding="utf-8") as handle:
         json.dump(provenance_record(anonymization), handle, indent=2)
     return sidecar
 

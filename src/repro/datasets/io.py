@@ -30,7 +30,11 @@ def write_csv(dataset: Dataset, path: str | Path) -> None:
     ``(low,high]`` notation, Mondrian spans as ``[low-high]``, set-valued
     cells as ``{a|b|c}``.
     """
-    with open(path, "w", newline="") as handle:
+    # Late import: this module loads inside the anonymize engine's import
+    # chain, and repro.utility's package init re-enters that chain.
+    from ..utility.atomic import atomic_writer
+
+    with atomic_writer(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(dataset.schema.names)
         for row in dataset:

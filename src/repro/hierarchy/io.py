@@ -84,9 +84,13 @@ def hierarchy_from_spec(spec: Mapping[str, Any]) -> Hierarchy:
 def save_hierarchies(
     hierarchies: Mapping[str, Hierarchy], path: str | Path
 ) -> None:
-    """Write a hierarchy map as JSON."""
+    """Write a hierarchy map as JSON (atomically)."""
+    # Late import: this module loads while the anonymize engine's import
+    # chain is mid-flight, and repro.utility's package init re-enters it.
+    from ..utility.atomic import atomic_writer
+
     specs = {name: hierarchy_to_spec(h) for name, h in hierarchies.items()}
-    with open(path, "w") as handle:
+    with atomic_writer(path, "w", encoding="utf-8") as handle:
         json.dump(specs, handle, indent=2, sort_keys=True)
 
 

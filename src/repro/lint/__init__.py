@@ -28,9 +28,17 @@ Two layers share one diagnostic core:
   keys, no persisted iteration order, no inline-only reachability — the
   ``REP200``–``REP206`` family, with machine-readable verdicts in
   ``lint/op_certificates.json``.
+* **Layer 5, resource-lifecycle analysis** (:mod:`repro.lint.resources`
+  on the exception-aware CFG of :mod:`repro.lint.dataflow`) certifies
+  crash safety: every file handle, temp file, pool, lock and socket is
+  released on all paths including exceptional ones, every durable write
+  goes through the sanctioned atomic writer
+  (:mod:`repro.utility.atomic`), and lock acquisition stays
+  deadlock-free — the ``REP300``–``REP305`` family, folded into the same
+  op certificates as Layer 4 under each op's ``crash_safety`` key.
 
 Run all of it from the command line with ``repro lint [paths] [--strict]
-[--format json] [--select REP1] [--baseline FILE] [--artifacts]``, or
+[--format json|sarif] [--select REP1] [--baseline FILE] [--artifacts]``, or
 programmatically through :mod:`repro.lint.api`.  Every rule is documented
 with examples in ``docs/static_analysis.md``.
 """
@@ -38,6 +46,7 @@ with examples in ``docs/static_analysis.md``.
 from .api import (
     ARTIFACT_RULES,
     PROGRAM_RULES,
+    RESOURCE_RULES,
     apply_baseline,
     check_bench_artifacts,
     check_cache_store,
@@ -50,6 +59,7 @@ from .api import (
     check_privacy_parameters,
     check_profile,
     check_property_vectors,
+    check_resource_safety,
     check_run_artifacts,
     check_shipped_artifacts,
     check_unary_index,
@@ -73,6 +83,7 @@ from .report import render, render_json, render_text
 __all__ = [
     "ARTIFACT_RULES",
     "PROGRAM_RULES",
+    "RESOURCE_RULES",
     "apply_baseline",
     "check_bench_artifacts",
     "check_cache_store",
@@ -85,6 +96,7 @@ __all__ = [
     "check_privacy_parameters",
     "check_profile",
     "check_property_vectors",
+    "check_resource_safety",
     "check_run_artifacts",
     "check_shipped_artifacts",
     "check_unary_index",

@@ -57,6 +57,7 @@ from .purity import (
 )
 from .redact import redact_value
 from .report import render
+from .resources import RESOURCE_RULES, check_resource_safety
 from . import rules as _rules  # noqa: F401 — importing registers REP001-REP005
 from . import taint as _taint  # noqa: F401 — importing registers REP101-REP104
 
@@ -74,6 +75,7 @@ __all__ = [
     "check_privacy_parameters",
     "check_profile",
     "check_property_vectors",
+    "check_resource_safety",
     "check_run_artifacts",
     "check_shipped_artifacts",
     "check_unary_index",
@@ -92,6 +94,7 @@ __all__ = [
     "registered_rules",
     "render",
     "render_certificates",
+    "RESOURCE_RULES",
     "Severity",
     "sort_diagnostics",
     "write_baseline",

@@ -36,13 +36,18 @@ def write_baseline(
     diagnostics: Iterable[Diagnostic], path: str | Path
 ) -> int:
     """Persist the findings as a baseline document; returns the entry count."""
+    # Imported here, not at module top: repro.utility's package init pulls
+    # in the anonymize engine, which imports lint.api — a module-level
+    # import from a lint module would re-enter that half-initialized api.
+    from ..utility.atomic import atomic_write_text
+
     counts = Counter(baseline_key(d) for d in diagnostics)
     document = {
         "version": _VERSION,
         "entries": {key: counts[key] for key in sorted(counts)},
     }
-    Path(path).write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
     )
     return sum(counts.values())
 

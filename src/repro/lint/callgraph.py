@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from .engine import iter_python_files
+from .engine import iter_python_files, parse_cached
 
 #: Attribute names that register a task operation; matched on the final
 #: component so ``task.register_op`` and a bare imported name both count.
@@ -287,10 +287,8 @@ def _function_ref(node: ast.AST) -> str | None:
 
 
 def _index_module(index: ProgramIndex, file_path: Path, root: Path) -> None:
-    source = file_path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(file_path))
-    except SyntaxError:
+    source, tree = parse_cached(file_path)
+    if tree is None:
         return  # the engine reports REP000 for unparsable files
     module = _module_name(file_path, root)
     is_package = file_path.name == "__init__.py"

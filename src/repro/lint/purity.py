@@ -985,8 +985,14 @@ class Waiver:
 
 def _file_suppressions(
     source: str,
+    known_ids: frozenset[str] = PROGRAM_RULE_IDS,
 ) -> dict[int, tuple[set[str], str]]:
-    """line -> (suppressed REP2xx ids, justification text after ``--``)."""
+    """line -> (suppressed ids among ``known_ids``, text after ``--``).
+
+    Shared by the Layer 4 (REP2xx) and Layer 5 (REP3xx) passes: both apply
+    their own waivers because their findings are whole-program, not
+    per-file, and both audit justification-less waivers (REP200/REP300).
+    """
     table: dict[int, tuple[set[str], str]] = {}
     for line_number, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESSION_PATTERN.search(line)
@@ -995,7 +1001,7 @@ def _file_suppressions(
         ids = {
             token.strip()
             for token in match.group(1).split(",")
-            if token.strip() in PROGRAM_RULE_IDS
+            if token.strip() in known_ids
         }
         if not ids:
             continue
@@ -1087,7 +1093,7 @@ def check_parallel_safety(
 
 # -- certificates ------------------------------------------------------------
 
-CERTIFICATE_SCHEMA = "repro.lint/op-certificates@1"
+CERTIFICATE_SCHEMA = "repro.lint/op-certificates@2"
 
 VERDICT_CERTIFIED = "certified"
 VERDICT_INLINE_ONLY = "inline-only"
@@ -1100,11 +1106,19 @@ def op_certificates(paths: Sequence[str | Path]) -> dict[str, Any]:
     The verdict a distributed scheduler consumes: ``certified`` ops are
     safe to ship to a worker over the shared ResultCache, ``inline-only``
     ops must stay in the coordinator, ``uncertified`` ops have at least
-    one unwaived REP2xx finding and must not be shipped at all.  Contains
-    no timestamps, hostnames or git state — regeneration over the same
-    tree is byte-identical.
+    one unwaived REP2xx finding and must not be shipped at all.  Since
+    schema ``@2`` every op also carries a ``crash_safety`` block — the
+    Layer 5 (REP3xx) verdict over the same reachable set, so one file
+    answers both "can this op run in parallel" and "can it die mid-write".
+    Contains no timestamps, hostnames or git state — regeneration over the
+    same tree is byte-identical.
     """
+    # Late import: resources imports helpers from this module, so the
+    # dependency must point resources -> purity only at module load.
+    from .resources import analyze_resources, crash_safety_by_op
+
     analysis = analyze_program(paths)
+    crash_safety = crash_safety_by_op(analyze_resources(analysis.index))
     surviving, waivers, audit = _apply_program_suppressions(
         analysis, _raw_findings(analysis)
     )
@@ -1153,6 +1167,7 @@ def op_certificates(paths: Sequence[str | Path]) -> dict[str, Any]:
             "waivers": op_waivers,
             "findings": sorted(tainted.get(op_name, [])),
             "verdict": verdict,
+            "crash_safety": crash_safety.get(op_name, {}),
         }
     return {
         "schema": CERTIFICATE_SCHEMA,
@@ -1170,8 +1185,10 @@ def write_op_certificates(
     paths: Sequence[str | Path], output: str | Path
 ) -> dict[str, Any]:
     """Generate certificates for ``paths`` and write them to ``output``."""
+    # Late import: repro.utility's package init reaches back into lint.api
+    # via the anonymize engine, so lint modules must not import it at top.
+    from ..utility.atomic import atomic_write_text
+
     certificates = op_certificates(paths)
-    output_path = Path(output)
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    output_path.write_text(render_certificates(certificates), encoding="utf-8")
+    atomic_write_text(output, render_certificates(certificates))
     return certificates

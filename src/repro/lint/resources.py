@@ -1,0 +1,1345 @@
+"""Layer 5: exception-flow resource-lifecycle analysis (REP300–REP305).
+
+Where Layer 4 (:mod:`repro.lint.purity`) certifies task ops for parallel
+*determinism*, this layer certifies them for *crash safety*: every
+resource a function acquires — file handles, temp files, pools, locks,
+sockets — must be released on **all** paths including exceptional ones,
+and every durable write must be atomic (tmp-in-the-target's-directory +
+``os.replace``, i.e. :mod:`repro.utility.atomic`).
+
+The mechanism is a forward may-held fixpoint over the exception-aware CFG
+(:func:`repro.lint.dataflow.build_exception_cfg`): an acquisition binds an
+abstract :class:`Resource` to the assigned name, aliases propagate it,
+release calls remove it everywhere, and escapes (returns, stores into
+attributes/containers, arguments to unresolved calls) retire it from
+tracking.  A resource still held at the function's *normal* or *raise*
+exit was not released on that path.  Calls into module-local / repo-local
+functions consult interprocedural summaries (released / escaped /
+forwarded parameters, fresh-resource returns, blocking behavior) that are
+converged over the call graph first, so ``helper(f)`` closing ``f`` two
+calls deep still counts as a release.
+
+Rules:
+
+* ``REP300`` — a REP3xx waiver comment without a ``-- justification``.
+* ``REP301`` — resource acquired but not released on every path.
+* ``REP302`` — non-atomic durable write (bare write-mode ``open`` /
+  ``write_text`` / ``write_bytes`` outside the sanctioned atomic writer).
+* ``REP303`` — temp file without guaranteed cleanup, or created outside
+  the replace target's directory (cross-filesystem ``os.replace`` is not
+  atomic).
+* ``REP304`` — lock discipline: a cycle in the global lock
+  acquisition-order graph, or a known-blocking call while a lock is held.
+* ``REP305`` — pool/executor not joined (or shut down) on all paths.
+
+Like the Layer 4 rules these are whole-program findings, so the pass
+applies its own inline waivers (a disable comment naming a REP3xx id
+plus a ``--`` justification) and folds per-op crash-safety verdicts into
+the op certificate file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from .callgraph import FunctionInfo, ModuleInfo, ProgramIndex
+from .dataflow import ExceptionCFG, build_exception_cfg, statement_may_raise
+from .diagnostics import Diagnostic, Severity
+from .purity import _file_suppressions, _portable_path
+
+RESOURCE_RULES: dict[str, dict[str, str]] = {
+    "REP300": {
+        "title": "REP3xx waiver comment without a justification",
+        "severity": "warning",
+        "hint": "append ` -- <why this lifecycle is safe>` to the disable comment",
+    },
+    "REP301": {
+        "title": "resource acquired but not released on every path",
+        "severity": "error",
+        "hint": "use `with`, or release in a `try/finally`",
+    },
+    "REP302": {
+        "title": "non-atomic durable write",
+        "severity": "error",
+        "hint": "write through repro.utility.atomic (tmp in the target's "
+        "directory + os.replace)",
+    },
+    "REP303": {
+        "title": "temp-file lifecycle hazard",
+        "severity": "error",
+        "hint": "create the tmp with dir=<target's directory> and unlink it "
+        "on every failure path",
+    },
+    "REP304": {
+        "title": "lock discipline violation",
+        "severity": "error",
+        "hint": "acquire locks in one global order and never block while "
+        "holding one",
+    },
+    "REP305": {
+        "title": "pool/executor not joined on all paths",
+        "severity": "error",
+        "hint": "terminate+join (or shutdown) in a `finally`, or use `with`",
+    },
+}
+
+#: Ids of the Layer 5 rules (used for selector expansion and waivers).
+RESOURCE_RULE_IDS = frozenset(RESOURCE_RULES)
+
+
+# -- the abstract resource domain --------------------------------------------
+
+@dataclass(frozen=True, order=True)
+class Resource:
+    """One abstract resource: an acquisition site plus its kind."""
+
+    kind: str  # "file" | "tempfile" | "pool" | "lock" | "socket"
+    path: str
+    line: int
+    column: int
+    description: str
+
+
+ResourceSet = frozenset  # frozenset[Resource]
+
+_EMPTY: frozenset = frozenset()
+
+#: Receiver-method names that release a resource, by kind.  A pool is
+#: only *safe* once joined (or shut down): ``close``/``terminate`` alone
+#: still leaves worker processes to reap.
+_RELEASE_METHODS: dict[str, frozenset[str]] = {
+    "file": frozenset({"close"}),
+    "tempfile": frozenset({"close"}),
+    "pool": frozenset({"join", "shutdown"}),
+    "lock": frozenset({"release"}),
+    "socket": frozenset({"close"}),
+}
+
+#: Function-style releases: dotted callee -> resource kinds it releases
+#: for every argument it is handed.
+_RELEASE_FUNCS: dict[str, frozenset[str]] = {
+    "os.unlink": frozenset({"tempfile", "file"}),
+    "os.remove": frozenset({"tempfile", "file"}),
+    "os.replace": frozenset({"tempfile"}),
+    "os.rename": frozenset({"tempfile"}),
+    "os.rmdir": frozenset({"tempfile"}),
+    "os.close": frozenset({"file"}),
+    "os.fdopen": frozenset({"file"}),
+    "shutil.rmtree": frozenset({"tempfile"}),
+}
+
+#: Every release-ish callee name; a statement whose calls are all drawn
+#: from this set is treated as non-raising, so `f.close()` inside a
+#: `finally` does not spuriously "raise with f still held".
+#: ``suppress`` rides along: constructing ``contextlib.suppress(...)`` in
+#: a ``with`` header is trivially safe, and modeling it as raising would
+#: put a phantom leak on the edge into every suppressed region.
+_RELEASE_NAMES = frozenset(
+    {"close", "release", "join", "terminate", "shutdown", "suppress"}
+    | {dotted.split(".")[-1] for dotted in _RELEASE_FUNCS}
+)
+
+#: Callees known to *borrow* a handle argument without taking ownership:
+#: passing a held resource to one keeps the caller responsible for it.
+_BORROWING_CALLEES = frozenset(
+    {"dump", "load", "writer", "reader", "DictWriter", "DictReader",
+     "copyfileobj", "print"}
+)
+
+#: Call names that block the calling thread (REP304 while a lock is held).
+_BLOCKING_CALLS = frozenset({"sleep", "wait", "recv", "accept", "select"})
+
+#: Substrings marking a `with <expr>:` context as a lock acquisition.
+_LOCKISH_TOKENS = ("lock", "mutex", "sem", "cond")
+
+
+def _dotted_name(node: ast.expr, imports: Mapping[str, str]) -> str | None:
+    """Import-resolved dotted text of a simple name/attribute chain."""
+    if isinstance(node, ast.Name):
+        return imports.get(node.id, node.id)
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value, imports)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def _call_kind(call: ast.Call, imports: Mapping[str, str]) -> str | None:
+    """The resource kind a call acquires, or ``None``."""
+    func = call.func
+    dotted = _dotted_name(func, imports)
+    if dotted in {"open", "io.open", "gzip.open", "bz2.open", "lzma.open"}:
+        return "file"
+    if dotted == "os.fdopen":
+        return "file"
+    if dotted in {
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+        "tempfile.SpooledTemporaryFile",
+        "tempfile.TemporaryDirectory",
+        "tempfile.mkdtemp",
+    }:
+        return "tempfile"
+    if dotted == "tempfile.mkstemp":
+        return "mkstemp"  # expands to an fd + a temp name
+    if dotted == "socket.socket" or dotted == "socket.create_connection":
+        return "socket"
+    if isinstance(func, ast.Attribute):
+        if func.attr == "open":
+            return "file"  # path.open(...) and friends
+        if func.attr == "Pool":
+            return "pool"  # multiprocessing.Pool / get_context(...).Pool
+    if dotted in {
+        "multiprocessing.Pool",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "ThreadPoolExecutor",
+    }:
+        return "pool"
+    return None
+
+
+def _receiver_token(node: ast.expr) -> str | None:
+    """Stable text for a lock receiver (``self._lock``, ``CACHE_LOCK``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _receiver_token(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _is_lockish(token: str | None) -> bool:
+    lowered = (token or "").lower()
+    return any(mark in lowered for mark in _LOCKISH_TOKENS)
+
+
+def _resource_may_raise(
+    statement: ast.AST, is_release_call=None
+) -> bool:
+    """The resource layer's raise predicate.
+
+    Like :func:`statement_may_raise`, but a statement whose only calls
+    are release calls (``close``/``release``/``join``/``os.replace``/…)
+    is treated as non-raising: modeling ``f.close()`` as raising with
+    ``f`` still held would flag every correct ``try/finally``.  The
+    optional ``is_release_call`` hook extends the family to resolved
+    repo-local release wrappers (``helper(f)`` whose summary closes
+    ``f``), so interprocedural releases don't reopen exception windows.
+    """
+    saw_call = False
+    for node in ast.walk(statement):
+        if isinstance(
+            node, (ast.Raise, ast.Assert, ast.Await, ast.Yield, ast.YieldFrom)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            saw_call = True
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name in _RELEASE_NAMES:
+                continue
+            if is_release_call is not None and is_release_call(node):
+                continue
+            return True
+    if saw_call:
+        return False
+    return statement_may_raise(statement)
+
+
+# -- interprocedural summaries -----------------------------------------------
+
+@dataclass
+class FunctionSummary:
+    """What a callee does with resource-valued parameters.
+
+    Computed syntactically (one walk per function), then converged over
+    the call graph so forwarding chains (``a(f)`` -> ``b(f)`` ->
+    ``f.close()``) resolve.  ``released`` is may-release — good enough to
+    transfer the obligation; ``escaped`` parameters are stored or
+    re-exposed, so the caller's obligation is discharged conservatively.
+    """
+
+    released: set[str] = field(default_factory=set)
+    escaped: set[str] = field(default_factory=set)
+    forwarded: set[tuple[str, str, str]] = field(default_factory=set)
+    returns_fresh: str | None = None
+    returns_calls: set[str] = field(default_factory=set)
+    may_block: bool = False
+    blocking_site: tuple[str, int] | None = None
+
+
+def _param_names(node: ast.AST) -> list[str]:
+    args = getattr(node, "args", None)
+    if args is None:
+        return []
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _own_statements(node: ast.AST) -> Iterable[ast.AST]:
+    """Every AST node of a function body, excluding nested def/class."""
+    body = getattr(node, "body", [])
+    if isinstance(body, ast.expr):  # Lambda bodies are a single expression
+        body = [body]
+    stack = list(body)
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+class _Resolver:
+    """Resolves simple call targets to indexed function qualnames."""
+
+    def __init__(self, index: ProgramIndex, module: ModuleInfo, fn: FunctionInfo):
+        self.index = index
+        self.module = module
+        self.fn = fn
+
+    def qualname_of(self, call: ast.Call) -> str | None:
+        """The indexed callee of a plain-name or ``self.method`` call."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = self.module.functions.get(func.id)
+            if local is not None and local in self.index.functions:
+                return local
+            dotted = self.module.imports.get(func.id)
+            if dotted is not None and dotted in self.index.functions:
+                return dotted
+            return None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and self.fn.class_name is not None
+        ):
+            class_info = self.index.classes.get(
+                f"{self.fn.module}.{self.fn.class_name}"
+            )
+            if class_info is not None:
+                return class_info.methods.get(func.attr)
+        return None
+
+
+def _scan_function(
+    fn: FunctionInfo, module: ModuleInfo, resolver: _Resolver
+) -> FunctionSummary:
+    """One syntactic pass: parameter fates, fresh returns, blocking calls."""
+    summary = FunctionSummary()
+    params = set(_param_names(fn.node))
+    fresh_names: set[str] = set()  # names assigned a fresh acquisition
+
+    def arg_names(call: ast.Call) -> list[tuple[int, str]]:
+        named = []
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Name):
+                named.append((position, arg.id))
+        return named
+
+    for node in _own_statements(fn.node):
+        if isinstance(node, ast.Call):
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            name = func.id if isinstance(func, ast.Name) else attr
+            dotted = _dotted_name(func, module.imports)
+            # Release through a receiver method (`f.close()`).
+            if attr in _RELEASE_NAMES and isinstance(func.value, ast.Name):
+                if func.value.id in params:
+                    summary.released.add(func.value.id)
+            # Release through a function (`os.unlink(tmp)`).
+            if dotted in _RELEASE_FUNCS:
+                for _, bound in arg_names(node):
+                    if bound in params:
+                        summary.released.add(bound)
+                continue
+            if name in _BLOCKING_CALLS:
+                summary.may_block = True
+                if summary.blocking_site is None:
+                    summary.blocking_site = (fn.path, node.lineno)
+            callee = resolver.qualname_of(node)
+            if callee is not None:
+                callee_params = _param_names(
+                    resolver.index.functions[callee].node
+                )
+                if callee_params and callee_params[0] in ("self", "cls"):
+                    callee_params = callee_params[1:]
+                for position, bound in arg_names(node):
+                    if bound in params and position < len(callee_params):
+                        summary.forwarded.add(
+                            (bound, callee, callee_params[position])
+                        )
+            elif name not in _BORROWING_CALLEES:
+                # Unknown callee: a parameter handed to it may be kept
+                # alive elsewhere — discharge the obligation.
+                for _, bound in arg_names(node):
+                    if bound in params:
+                        summary.escaped.add(bound)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if isinstance(value, ast.Call):
+                kind = _call_kind(value, module.imports)
+                if kind is not None:
+                    summary.returns_fresh = "file" if kind == "mkstemp" else kind
+                callee = resolver.qualname_of(value)
+                if callee is not None:
+                    summary.returns_calls.add(callee)
+            for inner in ast.walk(value) if value is not None else ():
+                if isinstance(inner, ast.Name):
+                    if inner.id in params:
+                        summary.escaped.add(inner.id)
+                    if inner.id in fresh_names:
+                        summary.returns_fresh = summary.returns_fresh or "file"
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Call) and _call_kind(
+                node.value, module.imports
+            ):
+                for target in node.targets:
+                    for bound in ast.walk(target):
+                        if isinstance(bound, ast.Name):
+                            fresh_names.add(bound.id)
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    for inner in ast.walk(node.value):
+                        if isinstance(inner, ast.Name) and inner.id in params:
+                            summary.escaped.add(inner.id)
+    return summary
+
+
+def _converge_summaries(
+    index: ProgramIndex, summaries: dict[str, FunctionSummary]
+) -> None:
+    """Propagate released/escaped/blocking facts along forwarding edges."""
+    for _ in range(16):
+        changed = False
+        for qualname, summary in summaries.items():
+            for param, callee, callee_param in summary.forwarded:
+                callee_summary = summaries.get(callee)
+                if callee_summary is None:
+                    continue
+                if (
+                    callee_param in callee_summary.released
+                    and param not in summary.released
+                ):
+                    summary.released.add(param)
+                    changed = True
+                if (
+                    callee_param in callee_summary.escaped
+                    and param not in summary.escaped
+                ):
+                    summary.escaped.add(param)
+                    changed = True
+            for callee in summary.returns_calls:
+                callee_summary = summaries.get(callee)
+                if (
+                    callee_summary is not None
+                    and callee_summary.returns_fresh
+                    and summary.returns_fresh is None
+                ):
+                    summary.returns_fresh = callee_summary.returns_fresh
+                    changed = True
+            if not summary.may_block:
+                for callee in _callee_names(index, qualname):
+                    callee_summary = summaries.get(callee)
+                    if callee_summary is not None and callee_summary.may_block:
+                        summary.may_block = True
+                        summary.blocking_site = callee_summary.blocking_site
+                        changed = True
+                        break
+        if not changed:
+            break
+
+
+def _callee_names(index: ProgramIndex, qualname: str) -> Iterable[str]:
+    return index.edges.get(qualname, {})
+
+
+# -- the per-function may-held fixpoint --------------------------------------
+
+Env = dict  # name -> frozenset[Resource]
+
+
+def _join(envs: Iterable[Env]) -> Env:
+    joined: Env = {}
+    for env in envs:
+        for name, rids in env.items():
+            if rids:
+                joined[name] = joined.get(name, _EMPTY) | rids
+    return joined
+
+
+def _le(small: Env, big: Env) -> bool:
+    return all(rids <= big.get(name, _EMPTY) for name, rids in small.items())
+
+
+@dataclass
+class _FlowResult:
+    """What one function's held-resource fixpoint discovered."""
+
+    acquired: dict[Resource, ast.Call] = field(default_factory=dict)
+    escaped: set = field(default_factory=set)
+    held_normal: set = field(default_factory=set)
+    held_raise: set = field(default_factory=set)
+
+
+class _ResourceFlow:
+    """Forward may-held interpreter over one exception-aware CFG."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        resolver: _Resolver,
+        summaries: Mapping[str, FunctionSummary],
+    ):
+        self.fn = fn
+        self.module = module
+        self.resolver = resolver
+        self.summaries = summaries
+        self.result = _FlowResult()
+        self._with_headers: set[int] = set()
+
+    # -- resource bookkeeping ---------------------------------------------
+
+    def _fresh(self, call: ast.Call, kind: str, description: str) -> Resource:
+        rid = Resource(
+            kind=kind,
+            path=self.fn.path,
+            line=call.lineno,
+            column=call.col_offset,
+            description=description,
+        )
+        self.result.acquired.setdefault(rid, call)
+        return rid
+
+    def _escape(self, rids: frozenset) -> None:
+        self.result.escaped.update(rids)
+
+    @staticmethod
+    def _release(env: Env, rids: frozenset, kinds: frozenset | None = None) -> None:
+        doomed = {
+            rid
+            for rid in rids
+            if kinds is None or rid.kind in kinds or rid.kind == "mkstemp"
+        }
+        if not doomed:
+            return
+        for name in list(env):
+            remaining = env[name] - doomed
+            if remaining != env[name]:
+                env[name] = remaining
+
+    # -- expression evaluation --------------------------------------------
+
+    def eval(self, node: ast.expr | None, env: Env) -> frozenset:
+        if node is None:
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.NamedExpr):
+            rids = self.eval(node.value, env)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = rids
+            return rids
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return self.eval(node.body, env) | self.eval(node.orelse, env)
+        if isinstance(node, (ast.Await, ast.Starred)):
+            return self.eval(node.value, env)
+        rids = _EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                rids |= self.eval(child, env)
+        return rids
+
+    def _eval_call(self, call: ast.Call, env: Env) -> frozenset:
+        arg_rids: list[frozenset] = [self.eval(a, env) for a in call.args]
+        for keyword in call.keywords:
+            arg_rids.append(self.eval(keyword.value, env))
+        all_args = frozenset().union(*arg_rids) if arg_rids else _EMPTY
+
+        func = call.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        name = func.id if isinstance(func, ast.Name) else attr
+        dotted = _dotted_name(func, self.module.imports)
+
+        # Function-style release (`os.replace(tmp, dst)`, `os.fdopen(fd)`).
+        if dotted in _RELEASE_FUNCS:
+            self._release(env, all_args, _RELEASE_FUNCS[dotted])
+            if dotted == "os.fdopen" and id(call) not in self._with_headers:
+                return frozenset({self._fresh(call, "file", "os.fdopen handle")})
+            return _EMPTY
+
+        # Receiver-method release (`f.close()`, `pool.join()`).
+        if attr is not None and isinstance(func, ast.Attribute):
+            receiver = self.eval(func.value, env)
+            released_kinds = frozenset(
+                kind
+                for kind, methods in _RELEASE_METHODS.items()
+                if attr in methods
+            )
+            if released_kinds and receiver:
+                self._release(env, receiver, released_kinds)
+                return _EMPTY
+            if attr == "acquire":
+                token = _receiver_token(func.value)
+                if token is not None:
+                    rid = self._fresh(call, "lock", f"lock {token}")
+                    env[f"lock:{token}"] = frozenset({rid})
+                return _EMPTY
+            if attr == "release":
+                token = _receiver_token(func.value)
+                if token is not None:
+                    held = env.get(f"lock:{token}", _EMPTY)
+                    self._release(env, held, frozenset({"lock"}))
+                return _EMPTY
+
+        # Fresh acquisition.
+        kind = _call_kind(call, self.module.imports)
+        if kind is not None:
+            if id(call) in self._with_headers:
+                return _EMPTY  # `with` guarantees release
+            description = f"{name or 'call'}(...)"
+            if kind == "mkstemp":
+                fd = self._fresh(call, "file", "mkstemp fd")
+                tmp = self._fresh(call, "tempfile", "mkstemp temp file")
+                return frozenset({fd, tmp})
+            return frozenset({self._fresh(call, kind, description)})
+
+        # Resolved repo-local callee: apply its summary to the arguments.
+        callee = self.resolver.qualname_of(call)
+        if callee is not None and callee in self.summaries:
+            summary = self.summaries[callee]
+            callee_params = _param_names(self.resolver.index.functions[callee].node)
+            if callee_params and callee_params[0] in ("self", "cls"):
+                callee_params = callee_params[1:]
+            for position, rids in enumerate(arg_rids[: len(call.args)]):
+                if not rids or position >= len(callee_params):
+                    continue
+                bound = callee_params[position]
+                if bound in summary.released:
+                    self._release(env, rids)
+                elif bound in summary.escaped:
+                    self._escape(rids)
+            if summary.returns_fresh is not None:
+                return frozenset(
+                    {self._fresh(call, summary.returns_fresh, f"{name}(...)")}
+                )
+            return _EMPTY
+
+        # Unknown callee: arguments escape (conservatively no finding),
+        # unless the callee is a known borrower (`json.dump(obj, f)`).
+        if all_args and name not in _BORROWING_CALLEES:
+            self._escape(all_args)
+        return _EMPTY
+
+    # -- statement transfer -------------------------------------------------
+
+    def transfer(self, statement: ast.AST, env: Env) -> None:
+        if isinstance(statement, ast.Assign):
+            rids = self.eval(statement.value, env)
+            for target in statement.targets:
+                self._bind(target, rids, env, statement.value)
+        elif isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                rids = self.eval(statement.value, env)
+                self._bind(statement.target, rids, env, statement.value)
+        elif isinstance(statement, ast.AugAssign):
+            self.eval(statement.value, env)
+        elif isinstance(statement, ast.Expr):
+            value = statement.value
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                self._escape(self.eval(value.value, env))
+            else:
+                self.eval(value, env)
+        elif isinstance(statement, ast.Return):
+            self._escape(self.eval(statement.value, env))
+        elif isinstance(statement, ast.Raise):
+            self.eval(statement.exc, env)
+            self.eval(statement.cause, env)
+        elif isinstance(statement, (ast.If, ast.While)):
+            self.eval(statement.test, env)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            self.eval(statement.iter, env)
+            self._bind(statement.target, _EMPTY, env, None)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                if isinstance(item.context_expr, ast.Call):
+                    self._with_headers.add(id(item.context_expr))
+                rids = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, rids, env, None)
+        elif isinstance(statement, ast.Match):
+            self.eval(statement.subject, env)
+        elif isinstance(statement, ast.ExceptHandler):
+            if statement.name:
+                env[statement.name] = _EMPTY
+        elif isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    self._escape(env.pop(target.id, _EMPTY))
+        elif isinstance(statement, ast.Assert):
+            self.eval(statement.test, env)
+        # Imports / defs / pass: no resource effect.
+
+    def _bind(
+        self,
+        target: ast.expr,
+        rids: frozenset,
+        env: Env,
+        value: ast.expr | None,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = rids
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # `fd, tmp = tempfile.mkstemp(...)`: split the pair precisely.
+            if (
+                isinstance(value, ast.Call)
+                and _call_kind(value, self.module.imports) == "mkstemp"
+                and len(target.elts) == 2
+            ):
+                fds = frozenset(r for r in rids if r.kind == "file")
+                tmps = frozenset(r for r in rids if r.kind == "tempfile")
+                self._bind(target.elts[0], fds, env, None)
+                self._bind(target.elts[1], tmps, env, None)
+                return
+            for element in target.elts:
+                self._bind(element, rids, env, None)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, rids, env, None)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Stored into an object/container: lifetime leaves this scope.
+            self._escape(rids)
+            return
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                env[node.id] = env.get(node.id, _EMPTY) | rids
+
+
+_MAX_SWEEPS = 64
+
+
+def _run_flow(
+    fn: FunctionInfo,
+    module: ModuleInfo,
+    resolver: _Resolver,
+    summaries: Mapping[str, FunctionSummary],
+) -> _FlowResult:
+    """Fixpoint the may-held analysis over one function."""
+    body = getattr(fn.node, "body", None)
+    flow = _ResourceFlow(fn, module, resolver, summaries)
+    if not isinstance(body, list) or not body:
+        return flow.result  # empty bodies and expression-bodied lambdas
+
+    def is_release_call(call: ast.Call) -> bool:
+        callee = resolver.qualname_of(call)
+        summary = summaries.get(callee) if callee is not None else None
+        return summary is not None and bool(summary.released)
+
+    cfg: ExceptionCFG = build_exception_cfg(
+        body,
+        may_raise=lambda stmt: _resource_may_raise(stmt, is_release_call),
+    )
+    in_states: dict[int, Env] = {cfg.entry: {}}
+
+    for _sweep in range(_MAX_SWEEPS):
+        changed = False
+        flow.result.escaped.clear()
+        for block_id in sorted(cfg.blocks):
+            block = cfg.blocks[block_id]
+            entry_env = in_states.get(block_id, {})
+            env = {name: rids for name, rids in entry_env.items()}
+            for statement in block.statements:
+                flow.transfer(statement, env)
+            for successor in block.successors:
+                merged = _join([in_states.get(successor, {}), env])
+                if not _le(merged, in_states.get(successor, {})):
+                    in_states[successor] = merged
+                    changed = True
+            for successor in block.exc_successors:
+                # Exception edges carry the block's *entry* state: the
+                # raising statement never completed.
+                merged = _join([in_states.get(successor, {}), entry_env])
+                if not _le(merged, in_states.get(successor, {})):
+                    in_states[successor] = merged
+                    changed = True
+        if not changed:
+            break
+
+    def held(exit_id: int) -> set:
+        rids: set = set()
+        for bound in in_states.get(exit_id, {}).values():
+            rids.update(bound)
+        return {r for r in rids if r not in flow.result.escaped}
+
+    flow.result.held_normal = held(cfg.normal_exit)
+    flow.result.held_raise = held(cfg.raise_exit)
+    return flow.result
+
+
+# -- syntactic site checks (REP302 / REP303-dir) ------------------------------
+
+#: The one module allowed to spell a bare write-mode open.
+_SANCTIONED_SUFFIX = "repro/utility/atomic.py"
+
+_WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
+
+
+def _write_mode_of(call: ast.Call) -> str | None:
+    """The constant mode string of an ``open``-family call, if any."""
+    mode_node: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None
+
+
+def _is_durable_write_mode(mode: str) -> bool:
+    return ("w" in mode or "x" in mode) and "a" not in mode and "r" not in mode
+
+
+def _has_dir_keyword(call: ast.Call) -> bool:
+    return any(keyword.arg == "dir" for keyword in call.keywords)
+
+
+# -- whole-program pass -------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResourceFinding:
+    """A pre-suppression finding plus the function it belongs to."""
+
+    diagnostic: Diagnostic
+    function: str  # qualname, or "" for module-level code
+
+
+@dataclass(frozen=True)
+class ResourceWaiver:
+    """One REP3xx disable comment that fired."""
+
+    rule: str
+    path: str
+    line: int
+    justification: str
+    function: str
+
+
+@dataclass
+class ResourceAnalysis:
+    """Converged Layer 5 results for one indexed program."""
+
+    index: ProgramIndex
+    surviving: list[ResourceFinding]
+    waivers: list[ResourceWaiver]
+    audit: list[Diagnostic]  # REP300
+
+
+def _severity(rule: str) -> Severity:
+    return Severity(RESOURCE_RULES[rule]["severity"])
+
+
+def _diag(rule: str, message: str, path: str, line: int, column: int = 0) -> Diagnostic:
+    return Diagnostic(
+        rule=rule,
+        message=message,
+        severity=_severity(rule),
+        path=path,
+        line=line,
+        column=column,
+        hint=RESOURCE_RULES[rule]["hint"],
+    )
+
+
+def _function_spans(module: ModuleInfo, index: ProgramIndex) -> list[tuple[int, int, str]]:
+    spans = []
+    for qualname, fn in index.functions.items():
+        if fn.module != module.name:
+            continue
+        end = getattr(fn.node, "end_lineno", fn.line) or fn.line
+        spans.append((fn.line, end, qualname))
+    # Innermost (shortest) span wins for nested functions.
+    spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+    return spans
+
+
+def _enclosing_function(spans: Sequence[tuple[int, int, str]], line: int) -> str:
+    best = ""
+    best_width = None
+    for start, end, qualname in spans:
+        if start <= line <= end:
+            width = end - start
+            if best_width is None or width <= best_width:
+                best = qualname
+                best_width = width
+    return best
+
+
+def _site_findings(
+    module: ModuleInfo, spans: Sequence[tuple[int, int, str]]
+) -> list[ResourceFinding]:
+    """REP302 write-site and REP303 tmp-placement findings for one module."""
+    if Path(module.path).as_posix().endswith(_SANCTIONED_SUFFIX):
+        return []
+    findings: list[ResourceFinding] = []
+    calls_replace = any(
+        isinstance(node, ast.Call)
+        and _dotted_name(node.func, module.imports) in {"os.replace", "os.rename"}
+        for node in ast.walk(module.tree)
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        dotted = _dotted_name(func, module.imports)
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        function = _enclosing_function(spans, node.lineno)
+        if attr in _WRITE_ATTRS:
+            findings.append(
+                ResourceFinding(
+                    _diag(
+                        "REP302",
+                        f"non-atomic durable write: .{attr}(...) replaces the "
+                        "target in place — a crash mid-write tears the file",
+                        module.path,
+                        node.lineno,
+                        node.col_offset,
+                    ),
+                    function,
+                )
+            )
+            continue
+        is_open = dotted in {"open", "io.open", "os.fdopen"} or attr == "open"
+        if is_open:
+            mode = _write_mode_of(node)
+            if mode is not None and _is_durable_write_mode(mode):
+                findings.append(
+                    ResourceFinding(
+                        _diag(
+                            "REP302",
+                            f"non-atomic durable write: open mode {mode!r} "
+                            "truncates the target before writing — a crash "
+                            "mid-write tears the file",
+                            module.path,
+                            node.lineno,
+                            node.col_offset,
+                        ),
+                        function,
+                    )
+                )
+        if (
+            dotted in {"tempfile.mkstemp", "tempfile.NamedTemporaryFile", "tempfile.mkdtemp"}
+            and not _has_dir_keyword(node)
+            and calls_replace
+        ):
+            findings.append(
+                ResourceFinding(
+                    _diag(
+                        "REP303",
+                        "temp file created without dir= in a module that "
+                        "os.replace()s: the default temp dir may sit on "
+                        "another filesystem, where replace is not atomic",
+                        module.path,
+                        node.lineno,
+                        node.col_offset,
+                    ),
+                    function,
+                )
+            )
+    return findings
+
+
+_LEAK_RULE = {
+    "file": "REP301",
+    "tempfile": "REP303",
+    "lock": "REP301",
+    "socket": "REP301",
+    "pool": "REP305",
+}
+
+_LEAK_NOUN = {
+    "file": "file handle",
+    "tempfile": "temp file",
+    "lock": "lock",
+    "socket": "socket",
+    "pool": "pool/executor",
+}
+
+
+def _leak_findings(qualname: str, result: _FlowResult) -> list[ResourceFinding]:
+    findings: list[ResourceFinding] = []
+    for rid in sorted(result.held_normal | result.held_raise):
+        on_normal = rid in result.held_normal
+        on_raise = rid in result.held_raise
+        if on_normal and on_raise:
+            where = "any path"
+        elif on_raise:
+            where = "an exception path"
+        else:
+            where = "the normal path"
+        rule = _LEAK_RULE[rid.kind]
+        noun = _LEAK_NOUN[rid.kind]
+        verb = "joined" if rid.kind == "pool" else "released"
+        if rid.kind == "tempfile":
+            message = (
+                f"temp file from {rid.description} has no guaranteed cleanup: "
+                f"not replaced or unlinked on {where}"
+            )
+        else:
+            message = (
+                f"{noun} acquired by {rid.description} is not {verb} on {where}"
+            )
+        findings.append(
+            ResourceFinding(
+                _diag(rule, message, rid.path, rid.line, rid.column), qualname
+            )
+        )
+    return findings
+
+
+# -- REP304: lock order + blocking-while-held ---------------------------------
+
+@dataclass(frozen=True)
+class _LockEdge:
+    first: str
+    second: str
+    path: str
+    line: int
+
+
+def _lock_walk(
+    fn: FunctionInfo,
+    module: ModuleInfo,
+    resolver: _Resolver,
+    summaries: Mapping[str, FunctionSummary],
+    edges: set,
+    findings: list[ResourceFinding],
+) -> None:
+    """Collect acquisition-order edges and blocking-while-held findings."""
+
+    def walk(statements: Sequence[ast.AST], held: tuple[str, ...]) -> None:
+        held_list = list(held)
+        for statement in statements:
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                tokens = []
+                for item in statement.items:
+                    token = _receiver_token(item.context_expr)
+                    if token is not None and _is_lockish(token):
+                        tokens.append(token)
+                for token in tokens:
+                    for holder in held_list:
+                        edges.add(
+                            _LockEdge(holder, token, fn.path, statement.lineno)
+                        )
+                walk(statement.body, tuple(held_list + tokens))
+                continue
+            for node in ast.walk(statement):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                attr = func.attr if isinstance(func, ast.Attribute) else None
+                name = func.id if isinstance(func, ast.Name) else attr
+                if attr == "acquire" and isinstance(func, ast.Attribute):
+                    token = _receiver_token(func.value)
+                    if token is not None:
+                        for holder in held_list:
+                            edges.add(
+                                _LockEdge(holder, token, fn.path, node.lineno)
+                            )
+                        held_list.append(token)
+                elif attr == "release" and isinstance(func, ast.Attribute):
+                    token = _receiver_token(func.value)
+                    if token in held_list:
+                        held_list.remove(token)
+                elif held_list:
+                    blocking_site: tuple[str, int] | None = None
+                    if name in _BLOCKING_CALLS:
+                        blocking_site = (fn.path, node.lineno)
+                    else:
+                        callee = resolver.qualname_of(node)
+                        summary = summaries.get(callee) if callee else None
+                        if summary is not None and summary.may_block:
+                            blocking_site = (fn.path, node.lineno)
+                    if blocking_site is not None:
+                        findings.append(
+                            ResourceFinding(
+                                _diag(
+                                    "REP304",
+                                    f"blocking call {name}(...) while holding "
+                                    f"lock {held_list[-1]}: other threads/"
+                                    "processes stall behind the holder",
+                                    blocking_site[0],
+                                    blocking_site[1],
+                                ),
+                                fn.qualname,
+                            )
+                        )
+            # Recurse into nested bodies with the current held set.
+            for body_field in ("body", "orelse", "finalbody"):
+                nested = getattr(statement, body_field, None)
+                if nested and not isinstance(statement, (ast.With, ast.AsyncWith)):
+                    walk(nested, tuple(held_list))
+            for handler in getattr(statement, "handlers", ()) or ():
+                walk(handler.body, tuple(held_list))
+
+    body = getattr(fn.node, "body", None)
+    if isinstance(body, list) and body:
+        walk(body, ())
+
+
+def _lock_cycle_findings(edges: set) -> list[ResourceFinding]:
+    """One REP304 finding per acquisition-order cycle, deterministically."""
+    graph: dict[str, set[str]] = {}
+    witness: dict[tuple[str, str], _LockEdge] = {}
+    for edge in sorted(edges, key=lambda e: (e.path, e.line, e.first, e.second)):
+        graph.setdefault(edge.first, set()).add(edge.second)
+        witness.setdefault((edge.first, edge.second), edge)
+    findings: list[ResourceFinding] = []
+    reported: set[frozenset] = set()
+    for start in sorted(graph):
+        stack = [(start, [start])]
+        while stack:
+            node, trail = stack.pop()
+            for successor in sorted(graph.get(node, ())):
+                if successor == start:
+                    cycle = frozenset(trail)
+                    if cycle in reported:
+                        continue
+                    reported.add(cycle)
+                    edge = witness[(node, start)]
+                    order = " -> ".join(trail + [start])
+                    findings.append(
+                        ResourceFinding(
+                            _diag(
+                                "REP304",
+                                f"lock acquisition-order cycle: {order}; two "
+                                "holders can deadlock waiting on each other",
+                                edge.path,
+                                edge.line,
+                            ),
+                            "",
+                        )
+                    )
+                elif successor not in trail:
+                    stack.append((successor, trail + [successor]))
+    return findings
+
+
+# -- suppressions, public pass, certificates ----------------------------------
+
+def _apply_suppressions(
+    index: ProgramIndex, raw: list[ResourceFinding]
+) -> tuple[list[ResourceFinding], list[ResourceWaiver], list[Diagnostic]]:
+    """Split raw findings into (surviving, waived, REP300 audit)."""
+    tables: dict[str, dict[int, tuple[set, str]]] = {}
+    sources = {m.path: m.source for m in index.modules.values()}
+    surviving: list[ResourceFinding] = []
+    waivers: list[ResourceWaiver] = []
+    unaudited: dict[tuple[str, int], Diagnostic] = {}
+    for finding in raw:
+        diagnostic = finding.diagnostic
+        table = tables.get(diagnostic.path)
+        if table is None:
+            source = sources.get(diagnostic.path)
+            table = (
+                _file_suppressions(source, RESOURCE_RULE_IDS)
+                if source is not None
+                else {}
+            )
+            tables[diagnostic.path] = table
+        entry = table.get(diagnostic.line)
+        if entry is None or diagnostic.rule not in entry[0]:
+            surviving.append(finding)
+            continue
+        ids, justification = entry
+        waivers.append(
+            ResourceWaiver(
+                rule=diagnostic.rule,
+                path=diagnostic.path,
+                line=diagnostic.line,
+                justification=justification,
+                function=finding.function,
+            )
+        )
+        if not justification:
+            key = (diagnostic.path, diagnostic.line)
+            unaudited.setdefault(
+                key,
+                _diag(
+                    "REP300",
+                    f"waiver for {', '.join(sorted(ids))} has no justification; "
+                    "append ` -- <reason>` so the audit trail explains why "
+                    "the lifecycle is safe",
+                    diagnostic.path,
+                    diagnostic.line,
+                ),
+            )
+    return surviving, waivers, list(unaudited.values())
+
+
+def analyze_resources(index: ProgramIndex) -> ResourceAnalysis:
+    """Run the full Layer 5 pass over an indexed program (memoized)."""
+    cached = getattr(index, "_resource_analysis", None)
+    if cached is not None:
+        return cached
+
+    summaries: dict[str, FunctionSummary] = {}
+    resolvers: dict[str, _Resolver] = {}
+    for qualname, fn in index.functions.items():
+        module = index.modules.get(fn.module)
+        if module is None:
+            continue
+        resolver = _Resolver(index, module, fn)
+        resolvers[qualname] = resolver
+        summaries[qualname] = _scan_function(fn, module, resolver)
+    _converge_summaries(index, summaries)
+
+    raw: list[ResourceFinding] = []
+    lock_edges: set = set()
+    span_cache: dict[str, list[tuple[int, int, str]]] = {}
+    for module_name in sorted(index.modules):
+        module = index.modules[module_name]
+        spans = span_cache.setdefault(
+            module.path, _function_spans(module, index)
+        )
+        raw.extend(_site_findings(module, spans))
+    for qualname in sorted(index.functions):
+        fn = index.functions[qualname]
+        module = index.modules.get(fn.module)
+        if module is None:
+            continue
+        resolver = resolvers[qualname]
+        if _needs_flow(fn):
+            result = _run_flow(fn, module, resolver, summaries)
+            raw.extend(_leak_findings(qualname, result))
+        _lock_walk(fn, module, resolver, summaries, lock_edges, raw)
+    raw.extend(_lock_cycle_findings(lock_edges))
+
+    surviving, waivers, audit = _apply_suppressions(index, raw)
+    analysis = ResourceAnalysis(
+        index=index, surviving=surviving, waivers=waivers, audit=audit
+    )
+    index._resource_analysis = analysis  # type: ignore[attr-defined]
+    return analysis
+
+
+def _needs_flow(fn: FunctionInfo) -> bool:
+    """Whether a function can possibly hold a tracked resource.
+
+    A quick syntactic gate: only functions containing an acquisition call
+    outside a ``with`` header (or a bare ``.acquire()``) pay for the CFG
+    fixpoint; everything else trivially holds nothing.
+    """
+    with_headers: set[int] = set()
+    for node in _own_statements(fn.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    with_headers.add(id(item.context_expr))
+    for node in _own_statements(fn.node):
+        if not isinstance(node, ast.Call) or id(node) in with_headers:
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            return True
+        if _probably_acquisition_name(func):
+            return True
+    return False
+
+
+def _probably_acquisition_name(func: ast.expr) -> bool:
+    name = (
+        func.attr
+        if isinstance(func, ast.Attribute)
+        else func.id if isinstance(func, ast.Name) else None
+    )
+    return name in {
+        "open", "fdopen", "mkstemp", "mkdtemp", "NamedTemporaryFile",
+        "TemporaryFile", "SpooledTemporaryFile", "TemporaryDirectory",
+        "Pool", "ProcessPoolExecutor", "ThreadPoolExecutor", "socket",
+        "create_connection",
+    }
+
+
+def check_resource_safety(
+    paths: Sequence[str | Path], select: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """Run the Layer 5 pass over ``paths`` and return surviving findings.
+
+    ``select`` narrows to specific REP3xx ids (already expanded by the
+    caller); ``None`` runs all of them.  Waived findings are dropped, but
+    an unjustified waiver surfaces as REP300.
+    """
+    from .purity import analyze_program
+
+    analysis = analyze_resources(analyze_program(paths).index)
+    findings = [f.diagnostic for f in analysis.surviving] + analysis.audit
+    if select is not None:
+        wanted = set(select)
+        findings = [f for f in findings if f.rule in wanted]
+    return findings
+
+
+CRASH_SAFE = "crash-safe"
+CRASH_UNCERTIFIED = "uncertified"
+
+
+def crash_safety_by_op(analysis: ResourceAnalysis) -> dict[str, dict[str, Any]]:
+    """Per-op crash-safety verdicts for the op certificate file.
+
+    An op is ``crash-safe`` when no unwaived REP3xx finding lives in any
+    function statically reachable from it; waivers ride along so the
+    certificate records what was consciously accepted.
+    """
+    index = analysis.index
+    verdicts: dict[str, dict[str, Any]] = {}
+    for op_name in sorted(index.ops):
+        registration = index.ops[op_name]
+        reach = index.reachable([registration.function])
+        findings = sorted(
+            f"{f.diagnostic.rule}: {f.diagnostic.message}"
+            for f in analysis.surviving
+            if f.function in reach
+        )
+        waivers = [
+            {
+                "rule": waiver.rule,
+                "path": _portable_path(waiver.path),
+                "line": waiver.line,
+                "justification": waiver.justification,
+            }
+            for waiver in sorted(
+                (w for w in analysis.waivers if w.function in reach),
+                key=lambda w: (w.path, w.line, w.rule),
+            )
+        ]
+        verdicts[op_name] = {
+            "findings": findings,
+            "waivers": waivers,
+            "verdict": CRASH_UNCERTIFIED if findings else CRASH_SAFE,
+        }
+    return verdicts

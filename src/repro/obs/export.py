@@ -11,11 +11,10 @@ golden fixture validate.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from ..utility.atomic import atomic_writer
 from .trace import Span
 
 #: Trace-format tag stamped into every exported trace file.
@@ -23,19 +22,9 @@ TRACE_SCHEMA = "repro.obs/trace@1"
 
 
 def _atomic_write_json(payload: Any, path: Path) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True, indent=2)
-            handle.write("\n")
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    with atomic_writer(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
 
 
 def chrome_trace_payload(

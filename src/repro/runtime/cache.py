@@ -24,11 +24,11 @@ from __future__ import annotations
 import dataclasses
 import os
 import pickle
-import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
 from ..obs import metrics as obs_metrics
+from ..utility.atomic import atomic_writer
 from .task import CacheKey
 
 #: Sentinel distinguishing "miss" from a cached ``None`` value.
@@ -133,19 +133,8 @@ class ResultCache:
             {"key": dataclasses.asdict(key), "value": value},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".pkl"
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                handle.write(payload)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        with atomic_writer(path, "wb") as handle:
+            handle.write(payload)
         self.stats.writes += 1
         obs_metrics().inc("cache.write")
         if self.max_bytes is not None:

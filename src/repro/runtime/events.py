@@ -24,11 +24,11 @@ other checkable object in the pipeline.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import time
 from pathlib import Path
 from typing import Any, Iterable
+
+from ..utility.atomic import atomic_writer
 
 EVENTS_FILENAME = "events.jsonl"
 MANIFEST_FILENAME = "manifest.json"
@@ -79,20 +79,9 @@ class RunLog:
     def write_manifest(self, manifest: dict[str, Any]) -> Path:
         """Atomically (re)write ``manifest.json``; returns its path."""
         path = self.run_dir / MANIFEST_FILENAME
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=self.run_dir, prefix=".tmp-manifest-", suffix=".json"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
-                handle.write("\n")
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        with atomic_writer(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
         return path
 
 

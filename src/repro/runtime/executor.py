@@ -413,7 +413,6 @@ class StudyExecutor:
         tracer = observation.trace
         metrics = observation.metrics
         context = multiprocessing.get_context()
-        pool = context.Pool(processes=self.jobs)
         outcomes: dict[str, TaskOutcome] = {}
         values: dict[str, Any] = {}
         completed: set[str] = set()
@@ -474,6 +473,9 @@ class StudyExecutor:
             metrics.inc("executor.tasks.failed")
             self._block_dependents(graph, spec.task_id, outcomes)
 
+        # Acquired immediately before the try so no raising statement can
+        # run while the pool exists unprotected (lint Layer 5, REP305).
+        pool = context.Pool(processes=self.jobs)
         try:
             while len(outcomes) < len(graph):
                 # Schedule everything whose dependencies are satisfied.

@@ -1,5 +1,11 @@
-"""Utility (information loss) metrics over anonymizations."""
+"""Utility (information loss) metrics over anonymizations.
 
+Also home to :mod:`repro.utility.atomic`, the sanctioned atomic-write
+helper every durable artifact writer uses (imported first so it is
+resolvable even while this package's metric imports are mid-cycle).
+"""
+
+from .atomic import atomic_write_bytes, atomic_write_text, atomic_writer
 from .certainty import (
     global_certainty_penalty,
     ncp_vector,
@@ -37,6 +43,9 @@ from .query_error import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_writer",
     "marginal_divergence",
     "reconstructed_marginal",
     "total_marginal_divergence",

@@ -1,0 +1,751 @@
+"""Tests for Layer 5 of repro.lint: resource-lifecycle analysis (REP300-305).
+
+Covers the exception-aware CFG corners (finally re-raise, else clauses,
+suppressing ``with``, nested try in a loop), a positive and a negative
+fixture per rule, interprocedural release through helpers, waiver and
+REP300 audit behavior, ``--select REP3`` prefix expansion, baseline
+interplay, the SARIF reporter, the shared parse cache, and the
+acceptance-critical properties: the repo itself is clean under
+``--select REP3 --strict`` with zero waivers, and the op certificates
+carry byte-deterministic ``crash_safety`` verdicts.
+"""
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import api
+from repro.lint.dataflow import build_exception_cfg, statement_may_raise
+from repro.lint.engine import expand_selection, parse_cached
+from repro.lint.resources import (
+    RESOURCE_RULES,
+    check_resource_safety,
+    crash_safety_by_op,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+
+
+def findings_for(tmp_path, source, select=None, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return check_resource_safety([tmp_path], select=select)
+
+
+def rules_of(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_exception_cfg(tree.body[0].body, may_raise=statement_may_raise)
+
+
+# -- exception-aware CFG corners ---------------------------------------------
+
+
+class TestExceptionCFG:
+    def test_raising_statement_gets_exception_edge(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                y = g(x)
+                return y
+            """
+        )
+        exc_targets = [
+            target
+            for block in cfg.blocks.values()
+            for target in block.exc_successors
+        ]
+        assert cfg.raise_exit in exc_targets
+
+    def test_pure_moves_have_no_exception_edges(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                y = x
+                z = y
+            """
+        )
+        assert all(
+            not block.exc_successors for block in cfg.blocks.values()
+        )
+
+    def test_finally_tail_reaches_both_exits(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    g(x)
+                finally:
+                    h()
+            """
+        )
+        # Some block must edge to the normal exit AND some block must edge
+        # to the raise exit (the finally re-raise path).
+        succs = [
+            target
+            for block in cfg.blocks.values()
+            for target in block.successors
+        ]
+        assert cfg.normal_exit in succs
+        assert cfg.raise_exit in succs
+
+    def test_handler_raise_lands_outside_own_try(self):
+        """An exception raised inside a handler skips sibling handlers."""
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    g(x)
+                except ValueError:
+                    h(x)
+                except KeyError:
+                    pass
+            """
+        )
+        assert cfg.raise_exit in {
+            target
+            for block in cfg.blocks.values()
+            for target in block.exc_successors
+        }
+
+    def test_else_clause_exceptions_skip_handlers(self, tmp_path):
+        # The release lives in the else clause: the try body's exception
+        # path never runs it, so the handle leaks on that path.
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path):
+                handle = open(path)
+                try:
+                    data = handle.read()
+                except ValueError:
+                    data = ""
+                else:
+                    handle.close()
+                return data
+            """,
+        )
+        assert "REP301" in rules_of(findings)
+
+    def test_finally_release_is_clean_even_on_reraise(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path):
+                handle = open(path)
+                try:
+                    return handle.read()
+                finally:
+                    handle.close()
+            """,
+        )
+        assert findings == []
+
+    def test_suppressing_with_contains_the_exception(self, tmp_path):
+        # contextlib.suppress swallows the raise, so control always
+        # reaches the close: no leak.
+        findings = findings_for(
+            tmp_path,
+            """
+            import contextlib
+
+            def f(path):
+                handle = open(path)
+                with contextlib.suppress(ValueError):
+                    handle.write(parse(path))
+                handle.close()
+            """,
+        )
+        assert findings == []
+
+    def test_nested_try_in_loop(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(paths):
+                out = []
+                for path in paths:
+                    handle = open(path)
+                    try:
+                        out.append(handle.read())
+                    finally:
+                        handle.close()
+                return out
+            """,
+        )
+        assert findings == []
+
+    def test_loop_with_unprotected_body_leaks(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(paths):
+                out = []
+                for path in paths:
+                    handle = open(path)
+                    out.append(handle.read())
+                    handle.close()
+                return out
+            """,
+        )
+        assert "REP301" in rules_of(findings)
+
+
+# -- REP301: must-release -----------------------------------------------------
+
+
+class TestRep301:
+    def test_leak_on_exception_path_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path):
+                handle = open(path)
+                data = handle.read()
+                handle.close()
+                return data
+            """,
+        )
+        assert rules_of(findings) == ["REP301"]
+
+    def test_with_statement_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        assert findings == []
+
+    def test_interprocedural_release_through_helper(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def shut(handle):
+                handle.close()
+
+            def f(path):
+                handle = open(path)
+                shut(handle)
+            """,
+        )
+        assert findings == []
+
+    def test_escape_via_return_discharges_obligation(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path):
+                return open(path)
+            """,
+        )
+        assert findings == []
+
+    def test_escape_via_attribute_store_discharges(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            class Holder:
+                def open_log(self, path):
+                    self.log = open(path, "r")
+            """,
+        )
+        assert findings == []
+
+    def test_socket_leak_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import socket
+
+            def f(host):
+                conn = socket.create_connection((host, 80))
+                conn.sendall(b"ping")
+            """,
+        )
+        assert "REP301" in rules_of(findings)
+
+
+# -- REP302: atomic durable writes --------------------------------------------
+
+
+class TestRep302:
+    def test_bare_write_open_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+        )
+        assert "REP302" in rules_of(findings)
+
+    def test_write_text_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            from pathlib import Path
+
+            def f(path, text):
+                Path(path).write_text(text)
+            """,
+        )
+        assert "REP302" in rules_of(findings)
+
+    def test_append_mode_is_exempt(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+            """,
+        )
+        assert findings == []
+
+    def test_read_mode_is_exempt(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        assert findings == []
+
+    def test_sanctioned_module_is_exempt(self, tmp_path):
+        module_dir = tmp_path / "repro" / "utility"
+        module_dir.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (module_dir / "__init__.py").write_text("")
+        (module_dir / "atomic.py").write_text(
+            textwrap.dedent(
+                """
+                import os
+
+                def write(path, text):
+                    with os.fdopen(os.open(path, 0), "w") as handle:
+                        handle.write(text)
+                """
+            )
+        )
+        assert check_resource_safety([tmp_path], select=["REP302"]) == []
+
+
+# -- REP303: temp-file lifecycle ----------------------------------------------
+
+
+class TestRep303:
+    def test_unreleased_temp_file_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import os
+            import tempfile
+
+            def f(data, target):
+                fd, tmp = tempfile.mkstemp(dir=".")
+                os.write(fd, data)
+                os.close(fd)
+                os.replace(tmp, target)
+            """,
+        )
+        # os.write may raise with the tmp file on disk and no cleanup.
+        assert "REP303" in rules_of(findings)
+
+    def test_mkstemp_outside_target_dir_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import os
+            import tempfile
+
+            def f(target, data):
+                fd, tmp = tempfile.mkstemp()
+                try:
+                    os.write(fd, data)
+                finally:
+                    os.close(fd)
+                os.replace(tmp, target)
+            """,
+            select=["REP303"],
+        )
+        assert any("dir=" in f.message for f in findings)
+
+    def test_guarded_same_dir_pattern_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import os
+            import tempfile
+
+            def f(target, text):
+                fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target))
+                try:
+                    with os.fdopen(fd, "w") as handle:
+                        handle.write(text)
+                    os.replace(tmp, target)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            """,
+            select=["REP303"],
+        )
+        assert findings == []
+
+
+# -- REP304: lock discipline --------------------------------------------------
+
+
+class TestRep304:
+    def test_acquisition_order_cycle_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import threading
+
+            cache_lock = threading.Lock()
+            stats_lock = threading.Lock()
+
+            def a():
+                with cache_lock:
+                    with stats_lock:
+                        pass
+
+            def b():
+                with stats_lock:
+                    with cache_lock:
+                        pass
+            """,
+        )
+        assert "REP304" in rules_of(findings)
+        assert any("cycle" in f.message for f in findings)
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import threading
+
+            cache_lock = threading.Lock()
+            stats_lock = threading.Lock()
+
+            def a():
+                with cache_lock:
+                    with stats_lock:
+                        pass
+
+            def b():
+                with cache_lock:
+                    with stats_lock:
+                        pass
+            """,
+        )
+        assert findings == []
+
+    def test_blocking_call_while_lock_held_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import time
+            import threading
+
+            state_lock = threading.Lock()
+
+            def f():
+                with state_lock:
+                    time.sleep(5)
+            """,
+        )
+        assert "REP304" in rules_of(findings)
+        assert any("blocking" in f.message for f in findings)
+
+
+# -- REP305: pools ------------------------------------------------------------
+
+
+class TestRep305:
+    def test_close_without_join_fires(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import multiprocessing
+
+            def f(items):
+                pool = multiprocessing.Pool(2)
+                out = pool.map(str, items)
+                pool.close()
+                return out
+            """,
+        )
+        assert "REP305" in rules_of(findings)
+
+    def test_terminate_join_in_finally_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            import multiprocessing
+
+            def f(items):
+                pool = multiprocessing.Pool(2)
+                try:
+                    return pool.map(str, items)
+                finally:
+                    pool.terminate()
+                    pool.join()
+            """,
+        )
+        assert findings == []
+
+    def test_with_executor_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def f(items):
+                with ThreadPoolExecutor(2) as pool:
+                    return list(pool.map(str, items))
+            """,
+        )
+        assert findings == []
+
+
+# -- waivers and REP300 -------------------------------------------------------
+
+
+class TestWaivers:
+    def test_justified_waiver_silences_and_passes_audit(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path):
+                handle = open(path)  # lint: disable=REP301 -- handed to caller-managed registry
+                register(handle)
+            """,
+        )
+        assert findings == []
+
+    def test_unjustified_waiver_fires_rep300(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path, text):
+                with open(path, "w") as handle:  # lint: disable=REP302
+                    handle.write(text)
+            """,
+        )
+        assert rules_of(findings) == ["REP300"]
+
+    def test_waiver_for_other_rule_does_not_silence(self, tmp_path):
+        findings = findings_for(
+            tmp_path,
+            """
+            def f(path, text):
+                with open(path, "w") as handle:  # lint: disable=REP301 -- wrong id
+                    handle.write(text)
+            """,
+        )
+        assert "REP302" in rules_of(findings)
+
+
+# -- selection, baseline, reporters -------------------------------------------
+
+
+class TestSelectionAndCli:
+    def test_rep3_prefix_expands_to_all_resource_rules(self):
+        expanded = expand_selection(["REP3"], universe=set(RESOURCE_RULES))
+        assert expanded == sorted(RESOURCE_RULES)
+
+    def test_repo_src_is_clean_under_strict(self):
+        assert main(["lint", str(REPO_SRC), "--select", "REP3", "--strict"]) == 0
+
+    def test_repo_src_has_zero_rep3_waivers(self):
+        from repro.lint.purity import analyze_program
+        from repro.lint.resources import analyze_resources
+
+        analysis = analyze_resources(analyze_program([REPO_SRC]).index)
+        assert analysis.waivers == []
+
+    def test_select_narrows_findings(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                def f(path, text):
+                    handle = open(path, "w")
+                    handle.write(text)
+                """
+            )
+        )
+        only_302 = check_resource_safety([tmp_path], select=["REP302"])
+        assert rules_of(only_302) == ["REP302"]
+
+    def test_cli_exit_one_on_violation(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(p):\n    h = open(p)\n    return h.read()\n")
+        assert main(["lint", str(tmp_path), "--select", "REP3"]) == 1
+        assert "REP301" in capsys.readouterr().out
+
+    def test_baseline_interplay(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(p):\n    h = open(p)\n    return h.read()\n")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(path),
+                    "--select",
+                    "REP3",
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # With the finding baselined, the same invocation is clean.
+        assert (
+            main(
+                [
+                    "lint",
+                    str(path),
+                    "--select",
+                    "REP3",
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert "1 finding(s) matched" in capsys.readouterr().out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(p):\n    h = open(p)\n    return h.read()\n")
+        main(["lint", str(tmp_path), "--select", "REP3", "--format", "sarif"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert [rule["id"] for rule in run["tool"]["driver"]["rules"]] == [
+            "REP301"
+        ]
+        result = run["results"][0]
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 2
+
+    def test_sarif_info_maps_to_note(self):
+        from repro.lint.diagnostics import Diagnostic, Severity
+        from repro.lint.report import render_sarif
+
+        log = json.loads(
+            render_sarif(
+                [
+                    Diagnostic(
+                        rule="REP000",
+                        message="m",
+                        severity=Severity.INFO,
+                        path="x.py",
+                        line=1,
+                    )
+                ]
+            )
+        )
+        assert log["runs"][0]["results"][0]["level"] == "note"
+
+
+# -- shared parse cache -------------------------------------------------------
+
+
+class TestParseCache:
+    def test_same_file_parses_once(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1\n")
+        source_a, tree_a = parse_cached(path)
+        source_b, tree_b = parse_cached(path)
+        assert tree_a is tree_b and source_a is source_b
+
+    def test_modification_invalidates(self, tmp_path):
+        import os
+
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1\n")
+        _, tree_a = parse_cached(path)
+        path.write_text("x = 2\n")
+        os.utime(path, ns=(1, 1))  # force a distinct fingerprint
+        _, tree_b = parse_cached(path)
+        assert tree_a is not tree_b
+
+    def test_syntax_error_returns_none_tree(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("def broken(:\n")
+        source, tree = parse_cached(path)
+        assert tree is None and "broken" in source
+
+
+# -- certificates -------------------------------------------------------------
+
+
+class TestCrashSafetyCertificates:
+    def test_certificates_carry_crash_safety(self, tmp_path):
+        certificates = api.op_certificates([REPO_SRC])
+        assert certificates["schema"] == "repro.lint/op-certificates@2"
+        for op in certificates["ops"].values():
+            crash = op["crash_safety"]
+            assert crash["verdict"] == "crash-safe"
+            assert crash["findings"] == []
+            assert crash["waivers"] == []
+
+    def test_crash_safety_by_op_flags_reachable_leak(self, tmp_path):
+        from repro.lint.purity import analyze_program
+        from repro.lint.resources import analyze_resources
+
+        (tmp_path / "app").mkdir()
+        (tmp_path / "app" / "__init__.py").write_text("")
+        (tmp_path / "app" / "ops.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.runtime.task import register_op
+
+                def leaky(path):
+                    handle = open(path)
+                    return handle.read()
+
+                @register_op("app.leaky")
+                def run(path):
+                    return leaky(path)
+                """
+            )
+        )
+        analysis = analyze_resources(analyze_program([tmp_path]).index)
+        verdicts = crash_safety_by_op(analysis)
+        assert verdicts["app.leaky"]["verdict"] == "uncertified"
+        assert any("REP301" in f for f in verdicts["app.leaky"]["findings"])
+
+    def test_committed_certificates_include_crash_safety(self):
+        committed = json.loads(
+            (REPO_ROOT / "lint" / "op_certificates.json").read_text()
+        )
+        assert committed["schema"] == "repro.lint/op-certificates@2"
+        assert all(
+            "crash_safety" in op for op in committed["ops"].values()
+        )

@@ -1,0 +1,114 @@
+"""Tests for repro.utility.atomic — the sanctioned atomic writer.
+
+The contract: readers racing the writer (or a process dying mid-write)
+see either the complete old bytes or the complete new bytes, never a
+torn file; a failed write leaves no temp debris; temp names are dotted
+so directory scanners skip them.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.utility import atomic_write_bytes, atomic_write_text, atomic_writer
+
+
+def test_text_roundtrip(tmp_path):
+    target = tmp_path / "out.txt"
+    returned = atomic_write_text(target, "hello\n")
+    assert returned == target
+    assert target.read_text(encoding="utf-8") == "hello\n"
+
+
+def test_bytes_roundtrip(tmp_path):
+    target = tmp_path / "out.bin"
+    atomic_write_bytes(target, b"\x00\x01payload")
+    assert target.read_bytes() == b"\x00\x01payload"
+
+
+def test_overwrites_existing_content(tmp_path):
+    target = tmp_path / "out.txt"
+    target.write_text("old")
+    atomic_write_text(target, "new")
+    assert target.read_text() == "new"
+
+
+def test_creates_missing_parent_directories(tmp_path):
+    target = tmp_path / "a" / "b" / "out.txt"
+    atomic_write_text(target, "deep")
+    assert target.read_text() == "deep"
+
+
+def test_failure_preserves_old_bytes_and_leaves_no_debris(tmp_path):
+    target = tmp_path / "out.txt"
+    target.write_text("precious")
+    with pytest.raises(RuntimeError):
+        with atomic_writer(target, "w") as handle:
+            handle.write("half-writ")
+            raise RuntimeError("crash mid-write")
+    assert target.read_text() == "precious"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_failure_on_fresh_target_leaves_nothing(tmp_path):
+    target = tmp_path / "fresh.txt"
+    with pytest.raises(ValueError):
+        with atomic_writer(target, "w") as handle:
+            handle.write("x")
+            raise ValueError("boom")
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_temp_file_lives_in_target_directory_and_is_dotted(tmp_path):
+    target = tmp_path / "out.txt"
+    seen = []
+    with atomic_writer(target, "w") as handle:
+        handle.write("x")
+        seen = [p.name for p in tmp_path.iterdir()]
+    assert len(seen) == 1
+    assert seen[0].startswith(".out.txt.") and seen[0].endswith(".tmp")
+    # Dotted names are invisible to glob-style scanners.
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_rejects_read_and_append_modes(tmp_path):
+    for mode in ("r", "a", "r+", "w+"):
+        with pytest.raises(ValueError):
+            with atomic_writer(tmp_path / "out", mode):
+                pass
+
+
+def test_binary_mode(tmp_path):
+    target = tmp_path / "out.bin"
+    with atomic_writer(target, "wb") as handle:
+        handle.write(b"abc")
+    assert target.read_bytes() == b"abc"
+
+
+def test_newline_forwarded(tmp_path):
+    target = tmp_path / "out.csv"
+    with atomic_writer(target, "w", newline="") as handle:
+        handle.write("a\r\nb\r\n")
+    assert target.read_bytes() == b"a\r\nb\r\n"
+
+
+def test_fsync_path_still_replaces(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "synced", fsync=True)
+    assert target.read_text() == "synced"
+
+
+def test_replace_is_same_filesystem(tmp_path, monkeypatch):
+    """The tmp file must be created next to the target, not in $TMPDIR."""
+    observed = {}
+    real_replace = os.replace
+
+    def spying_replace(src, dst):
+        observed["src"] = Path(src)
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", spying_replace)
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "x")
+    assert observed["src"].parent == target.parent
