@@ -10,6 +10,9 @@ Subcommands mirror the workflow of the examples:
 * ``repro paper`` — regenerate the paper's running example tables;
 * ``repro study`` — run an algorithm × k grid through the parallel,
   content-addressed study runtime (:mod:`repro.runtime`);
+* ``repro serve`` — long-lived anonymization service over HTTP
+  (:mod:`repro.serve`);
+* ``repro bench`` — concurrent workload benchmarks (``bench serve``);
 * ``repro obs`` — summarize a run's trace/metrics artifacts
   (:mod:`repro.obs`);
 * ``repro lint`` — static analysis (codebase rules + artifact checks).
@@ -42,6 +45,7 @@ from .datasets import paper_tables
 from .lint import cli as lint_cli
 from .obs import cli as obs_cli
 from .runtime import cli as runtime_cli
+from .serve import cli as serve_cli
 from .utility import discernibility, general_loss
 
 ALGORITHMS = {
@@ -148,6 +152,18 @@ def _parser() -> argparse.ArgumentParser:
     attack.add_argument("--rows", type=int, default=300)
     attack.add_argument("--seed", type=int, default=42)
     attack.add_argument("--trials", type=int, default=1000)
+
+    serve = commands.add_parser(
+        "serve",
+        help="start the resident anonymization service (HTTP)",
+    )
+    serve_cli.configure_serve_parser(serve)
+
+    bench = commands.add_parser(
+        "bench",
+        help="concurrent workload benchmarks (suite: serve)",
+    )
+    serve_cli.configure_bench_parser(bench)
 
     obs = commands.add_parser(
         "obs",
@@ -268,6 +284,8 @@ _HANDLERS = {
     "study": runtime_cli.run,
     "sweep": _cmd_sweep,
     "attack": _cmd_attack,
+    "serve": serve_cli.run_serve,
+    "bench": serve_cli.run_bench,
     "obs": obs_cli.run,
     "lint": lint_cli.run,
 }

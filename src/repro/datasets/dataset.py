@@ -27,7 +27,15 @@ def _fingerprint_token(value: Any) -> bytes:
     ``repr`` of the builtin scalar types is stable across processes and
     Python invocations (no ``PYTHONHASHSEED`` dependence); the type name
     disambiguates values whose reprs collide (``1`` vs ``True`` vs ``"1"``).
+    Set-valued cells (set-generalized categories) serialize element-wise in
+    sorted token order: a set's *iteration* order depends on its insertion
+    history, so ``repr`` would fingerprint the same released cell
+    differently before and after a pickle round-trip through the result
+    cache.
     """
+    if isinstance(value, (set, frozenset)):
+        inner = b"".join(sorted(_fingerprint_token(item) for item in value))
+        return f"{type(value).__name__}[".encode("utf-8") + inner + b"]\x1f"
     return f"{type(value).__name__}:{value!r}\x1f".encode("utf-8")
 
 

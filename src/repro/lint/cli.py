@@ -14,6 +14,7 @@ thinks).
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import Sequence
 
@@ -82,7 +83,8 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "(manifest.json + events.jsonl, ART009; trace.json/metrics.json, "
         "ART011), a content-addressed cache store (objects/, ART010), an "
         "exported trace/metrics JSON file (ART011), or a BENCH_*.json "
-        "benchmark trajectory (ART012)",
+        "benchmark file (trajectory ART012, serve document ART013 — "
+        "routed by schema tag)",
     )
     parser.add_argument(
         "--certify-ops",
@@ -125,6 +127,24 @@ def _partition_selectors(
     resource = [rule_id for rule_id in expanded if rule_id in api.RESOURCE_RULES]
     artifact = [rule_id for rule_id in expanded if rule_id in api.ARTIFACT_RULES]
     return (code or None), program, resource, artifact
+
+
+def _check_bench_file(target: Path) -> list[Diagnostic]:
+    """Route one ``BENCH_*.json`` file to its checker by schema tag.
+
+    Serve benchmark documents (``repro.bench/serve@1``) validate under
+    ART013; everything else — including unreadable files — falls through
+    to the ART012 trajectory checker, which reports the failure.
+    """
+    try:
+        with target.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        schema = payload.get("schema") if isinstance(payload, dict) else None
+    except (json.JSONDecodeError, OSError):
+        schema = None
+    if schema == api.SERVE_BENCH_SCHEMA:
+        return api.check_serve_bench_artifacts(target)
+    return api.check_bench_artifacts(target)
 
 
 def run(args: argparse.Namespace) -> int:
@@ -214,7 +234,7 @@ def run(args: argparse.Namespace) -> int:
             return 2
         if target.is_file():
             if target.name.startswith("BENCH_") and target.suffix == ".json":
-                findings.extend(api.check_bench_artifacts(target))
+                findings.extend(_check_bench_file(target))
             else:
                 findings.extend(api.check_obs_artifacts(target))
             continue

@@ -1,0 +1,52 @@
+"""repro.serve — the resident anonymization service and its workload plane.
+
+The batch runtime (:mod:`repro.runtime`) answers "run this study once";
+this package answers "keep the study's state resident and serve it".  One
+:class:`ServeState` holds datasets, anonymized releases, derived vectors
+and the content-addressed :class:`~repro.runtime.cache.ResultCache` in
+memory; one :class:`ServeServer` exposes them over a stdlib asyncio HTTP
+router (``anonymize`` / ``properties`` / ``compare`` / ``query``) with
+per-request :mod:`repro.obs` spans and graceful signal-driven shutdown;
+:mod:`repro.serve.workload` drives concurrent mixed workloads against it
+and records the ``BENCH_serve.json`` benchmark document.
+
+Cache keys are bit-compatible with ``repro study``: point ``repro serve
+--cache-dir`` at a study's store and warm requests never recompute — and
+a restarted server resumes from the same store with 100% hits.
+
+See ``docs/serve.md`` for the architecture and endpoint reference.
+"""
+
+from .query import GROUPBY_AGGREGATES, QUERY_SHAPES, QueryError, run_query
+from .server import HttpRequest, ServeServer, ServerThread
+from .state import ServeRequestError, ServeState
+from .workload import (
+    SERVE_BENCH_SCHEMA,
+    WORKLOAD_CELLS,
+    WORKLOAD_ENDPOINTS,
+    anonymize_hit_rate,
+    build_plan,
+    run_workload,
+    summarize,
+    write_bench,
+)
+
+__all__ = [
+    "GROUPBY_AGGREGATES",
+    "QUERY_SHAPES",
+    "QueryError",
+    "run_query",
+    "HttpRequest",
+    "ServeServer",
+    "ServerThread",
+    "ServeRequestError",
+    "ServeState",
+    "SERVE_BENCH_SCHEMA",
+    "WORKLOAD_CELLS",
+    "WORKLOAD_ENDPOINTS",
+    "anonymize_hit_rate",
+    "build_plan",
+    "run_workload",
+    "summarize",
+    "write_bench",
+]

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.moo",
     "repro.privacy",
     "repro.runtime",
+    "repro.serve",
     "repro.utility",
 ]
 

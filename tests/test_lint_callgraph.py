@@ -242,6 +242,7 @@ class TestOpDiscovery:
         import repro.analysis.sweep  # noqa: F401
         import repro.analysis.tournament  # noqa: F401
         import repro.runtime.study  # noqa: F401
+        import repro.serve.query  # noqa: F401
         from repro.runtime import registered_ops, resolve_op
 
         index = build_program_index([REPO_SRC])

@@ -1,0 +1,186 @@
+"""The six serve query shapes: semantics, determinism, error contract."""
+
+import pytest
+
+from repro.datasets import adult_dataset, adult_hierarchies
+from repro.anonymize.algorithms import Mondrian
+from repro.serve import QUERY_SHAPES, QueryError, run_query
+from repro.serve.query import render_cell
+
+
+@pytest.fixture(scope="module")
+def release():
+    data = adult_dataset(90, seed=7)
+    return Mondrian(k=3).anonymize(data, adult_hierarchies())
+
+
+@pytest.fixture(scope="module")
+def other_release():
+    data = adult_dataset(90, seed=7)
+    return Mondrian(k=5).anonymize(data, adult_hierarchies())
+
+
+class TestShapes:
+    def test_point_counts_rendered_cells(self, release):
+        column = release.released.column("sex")
+        needle = render_cell(column[0])
+        result = run_query(
+            release.released, {"shape": "point", "column": "sex", "value": needle}
+        )
+        expected = sum(1 for cell in column if render_cell(cell) == needle)
+        assert result == {
+            "shape": "point", "column": "sex", "value": needle, "count": expected
+        }
+
+    def test_point_generalized_value_matches_release_rendering(self, release):
+        # A predicate naming a generalized cell exactly as exported must
+        # match it; the raw value it came from must not leak matches.
+        spans = [
+            render_cell(cell)
+            for cell in release.released.column("age")
+            if not isinstance(cell, (int, float))
+        ]
+        if not spans:
+            pytest.skip("release left every age cell raw")
+        result = run_query(
+            release.released,
+            {"shape": "point", "column": "age", "value": spans[0]},
+        )
+        assert result["count"] == spans.count(spans[0])
+
+    def test_range_counts_only_raw_numeric_cells(self, release):
+        result = run_query(
+            release.released,
+            {"shape": "range", "column": "age", "low": 0, "high": 200},
+        )
+        raw = [
+            cell
+            for cell in release.released.column("age")
+            if isinstance(cell, (int, float)) and not isinstance(cell, bool)
+        ]
+        assert result["count"] == len(raw)
+        assert result["sum"] == pytest.approx(sum(raw))
+
+    def test_groupby_count_totals_rows(self, release):
+        result = run_query(
+            release.released,
+            {"shape": "groupby", "group_by": "workclass", "agg": "count"},
+        )
+        assert sum(result["groups"].values()) == len(release.released)
+        assert list(result["groups"]) == sorted(result["groups"])
+
+    def test_groupby_avg_is_sum_over_count(self, release):
+        avg = run_query(
+            release.released,
+            {"shape": "groupby", "group_by": "sex", "agg": "avg", "target": "age"},
+        )
+        total = run_query(
+            release.released,
+            {"shape": "groupby", "group_by": "sex", "agg": "sum", "target": "age"},
+        )
+        for key, value in avg["groups"].items():
+            assert value <= total["groups"][key]
+
+    def test_topk_ranked_by_count_then_value(self, release):
+        result = run_query(
+            release.released, {"shape": "topk", "column": "education", "k": 4}
+        )
+        counts = [count for _value, count in result["top"]]
+        assert counts == sorted(counts, reverse=True)
+        assert len(result["top"]) <= 4
+
+    def test_distinct_matches_rendered_set(self, release):
+        result = run_query(
+            release.released, {"shape": "distinct", "column": "native-country"}
+        )
+        rendered = {
+            render_cell(cell)
+            for cell in release.released.column("native-country")
+        }
+        assert result["distinct"] == len(rendered)
+
+    def test_join_pair_count_is_product_of_key_multiplicities(
+        self, release, other_release
+    ):
+        result = run_query(
+            release.released,
+            {"shape": "join", "on": "sex"},
+            other_release.released,
+        )
+        left = {}
+        for cell in release.released.column("sex"):
+            left[render_cell(cell)] = left.get(render_cell(cell), 0) + 1
+        right = {}
+        for cell in other_release.released.column("sex"):
+            right[render_cell(cell)] = right.get(render_cell(cell), 0) + 1
+        expected = sum(
+            left[key] * right[key] for key in set(left) & set(right)
+        )
+        assert result["pairs"] == expected
+
+    def test_every_shape_is_deterministic(self, release, other_release):
+        queries = {
+            "point": {"shape": "point", "column": "sex", "value": "Female"},
+            "range": {"shape": "range", "column": "age", "low": 25, "high": 45},
+            "groupby": {"shape": "groupby", "group_by": "race", "agg": "count"},
+            "topk": {"shape": "topk", "column": "education", "k": 3},
+            "distinct": {"shape": "distinct", "column": "workclass"},
+            "join": {"shape": "join", "on": "sex"},
+        }
+        assert set(queries) == set(QUERY_SHAPES)
+        for query in queries.values():
+            first = run_query(release.released, query, other_release.released)
+            second = run_query(release.released, query, other_release.released)
+            assert first == second
+
+
+class TestErrors:
+    def test_unknown_shape(self, release):
+        with pytest.raises(QueryError, match="unknown query shape"):
+            run_query(release.released, {"shape": "scan"})
+
+    def test_unknown_column(self, release):
+        with pytest.raises(QueryError, match="unknown column"):
+            run_query(
+                release.released,
+                {"shape": "point", "column": "ssn", "value": "x"},
+            )
+
+    def test_point_requires_value(self, release):
+        with pytest.raises(QueryError, match="'value'"):
+            run_query(release.released, {"shape": "point", "column": "sex"})
+
+    def test_range_rejects_inverted_bounds(self, release):
+        with pytest.raises(QueryError, match="low"):
+            run_query(
+                release.released,
+                {"shape": "range", "column": "age", "low": 50, "high": 20},
+            )
+
+    def test_range_rejects_non_numeric_bounds(self, release):
+        with pytest.raises(QueryError, match="must be a number"):
+            run_query(
+                release.released,
+                {"shape": "range", "column": "age", "low": "a", "high": 9},
+            )
+
+    def test_groupby_rejects_unknown_aggregate(self, release):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            run_query(
+                release.released,
+                {"shape": "groupby", "group_by": "sex", "agg": "median"},
+            )
+
+    def test_topk_requires_positive_k(self, release):
+        with pytest.raises(QueryError, match="positive integer"):
+            run_query(
+                release.released, {"shape": "topk", "column": "sex", "k": 0}
+            )
+
+    def test_join_requires_other_release(self, release):
+        with pytest.raises(QueryError, match="other"):
+            run_query(release.released, {"shape": "join", "on": "sex"})
+
+    def test_non_mapping_query_rejected(self, release):
+        with pytest.raises(QueryError, match="JSON object"):
+            run_query(release.released, ["shape", "point"])
