@@ -1,0 +1,159 @@
+"""Runtime consumption of the static op certificates.
+
+Lint Layer 4/5 (``REP200``–``REP305``) certifies every registered task op
+for distributed execution and commits the per-op verdicts to
+``lint/op_certificates.json``.  This module is the *runtime* side of that
+contract: it loads the certificate file once and answers
+:func:`transport_allowed` — may this op be shipped over this transport?
+
+Policy:
+
+* the ``inline`` transport runs in the coordinating process and is always
+  allowed — it is exactly the behavior certification exists to preserve;
+* ``pool`` and ``socket`` transports require a ``certified`` verdict
+  (``inline-only`` and ``uncertified`` ops stay in the coordinator);
+* an op with no certificate at all (e.g. a test-only op registered after
+  the lint sweep) is treated as uncertified;
+* a missing or unreadable certificate file degrades every op to
+  inline-only with a single logged warning — never a crash.  The
+  scheduler then simply runs everything in the coordinating process.
+
+The certificate file is located explicitly (``path=``), through the
+``REPRO_OP_CERTIFICATES`` environment variable, or by walking up from
+this package to the repository's ``lint/op_certificates.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Mapping
+
+#: Environment override for the certificate file location.
+CERTIFICATES_ENV = "REPRO_OP_CERTIFICATES"
+
+#: Repository-relative location of the committed certificate file.
+CERTIFICATES_RELPATH = Path("lint") / "op_certificates.json"
+
+#: Transports that execute in the coordinating process (always allowed).
+INLINE_TRANSPORTS = frozenset({"inline"})
+
+#: Transports that ship ops to other processes (require certification).
+REMOTE_TRANSPORTS = frozenset({"pool", "socket"})
+
+
+class CertificateError(RuntimeError):
+    """Raised by :func:`ensure_transport_allowed` for refused ops."""
+
+
+def _default_path() -> Path | None:
+    env = os.environ.get(CERTIFICATES_ENV)
+    if env:
+        return Path(env)
+    for ancestor in Path(__file__).resolve().parents:
+        candidate = ancestor / CERTIFICATES_RELPATH
+        if candidate.exists():
+            return candidate
+    candidate = Path.cwd() / CERTIFICATES_RELPATH
+    if candidate.exists():
+        return candidate
+    return None
+
+
+class OpCertificates:
+    """Per-op transport verdicts, loaded once from the lint certificates.
+
+    Construct directly from a ``{op_name: verdict}`` mapping (tests,
+    embedders), or use :meth:`load` to read the committed JSON file.
+    """
+
+    def __init__(self, verdicts: Mapping[str, str], source: str | None = None):
+        self._verdicts = dict(verdicts)
+        self.source = source
+
+    @classmethod
+    def load(cls, path: str | Path | None = None) -> "OpCertificates":
+        """Load the certificate file, degrading gracefully when absent."""
+        located = Path(path) if path is not None else _default_path()
+        if located is None or not located.exists():
+            warnings.warn(
+                "op certificate file not found; all ops degrade to "
+                "inline-only execution (run `repro lint --select REP2` "
+                "to regenerate lint/op_certificates.json)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cls({}, source=None)
+        try:
+            payload = json.loads(located.read_text(encoding="utf-8"))
+            ops = payload["ops"]
+            verdicts = {
+                name: str(entry.get("verdict", "uncertified"))
+                for name, entry in ops.items()
+            }
+        except (OSError, ValueError, KeyError, AttributeError) as exc:
+            warnings.warn(
+                f"op certificate file {located} is unreadable ({exc}); all "
+                "ops degrade to inline-only execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cls({}, source=str(located))
+        return cls(verdicts, source=str(located))
+
+    def verdict(self, op_name: str) -> str:
+        """The recorded verdict for an op (``uncertified`` when unknown)."""
+        return self._verdicts.get(op_name, "uncertified")
+
+    def transport_allowed(self, op_name: str, transport: str) -> bool:
+        """May ``op_name`` execute over ``transport``?"""
+        if transport in INLINE_TRANSPORTS:
+            return True
+        return self.verdict(op_name) == "certified"
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpCertificates({len(self._verdicts)} op(s), source={self.source!r})"
+
+
+_DEFAULT: OpCertificates | None = None
+
+
+def default_certificates() -> OpCertificates:
+    """The lazily-loaded, process-wide certificate table."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = OpCertificates.load()
+    return _DEFAULT
+
+
+def transport_allowed(op_name: str, transport: str) -> bool:
+    """Module-level convenience over :func:`default_certificates`."""
+    return default_certificates().transport_allowed(op_name, transport)
+
+
+def ensure_transport_allowed(
+    op_names,
+    transport: str,
+    certificates: OpCertificates | None = None,
+) -> None:
+    """Raise :class:`CertificateError` unless every op may use ``transport``.
+
+    This backs ``repro study --strict-ops``: instead of silently falling
+    back to coordinator-side execution, a study whose graph contains an
+    op the certificate table refuses for the chosen transport fails fast
+    with the offending op names.
+    """
+    table = certificates if certificates is not None else default_certificates()
+    refused = sorted(
+        {name for name in op_names if not table.transport_allowed(name, transport)}
+    )
+    if refused:
+        raise CertificateError(
+            f"transport {transport!r} refuses uncertified op(s): "
+            f"{', '.join(refused)} (certificates: {table.source or 'missing'})"
+        )

@@ -1,40 +1,62 @@
-"""Pool scheduling with memoization, timeouts, retries and failure isolation.
+"""Transport-agnostic scheduling with memoization, retries and leases.
 
-:class:`StudyExecutor` walks a :class:`~repro.runtime.task.TaskGraph` and
-runs every ready task, either inline (``jobs=1`` — byte-for-byte the
-behavior of a plain serial loop) or on a ``multiprocessing`` pool
-(``jobs>1``).  Before a task executes its content-addressed cache key is
-consulted, so finished work is never repeated — this is also the resume
-mechanism: a killed run re-launched over the same store skips its completed
-prefix.
+:class:`StudyExecutor` is split into two halves:
+
+* a **scheduler** (this module) that owns the DAG frontier, cache
+  lookup/store, retry budgets, timeouts, failure isolation and event
+  logging; and
+* a pluggable :class:`~repro.runtime.transports.WorkerTransport` that
+  decides *where* a task attempt physically runs — ``inline`` (the
+  coordinating process, byte-for-byte the old ``jobs=1`` loop), ``pool``
+  (a ``multiprocessing`` pool with timeout-via-rebuild and innocent-task
+  resubmission), or ``socket`` (standalone ``repro worker`` processes,
+  gated on the lint op certificates).
+
+Before a task executes its content-addressed cache key is consulted, so
+finished work is never repeated — this is also the resume mechanism: a
+killed run re-launched over the same store skips its completed prefix.
 
 Failure isolation: a task that raises is retried up to its budget, then
 marked ``failed``; its transitive dependents are marked ``blocked`` and
-every independent branch of the graph keeps running.  A task that exceeds
-its timeout is treated as a failure; because a stuck worker cannot be
-interrupted cooperatively, the pool is torn down and rebuilt (public
-``Pool.terminate``), and innocent in-flight tasks are resubmitted without
-consuming their retry budget.
+every independent branch of the graph keeps running.  A task that
+exceeds its timeout is abandoned through the transport (the pool is torn
+down and rebuilt; a socket worker is killed), and innocent in-flight
+tasks are resubmitted without consuming their retry budget.
 
-Seeds: each task receives ``derive_seed(study_seed, task_id)`` — derived by
-``hashlib`` splitting, never from worker-local RNG state — so results are
-independent of worker count and scheduling order.
+Cooperative execution: with ``cooperate=True`` several executors pointed
+at one :class:`~repro.runtime.cache.ResultCache` claim tasks through
+file-lock leases (:mod:`repro.runtime.leases`) keyed by cache digest.  A
+task leased by a live peer is *deferred* — the scheduler polls the cache
+until the peer's result lands — while an expired lease (dead executor)
+is stolen and the task re-run locally.  The cache's atomic key-verified
+writes make the duplicate-execution race safe.
+
+Seeds: each task receives ``derive_seed(study_seed, task_id)`` — derived
+by ``hashlib`` splitting, never from worker-local RNG state — so results
+are independent of transport, worker count and scheduling order.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import time
 import traceback
-from typing import Any, Mapping
+from typing import Any
 
 from ..obs import Observation, current as current_observation, observing
 from ..obs.export import write_chrome_trace, write_metrics_snapshot
 from ..obs.trace import TASK_CATEGORY
 from .cache import MISS, ResultCache
+from .certify import OpCertificates
 from .events import METRICS_FILENAME, TRACE_FILENAME, RunLog
+from .leases import DEFAULT_TTL, LeaseBoard
 from .task import TaskGraph, TaskSpec, derive_seed, op_is_inline_only, resolve_op
+from .transports import (
+    TaskPayload,
+    WorkerTransport,
+    create_transport,
+)
+from .worker import pool_entry as _pool_execute  # noqa: F401 — back-compat alias
 
 
 class ExecutionError(RuntimeError):
@@ -143,65 +165,15 @@ def _format_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}\n{trace}"
 
 
-def _pool_execute(
-    payload: tuple[str, str, Mapping[str, Any], dict[str, Any], int, bool],
-) -> tuple[str, bool, Any, str | None, float, tuple[Any, ...], dict[str, Any] | None]:
-    """Worker-side task runner; never raises (failure isolation).
-
-    When the coordinator requests observation, the worker installs a fresh
-    process-local :class:`Observation` around the task, wraps the operation
-    in a task span, and ships the recorded spans plus a metrics snapshot
-    back in the result tuple; the coordinator grafts the spans into its own
-    trace and merges the counters.  Untraced runs ship nothing.
-    """
-    task_id, op_name, params, deps, seed, observe = payload
-    start = time.perf_counter()
-    if not observe:
-        try:
-            # Under a spawn start method a fresh worker has an empty
-            # registry; importing the study module registers the standard
-            # operations.
-            from . import study as _study  # noqa: F401
-
-            value = resolve_op(op_name)(params, deps, seed)
-            return (task_id, True, value, None, time.perf_counter() - start, (), None)
-        except BaseException as exc:  # noqa: BLE001 — isolate *any* worker fault
-            return (
-                task_id, False, None, _format_error(exc),
-                time.perf_counter() - start, (), None,
-            )
-    observation = Observation()
-    ok, value, error = True, None, None
-    with observing(observation):
-        span = observation.trace.span(task_id, category=TASK_CATEGORY, op=op_name)
-        try:
-            with span:
-                from . import study as _study  # noqa: F401
-
-                value = resolve_op(op_name)(params, deps, seed)
-        except BaseException as exc:  # noqa: BLE001 — isolate *any* worker fault
-            ok, error = False, _format_error(exc)
-    observation.metrics.observe("task.exec_seconds", span.duration)
-    observation.metrics.observe(f"task.exec_seconds.{op_name}", span.duration)
-    return (
-        task_id,
-        ok,
-        value,
-        error,
-        time.perf_counter() - start,
-        tuple(observation.trace.spans),
-        observation.metrics.snapshot(),
-    )
-
-
 class StudyExecutor:
     """Runs task graphs with memoization, parallelism and retry policy.
 
     Parameters
     ----------
     jobs:
-        Worker process count; ``1`` executes inline in the calling process
-        (no subprocesses, identical to a plain serial loop).
+        Worker count for the chosen transport; ``1`` with the default
+        transport executes inline in the calling process (no
+        subprocesses, identical to a plain serial loop).
     cache:
         Optional :class:`~repro.runtime.cache.ResultCache` for
         content-addressed memoization and resume.
@@ -215,13 +187,28 @@ class StudyExecutor:
     default_retries:
         Fallback retry budget for specs that set none (spec value wins).
     poll_interval:
-        Scheduler poll period in seconds (parallel mode).
+        Scheduler poll period in seconds (asynchronous transports and
+        cooperative waits).
     obs:
         Optional :class:`repro.obs.Observation` receiving spans and
         metrics.  Defaults to the process-current observation
         (:func:`repro.obs.current`), which is the shared no-op unless a
         caller installed a live one — the untraced path records nothing
         and allocates nothing.
+    transport:
+        ``"inline"`` / ``"pool"`` / ``"socket"``, or a ready
+        :class:`~repro.runtime.transports.WorkerTransport` instance.
+        Defaults to ``inline`` when ``jobs == 1`` and ``pool`` otherwise
+        (the historical behavior).
+    cooperate:
+        Claim tasks through file-lock leases under the cache root so
+        several executors can share one study (requires ``cache``).
+    lease_ttl:
+        Lease expiry in seconds; a peer may steal a lease this stale.
+        Must exceed the longest expected task attempt.
+    certificates:
+        Optional :class:`~repro.runtime.certify.OpCertificates` override
+        for transports that gate on op certification.
     """
 
     def __init__(
@@ -234,6 +221,10 @@ class StudyExecutor:
         default_retries: int = 0,
         poll_interval: float = 0.02,
         obs: Observation | None = None,
+        transport: str | WorkerTransport | None = None,
+        cooperate: bool = False,
+        lease_ttl: float = DEFAULT_TTL,
+        certificates: OpCertificates | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -245,8 +236,20 @@ class StudyExecutor:
         self.default_retries = default_retries
         self.poll_interval = poll_interval
         self.obs = obs
+        self.transport = transport
+        self.cooperate = cooperate
+        self.lease_ttl = lease_ttl
+        self.certificates = certificates
 
     # -- shared helpers ------------------------------------------------------
+
+    def _make_transport(self) -> WorkerTransport:
+        if isinstance(self.transport, WorkerTransport):
+            return self.transport
+        name = self.transport
+        if name is None:
+            name = "inline" if self.jobs == 1 else "pool"
+        return create_transport(name, self.jobs, certificates=self.certificates)
 
     def _event(self, kind: str, task_id: str | None = None, **fields: Any) -> None:
         if self.log is not None:
@@ -286,24 +289,28 @@ class StudyExecutor:
                 self._event("blocked", dependent, cause=current)
                 frontier.append(dependent)
 
-    def _start_manifest(self, graph: TaskGraph) -> None:
+    def _start_manifest(self, graph: TaskGraph, transport: WorkerTransport) -> None:
         if self.log is None:
             return
-        self.log.write_manifest(
-            {
-                "status": "running",
-                "tasks": len(graph),
-                "task_ids": list(graph.task_ids),
-                "jobs": self.jobs,
-                "study_seed": self.study_seed,
-                "started_at": time.time(),
-            }
-        )
+        manifest = {
+            "status": "running",
+            "tasks": len(graph),
+            "task_ids": list(graph.task_ids),
+            "jobs": self.jobs,
+            "transport": transport.name,
+            "study_seed": self.study_seed,
+            "started_at": time.time(),
+        }
+        writer = getattr(self.log, "writer_id", None)
+        if writer is not None:
+            manifest["writer"] = writer
+        self.log.write_manifest(manifest)
 
     def _finish_manifest(
         self,
         graph: TaskGraph,
         report: ExecutionReport,
+        transport: WorkerTransport,
         cache_mark: dict[str, int] | None,
         observation: Any,
         obs_mark: dict[str, Any],
@@ -315,10 +322,14 @@ class StudyExecutor:
             "tasks": len(graph),
             "task_ids": list(graph.task_ids),
             "jobs": self.jobs,
+            "transport": transport.name,
             "study_seed": self.study_seed,
             "finished_at": time.time(),
             **report.summary(),
         }
+        writer = getattr(self.log, "writer_id", None)
+        if writer is not None:
+            manifest["writer"] = writer
         if self.cache is not None:
             # Report this run's delta, not the cache object's lifetime
             # totals: a long-lived cache shared by sequential studies must
@@ -331,136 +342,130 @@ class StudyExecutor:
             manifest["obs"] = observation.metrics.delta_since(obs_mark)
         self.log.write_manifest(manifest)
 
-    # -- serial path ---------------------------------------------------------
+    # -- local (coordinator-side) execution ----------------------------------
 
-    def _run_serial(
-        self, graph: TaskGraph, observation: Any
-    ) -> dict[str, TaskOutcome]:
+    def _run_local(
+        self,
+        graph: TaskGraph,
+        spec: TaskSpec,
+        values: dict[str, Any],
+        outcomes: dict[str, TaskOutcome],
+        completed: set[str],
+        attempts: dict[str, int],
+        observation: Any,
+    ) -> None:
+        """Execute one task to a terminal state in the calling process.
+
+        This is byte-for-byte the body of the historical serial loop —
+        same spans, same clock reads, same event order — so the inline
+        transport (and inline fallbacks of remote transports) preserve
+        the pinned observability goldens.
+        """
         tracer = observation.trace
         metrics = observation.metrics
-        outcomes: dict[str, TaskOutcome] = {}
-        values: dict[str, Any] = {}
-        for spec in graph:  # insertion order is topological
-            if spec.task_id in outcomes:  # already blocked by a failure
-                continue
-            cached = self._cache_lookup(spec)
-            if cached is not MISS:
-                outcomes[spec.task_id] = TaskOutcome(
-                    spec.task_id, "done", value=cached, cached=True
-                )
-                values[spec.task_id] = cached
-                self._event("cache-hit", spec.task_id)
-                with tracer.span(spec.task_id, category="cache-hit", op=spec.op):
-                    pass
-                metrics.inc("executor.tasks.cached")
-                continue
-            deps = {dep: values[dep] for dep in spec.deps}
-            budget = self._retries_for(spec)
-            attempt = 0
-            while True:
-                attempt += 1
-                self._event("submitted", spec.task_id, attempt=attempt)
-                start = time.perf_counter()
-                span = tracer.span(
-                    spec.task_id, category=TASK_CATEGORY, op=spec.op, attempt=attempt
-                )
-                try:
-                    with span:
-                        value = resolve_op(spec.op)(
-                            spec.params,
-                            deps,
-                            derive_seed(self.study_seed, spec.task_id),
-                        )
-                except Exception as exc:  # noqa: BLE001 — retry policy boundary
-                    error = _format_error(exc)
-                    if attempt <= budget:
-                        self._event("retry", spec.task_id, attempt=attempt)
-                        metrics.inc("task.retry")
-                        continue
-                    outcomes[spec.task_id] = TaskOutcome(
-                        spec.task_id,
-                        "failed",
-                        error=error,
-                        attempts=attempt,
-                        duration=time.perf_counter() - start,
+        deps = {dep: values[dep] for dep in spec.deps}
+        budget = self._retries_for(spec)
+        attempt = attempts.get(spec.task_id, 0)
+        while True:
+            attempt += 1
+            attempts[spec.task_id] = attempt
+            self._event("submitted", spec.task_id, attempt=attempt)
+            start = time.perf_counter()
+            span = tracer.span(
+                spec.task_id, category=TASK_CATEGORY, op=spec.op, attempt=attempt
+            )
+            try:
+                with span:
+                    value = resolve_op(spec.op)(
+                        spec.params,
+                        deps,
+                        derive_seed(self.study_seed, spec.task_id),
                     )
-                    self._event("failed", spec.task_id, attempts=attempt)
-                    metrics.inc("executor.tasks.failed")
-                    self._block_dependents(graph, spec.task_id, outcomes)
-                    break
-                duration = time.perf_counter() - start
-                self._cache_store(spec, value)
+            except Exception as exc:  # noqa: BLE001 — retry policy boundary
+                error = _format_error(exc)
+                if attempt <= budget:
+                    self._event("retry", spec.task_id, attempt=attempt)
+                    metrics.inc("task.retry")
+                    continue
                 outcomes[spec.task_id] = TaskOutcome(
                     spec.task_id,
-                    "done",
-                    value=value,
+                    "failed",
+                    error=error,
                     attempts=attempt,
-                    duration=duration,
+                    duration=time.perf_counter() - start,
                 )
-                values[spec.task_id] = value
-                self._event("finished", spec.task_id, seconds=round(duration, 6))
-                metrics.inc("executor.tasks.executed")
-                metrics.observe("task.exec_seconds", span.duration)
-                metrics.observe(f"task.exec_seconds.{spec.op}", span.duration)
-                break
-        return outcomes
+                self._event("failed", spec.task_id, attempts=attempt)
+                metrics.inc("executor.tasks.failed")
+                self._block_dependents(graph, spec.task_id, outcomes)
+                return
+            duration = time.perf_counter() - start
+            self._cache_store(spec, value)
+            outcomes[spec.task_id] = TaskOutcome(
+                spec.task_id,
+                "done",
+                value=value,
+                attempts=attempt,
+                duration=duration,
+            )
+            values[spec.task_id] = value
+            completed.add(spec.task_id)
+            self._event("finished", spec.task_id, seconds=round(duration, 6))
+            metrics.inc("executor.tasks.executed")
+            metrics.observe("task.exec_seconds", span.duration)
+            metrics.observe(f"task.exec_seconds.{spec.op}", span.duration)
+            return
 
-    # -- parallel path -------------------------------------------------------
+    # -- the scheduler -------------------------------------------------------
 
-    def _run_parallel(
-        self, graph: TaskGraph, observation: Any
+    def _run_scheduled(
+        self,
+        graph: TaskGraph,
+        observation: Any,
+        transport: WorkerTransport,
+        board: LeaseBoard | None,
     ) -> dict[str, TaskOutcome]:
         tracer = observation.trace
         metrics = observation.metrics
-        context = multiprocessing.get_context()
         outcomes: dict[str, TaskOutcome] = {}
         values: dict[str, Any] = {}
         completed: set[str] = set()
         scheduled: set[str] = set()
         attempts: dict[str, int] = {}
-        # task_id -> (AsyncResult, absolute deadline or None)
-        in_flight: dict[str, tuple[Any, float | None]] = {}
+        in_flight: set[str] = set()
+        # task_id -> absolute deadline (asynchronous transports only).
+        deadlines: dict[str, float] = {}
         # task_id -> submission instant, for queue-latency histograms
         # (tracked only under observation; the untraced path pays nothing).
         submitted_at: dict[str, float] = {}
+        # Cooperative state: tasks a live peer holds / digests we hold.
+        deferred: dict[str, str] = {}
+        held: dict[str, str] = {}
+        last_refresh = time.monotonic()
 
-        def submit(spec: TaskSpec) -> None:
-            attempts[spec.task_id] = attempts.get(spec.task_id, 0) + 1
-            deps = {dep: values[dep] for dep in spec.deps}
-            payload = (
-                spec.task_id,
-                spec.op,
-                spec.params,
-                deps,
-                derive_seed(self.study_seed, spec.task_id),
-                observation.enabled,
+        def settle_cached(spec: TaskSpec, value: Any) -> None:
+            outcomes[spec.task_id] = TaskOutcome(
+                spec.task_id, "done", value=value, cached=True
             )
-            handle = pool.apply_async(_pool_execute, (payload,))
-            timeout = self._timeout_for(spec)
-            deadline = None if timeout is None else time.monotonic() + timeout
-            in_flight[spec.task_id] = (handle, deadline)
-            if observation.enabled:
-                submitted_at[spec.task_id] = time.monotonic()
-            self._event("submitted", spec.task_id, attempt=attempts[spec.task_id])
+            values[spec.task_id] = value
+            completed.add(spec.task_id)
+            self._event("cache-hit", spec.task_id)
+            with tracer.span(spec.task_id, category="cache-hit", op=spec.op):
+                pass
+            metrics.inc("executor.tasks.cached")
 
-        def resubmit_inflight(survivors: list[str]) -> None:
-            """Re-queue innocent in-flight tasks after a pool restart
-            (their attempt count is rolled back — they did not fail)."""
-            for task_id in survivors:
-                attempts[task_id] -= 1
-                submit(graph.task(task_id))
-
-        def complete(spec: TaskSpec, value: Any, cached: bool, duration: float) -> None:
+        def complete(spec: TaskSpec, value: Any, duration: float) -> None:
+            self._cache_store(spec, value)
             outcomes[spec.task_id] = TaskOutcome(
                 spec.task_id,
                 "done",
                 value=value,
                 attempts=attempts.get(spec.task_id, 0),
-                cached=cached,
                 duration=duration,
             )
             values[spec.task_id] = value
             completed.add(spec.task_id)
+            self._event("finished", spec.task_id, seconds=round(duration, 6))
+            metrics.inc("executor.tasks.executed")
 
         def fail(spec: TaskSpec, error: str) -> None:
             outcomes[spec.task_id] = TaskOutcome(
@@ -473,142 +478,209 @@ class StudyExecutor:
             metrics.inc("executor.tasks.failed")
             self._block_dependents(graph, spec.task_id, outcomes)
 
-        # Acquired immediately before the try so no raising statement can
-        # run while the pool exists unprotected (lint Layer 5, REP305).
-        pool = context.Pool(processes=self.jobs)
-        try:
-            while len(outcomes) < len(graph):
-                # Schedule everything whose dependencies are satisfied.
-                excluded = scheduled | set(outcomes)
-                for spec in graph.ready(completed, excluded):
-                    scheduled.add(spec.task_id)
+        def release_lease(task_id: str) -> None:
+            if board is not None and task_id in held:
+                board.release(held.pop(task_id))
+
+        def submit_remote(spec: TaskSpec) -> None:
+            attempts[spec.task_id] = attempts.get(spec.task_id, 0) + 1
+            payload = TaskPayload(
+                spec.task_id,
+                spec.op,
+                spec.params,
+                {dep: values[dep] for dep in spec.deps},
+                derive_seed(self.study_seed, spec.task_id),
+                observation.enabled,
+            )
+            transport.submit(payload)
+            in_flight.add(spec.task_id)
+            timeout = self._timeout_for(spec)
+            if timeout is not None:
+                deadlines[spec.task_id] = time.monotonic() + timeout
+            if observation.enabled:
+                submitted_at[spec.task_id] = time.monotonic()
+            self._event("submitted", spec.task_id, attempt=attempts[spec.task_id])
+
+        def dispatch(spec: TaskSpec) -> None:
+            if not transport.synchronous:
+                if op_is_inline_only(spec.op):
+                    # Parameters may hold arbitrary callables; run in the
+                    # coordinating process.
+                    self._event("inline-fallback", spec.task_id, reason="inline-only")
+                elif not transport.allows(spec.op):
+                    self._event("inline-fallback", spec.task_id, reason="uncertified")
+                    metrics.inc("executor.tasks.refused")
+                else:
+                    submit_remote(spec)
+                    return
+            self._run_local(
+                graph, spec, values, outcomes, completed, attempts, observation
+            )
+            release_lease(spec.task_id)
+
+        def try_lease(spec: TaskSpec) -> bool:
+            """Try to lease a task; ``False`` defers it to a live peer."""
+            if board is None or spec.key is None:
+                return True
+            digest = spec.key.digest()
+            grant = board.claim(digest)
+            if grant is None:
+                deferred[spec.task_id] = digest
+                self._event("lease-wait", spec.task_id)
+                metrics.inc("executor.lease.deferred")
+                return False
+            held[spec.task_id] = digest
+            if grant == "stolen":
+                self._event("lease-steal", spec.task_id)
+                metrics.inc("executor.lease.stolen")
+            return True
+
+        while len(outcomes) < len(graph):
+            progressed = False
+
+            # Schedule everything whose dependencies are satisfied.
+            excluded = scheduled | set(outcomes) | set(deferred)
+            for spec in graph.ready(completed, excluded):
+                cached = self._cache_lookup(spec)
+                if cached is not MISS:
+                    settle_cached(spec, cached)
+                    progressed = True
+                    continue
+                if not try_lease(spec):
+                    continue
+                if board is not None:
+                    # A peer may have stored the result and released its
+                    # lease between our miss above and the claim (peers
+                    # always store before releasing), so a fresh claim
+                    # must re-check the cache before executing — this
+                    # closes the duplicate-execution race.
                     cached = self._cache_lookup(spec)
                     if cached is not MISS:
-                        complete(spec, cached, cached=True, duration=0.0)
-                        self._event("cache-hit", spec.task_id)
-                        with tracer.span(
-                            spec.task_id, category="cache-hit", op=spec.op
-                        ):
-                            pass
-                        metrics.inc("executor.tasks.cached")
-                    elif op_is_inline_only(spec.op):
-                        # Parameters may hold arbitrary callables; run in
-                        # the coordinating process.
-                        start = time.perf_counter()
-                        attempts[spec.task_id] = attempts.get(spec.task_id, 0) + 1
-                        span = tracer.span(
-                            spec.task_id, category=TASK_CATEGORY, op=spec.op,
-                            attempt=attempts[spec.task_id],
-                        )
-                        try:
-                            with span:
-                                value = resolve_op(spec.op)(
-                                    spec.params,
-                                    {dep: values[dep] for dep in spec.deps},
-                                    derive_seed(self.study_seed, spec.task_id),
-                                )
-                        except Exception as exc:  # noqa: BLE001
-                            fail(spec, _format_error(exc))
-                        else:
-                            duration = time.perf_counter() - start
-                            self._cache_store(spec, value)
-                            complete(spec, value, cached=False, duration=duration)
-                            self._event(
-                                "finished", spec.task_id, seconds=round(duration, 6)
-                            )
-                            metrics.inc("executor.tasks.executed")
-                            metrics.observe("task.exec_seconds", span.duration)
-                            metrics.observe(
-                                f"task.exec_seconds.{spec.op}", span.duration
-                            )
-                    else:
-                        submit(spec)
+                        release_lease(spec.task_id)
+                        settle_cached(spec, cached)
+                        progressed = True
+                        continue
+                scheduled.add(spec.task_id)
+                dispatch(spec)
+                progressed = True
 
-                if not in_flight:
-                    if len(outcomes) < len(graph) and not graph.ready(
-                        completed, scheduled | set(outcomes)
-                    ):
-                        # Nothing running, nothing ready: the remainder is
-                        # unreachable (should be covered by blocking, but
-                        # never spin forever).
-                        for spec in graph:
-                            if spec.task_id not in outcomes:
-                                outcomes[spec.task_id] = TaskOutcome(
-                                    spec.task_id, "blocked", error="unreachable"
-                                )
-                    continue
-
-                time.sleep(self.poll_interval)
-                now = time.monotonic()
-
-                # Collect finished futures.
-                for task_id in [t for t, (h, _) in in_flight.items() if h.ready()]:
-                    handle, _ = in_flight.pop(task_id)
+            if not transport.synchronous:
+                # Collect finished attempts.
+                for result in transport.poll():
+                    progressed = True
+                    task_id = result.task_id
+                    in_flight.discard(task_id)
+                    deadlines.pop(task_id, None)
                     spec = graph.task(task_id)
-                    try:
-                        _, ok, value, error, duration, spans, snapshot = handle.get()
-                    except Exception as exc:  # noqa: BLE001 — pool-level fault
-                        ok, value, error, duration = False, None, _format_error(exc), 0.0
-                        spans, snapshot = (), None
-                    if spans:
+                    if result.spans:
                         # Worker clocks have their own epoch; shift the
                         # shipped spans so the latest one ends "now" on the
                         # coordinator's axis, then adopt them under the
                         # current (run) span.
-                        shift = tracer.now() - max(span.end for span in spans)
-                        tracer.graft(spans, shift=shift)
-                    if snapshot is not None:
-                        metrics.merge(snapshot)
+                        shift = tracer.now() - max(span.end for span in result.spans)
+                        tracer.graft(result.spans, shift=shift)
+                    if result.snapshot is not None:
+                        metrics.merge(result.snapshot)
                     if observation.enabled and task_id in submitted_at:
                         waited = time.monotonic() - submitted_at.pop(task_id)
                         metrics.observe(
-                            "task.queue_seconds", max(waited - duration, 0.0)
+                            "task.queue_seconds", max(waited - result.duration, 0.0)
                         )
-                    if ok:
-                        self._cache_store(spec, value)
-                        complete(spec, value, cached=False, duration=duration)
-                        self._event("finished", task_id, seconds=round(duration, 6))
-                        metrics.inc("executor.tasks.executed")
+                    if result.ok:
+                        complete(spec, result.value, result.duration)
+                        release_lease(task_id)
                     elif attempts[task_id] <= self._retries_for(spec):
                         self._event("retry", task_id, attempt=attempts[task_id])
                         metrics.inc("task.retry")
-                        submit(spec)
+                        submit_remote(spec)
                     else:
-                        fail(spec, error or "unknown worker failure")
+                        fail(spec, result.error or "unknown worker failure")
+                        release_lease(task_id)
 
-                # Enforce deadlines.  A stuck worker cannot be interrupted
-                # cooperatively, so the whole pool is torn down and rebuilt;
-                # innocent in-flight tasks are resubmitted free of charge.
-                expired = [
-                    task_id
-                    for task_id, (_, deadline) in in_flight.items()
-                    if deadline is not None and now > deadline
-                ]
-                if expired:
-                    survivors = [t for t in in_flight if t not in expired]
-                    in_flight.clear()
-                    pool.terminate()
-                    pool.join()
-                    pool = context.Pool(processes=self.jobs)
-                    for task_id in expired:
-                        spec = graph.task(task_id)
-                        self._event("timeout", task_id, attempt=attempts[task_id])
-                        metrics.inc("task.timeout")
-                        submitted_at.pop(task_id, None)
-                        if attempts[task_id] <= self._retries_for(spec):
-                            self._event("retry", task_id, attempt=attempts[task_id])
-                            metrics.inc("task.retry")
-                            submit(spec)
-                        else:
-                            fail(
-                                spec,
-                                f"timed out after {self._timeout_for(spec)}s "
-                                f"({attempts[task_id]} attempt(s))",
+                # Enforce deadlines through the transport; innocents lost
+                # as collateral (a pool rebuild) are resubmitted free.
+                if deadlines:
+                    now = time.monotonic()
+                    expired = [t for t, d in deadlines.items() if now > d]
+                    if expired:
+                        progressed = True
+                        innocents = transport.abandon(set(expired))
+                        for task_id in expired:
+                            in_flight.discard(task_id)
+                            deadlines.pop(task_id, None)
+                            submitted_at.pop(task_id, None)
+                            spec = graph.task(task_id)
+                            self._event("timeout", task_id, attempt=attempts[task_id])
+                            metrics.inc("task.timeout")
+                            if attempts[task_id] <= self._retries_for(spec):
+                                self._event("retry", task_id, attempt=attempts[task_id])
+                                metrics.inc("task.retry")
+                                submit_remote(spec)
+                            else:
+                                fail(
+                                    spec,
+                                    f"timed out after {self._timeout_for(spec)}s "
+                                    f"({attempts[task_id]} attempt(s))",
+                                )
+                                release_lease(task_id)
+                        for task_id in innocents:
+                            attempts[task_id] -= 1
+                            in_flight.discard(task_id)
+                            deadlines.pop(task_id, None)
+                            submitted_at.pop(task_id, None)
+                            submit_remote(graph.task(task_id))
+
+            if board is not None:
+                # Re-check tasks a peer holds: settle them from the cache
+                # when the peer's result lands, or steal an expired lease.
+                for task_id, digest in list(deferred.items()):
+                    spec = graph.task(task_id)
+                    cached = self._cache_lookup(spec)
+                    if cached is not MISS:
+                        del deferred[task_id]
+                        settle_cached(spec, cached)
+                        progressed = True
+                        continue
+                    grant = board.claim(digest)
+                    if grant is not None:
+                        del deferred[task_id]
+                        held[task_id] = digest
+                        if grant == "stolen":
+                            self._event("lease-steal", task_id)
+                            metrics.inc("executor.lease.stolen")
+                        # Same store-then-release race as above: the peer
+                        # may have finished between our cache miss and
+                        # this successful claim.
+                        cached = self._cache_lookup(spec)
+                        if cached is not MISS:
+                            release_lease(task_id)
+                            settle_cached(spec, cached)
+                            progressed = True
+                            continue
+                        scheduled.add(task_id)
+                        dispatch(spec)
+                        progressed = True
+                if held and time.monotonic() - last_refresh > board.ttl / 3.0:
+                    board.refresh(list(held.values()))
+                    last_refresh = time.monotonic()
+
+            if progressed:
+                continue
+            if not in_flight and not deferred:
+                if len(outcomes) < len(graph) and not graph.ready(
+                    completed, scheduled | set(outcomes)
+                ):
+                    # Nothing running, nothing ready: the remainder is
+                    # unreachable (should be covered by blocking, but
+                    # never spin forever).
+                    for spec in graph:
+                        if spec.task_id not in outcomes:
+                            outcomes[spec.task_id] = TaskOutcome(
+                                spec.task_id, "blocked", error="unreachable"
                             )
-                    resubmit_inflight(survivors)
-        finally:
-            pool.terminate()
-            pool.join()
+                continue
+            time.sleep(self.poll_interval)
+
         return outcomes
 
     # -- entry point ---------------------------------------------------------
@@ -624,6 +696,12 @@ class StudyExecutor:
         the manifest.
         """
         observation = self.obs if self.obs is not None else current_observation()
+        transport = self._make_transport()
+        board = None
+        if self.cooperate:
+            if self.cache is None:
+                raise ValueError("cooperative execution requires a ResultCache")
+            board = LeaseBoard(self.cache.root, ttl=self.lease_ttl)
         with observing(observation):
             tracer = observation.trace
             metrics = observation.metrics
@@ -631,24 +709,35 @@ class StudyExecutor:
             obs_mark = metrics.mark()
             span_mark = len(tracer.spans)
             started = time.perf_counter()
-            self._event("run-start", tasks=len(graph), jobs=self.jobs)
-            self._start_manifest(graph)
-            with tracer.span(
-                "run", category="executor", tasks=len(graph), jobs=self.jobs
-            ):
-                if self.jobs == 1:
-                    outcomes = self._run_serial(graph, observation)
-                else:
-                    outcomes = self._run_parallel(graph, observation)
+            self._event(
+                "run-start", tasks=len(graph), jobs=self.jobs,
+                transport=transport.name,
+            )
+            self._start_manifest(graph, transport)
+            transport.start()
+            try:
+                with tracer.span(
+                    "run", category="executor", tasks=len(graph), jobs=self.jobs
+                ):
+                    outcomes = self._run_scheduled(
+                        graph, observation, transport, board
+                    )
+            finally:
+                transport.stop()
             report = ExecutionReport(outcomes, time.perf_counter() - started)
             self._event("run-finish", **report.summary())
-            self._finish_manifest(graph, report, cache_mark, observation, obs_mark)
+            self._finish_manifest(
+                graph, report, transport, cache_mark, observation, obs_mark
+            )
             if observation.enabled and self.log is not None:
                 write_chrome_trace(
-                    tracer.spans[span_mark:], self.log.run_dir / TRACE_FILENAME
+                    tracer.spans[span_mark:],
+                    self.log.artifact_path(TRACE_FILENAME),
                 )
                 write_metrics_snapshot(
                     metrics.delta_since(obs_mark),
-                    self.log.run_dir / METRICS_FILENAME,
+                    self.log.artifact_path(METRICS_FILENAME),
                 )
+            if self.log is not None:
+                self.log.finish()
             return report

@@ -1,0 +1,155 @@
+"""File-lock task leases for cooperative multi-executor runs.
+
+Several :class:`~repro.runtime.executor.StudyExecutor` processes pointed
+at one :class:`~repro.runtime.cache.ResultCache` directory coordinate
+through small JSON lease files under ``<cache root>/leases/`` — one
+``<digest>.lock`` per cacheable task, keyed by the task's content
+address.  The protocol:
+
+* **acquire** — write the claim payload to a private temp file, then
+  ``os.link`` it to the lease path; hardlink creation is atomic and fails
+  for everyone but one winner, and the payload is fully visible the
+  instant the lease exists (no torn-read window).  The losers defer the
+  task and poll the cache for the winner's result instead of recomputing
+  it.
+* **refresh** — the holder periodically rewrites its lease (atomic
+  replace) pushing ``expires_at`` forward while the task is in flight.
+* **steal** — a lease whose ``expires_at`` has passed (or whose payload
+  is unreadable) belongs to a dead or wedged executor; any peer may
+  atomically overwrite it with its own claim and run the task itself.
+* **release** — the holder deletes the lease after the result has been
+  stored in the cache (or after a terminal failure, so peers may retry).
+
+Leases are an *efficiency* device, not a correctness one: the cache's
+atomic, key-verified writes already make duplicate execution safe (last
+write wins with identical bytes).  A stolen-but-alive task therefore
+costs duplicated work, never a wrong result.  The expiry TTL should
+exceed the longest expected task attempt; the executor refreshes held
+leases at ``ttl / 3`` cadence while polling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..utility.atomic import atomic_write_text
+
+#: Subdirectory of the cache root holding the lease files.
+LEASES_DIRNAME = "leases"
+
+#: Default lease time-to-live in seconds.
+DEFAULT_TTL = 30.0
+
+# Distinguishes executors that share a pid (e.g. threads in tests).
+_OWNER_COUNTER = itertools.count()
+
+
+class LeaseBoard:
+    """Claims task digests through lease files under one store root."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        owner: str | None = None,
+        ttl: float = DEFAULT_TTL,
+    ):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.root = Path(root)
+        self.dir = self.root / LEASES_DIRNAME
+        self.ttl = ttl
+        self.owner = owner or f"pid{os.getpid()}-{next(_OWNER_COUNTER)}"
+
+    # -- helpers -------------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.dir / f"{digest}.lock"
+
+    def _payload(self) -> str:
+        now = time.time()
+        return json.dumps(
+            {
+                "owner": self.owner,
+                "pid": os.getpid(),
+                "acquired_at": now,
+                "expires_at": now + self.ttl,
+            },
+            sort_keys=True,
+        )
+
+    def holder(self, digest: str) -> dict[str, Any] | None:
+        """The current lease payload, or ``None`` if absent/unreadable."""
+        try:
+            text = self._path(digest).read_text(encoding="utf-8")
+            info = json.loads(text)
+        except (OSError, ValueError):
+            return None
+        return info if isinstance(info, dict) else None
+
+    # -- protocol ------------------------------------------------------------
+
+    def claim(self, digest: str) -> str | None:
+        """Try to claim a digest.
+
+        Returns ``"acquired"`` on a fresh claim, ``"stolen"`` when an
+        expired (or corrupt) peer lease was taken over, and ``None`` when
+        a live peer holds the lease.
+        """
+        self.dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(digest)
+        payload = self._payload()
+        # Write the payload to a private temp file first, then hardlink it
+        # to the lease path: link creation is atomic (exactly one winner)
+        # and the payload is complete the instant the lease is visible, so
+        # a racing reader can never observe a torn claim.
+        tmp = self.dir / f".claim-{self.owner}.tmp"
+        fd = os.open(tmp, os.O_CREAT | os.O_TRUNC | os.O_WRONLY)
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        try:
+            os.link(tmp, path)
+            return "acquired"
+        except FileExistsError:
+            info = self.holder(digest)
+            expires = info.get("expires_at") if info else None
+            if isinstance(expires, (int, float)) and expires > time.time():
+                return None
+            # Expired (dead executor) or unreadable: take it over.  Two
+            # peers may both steal concurrently — that only duplicates
+            # work; the cache's atomic writes absorb both results.
+            atomic_write_text(path, payload)
+            return "stolen"
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+
+    def refresh(self, digests: Iterable[str]) -> None:
+        """Push ``expires_at`` forward on every lease we still hold."""
+        for digest in digests:
+            info = self.holder(digest)
+            if info is not None and info.get("owner") == self.owner:
+                atomic_write_text(self._path(digest), self._payload())
+
+    def release(self, digest: str) -> None:
+        """Drop a lease we hold (no-op if a peer stole it meanwhile)."""
+        info = self.holder(digest)
+        if info is None or info.get("owner") == self.owner:
+            try:
+                self._path(digest).unlink()
+            except FileNotFoundError:
+                pass
+
+    def outstanding(self) -> list[str]:
+        """Digests with a lease file on disk (held by anyone)."""
+        if not self.dir.exists():
+            return []
+        return sorted(p.stem for p in self.dir.glob("*.lock"))

@@ -453,17 +453,44 @@ def run_study(
     timeout: float | None = None,
     retries: int = 0,
     obs: Any | None = None,
+    transport: Any | None = None,
+    cooperate: bool = False,
+    lease_ttl: float | None = None,
+    strict_ops: bool = False,
+    certificates: Any | None = None,
 ) -> StudyResult:
     """Build and execute a study, assembling the materialized result.
 
     ``obs`` is an optional :class:`repro.obs.Observation` enabling span
     tracing and metric collection for this run; the default keeps the
-    zero-overhead null observation.
+    zero-overhead null observation.  ``transport`` selects where task
+    attempts run (``"inline"``/``"pool"``/``"socket"`` or a
+    :class:`~repro.runtime.transports.WorkerTransport` instance);
+    ``cooperate`` claims tasks through file-lock leases under the cache
+    root so several executors can share the study; ``strict_ops`` fails
+    fast (:class:`~repro.runtime.certify.CertificateError`) when the
+    graph contains an op the certificate table refuses for the chosen
+    transport, instead of silently falling back to the coordinator.
 
     Raises :class:`~repro.runtime.executor.ExecutionError` if any task
     failed; partial results are never silently returned.
     """
     graph = build_study(spec, timeout=timeout, retries=retries)
+    if strict_ops:
+        from .certify import ensure_transport_allowed
+
+        transport_name = (
+            transport if isinstance(transport, str)
+            else getattr(transport, "name", None)
+        )
+        if transport_name is None:
+            transport_name = "inline" if jobs == 1 else "pool"
+        ensure_transport_allowed(
+            {task.op for task in graph}, transport_name, certificates
+        )
+    executor_options: dict[str, Any] = {}
+    if lease_ttl is not None:
+        executor_options["lease_ttl"] = lease_ttl
     executor = StudyExecutor(
         jobs=jobs,
         cache=cache,
@@ -472,6 +499,10 @@ def run_study(
         default_timeout=timeout,
         default_retries=retries,
         obs=obs,
+        transport=transport,
+        cooperate=cooperate,
+        certificates=certificates,
+        **executor_options,
     )
     report = executor.run(graph)
     report.raise_on_failure()

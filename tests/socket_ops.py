@@ -1,0 +1,64 @@
+"""Op registry module importable by spawned ``repro worker`` processes.
+
+The socket transport ships tasks to standalone subprocesses whose op
+registry starts empty except for the standard study ops.  Tests that
+exercise socket execution register their ops here and pass
+``worker_imports=("tests.socket_ops",)`` (plus a ``PYTHONPATH``
+including the repository root) so the workers can resolve them.
+
+Every op here is deliberately pure-by-params: no closures, no module
+state, results fully determined by ``(params, deps, seed)`` — the same
+discipline lint Layer 4 certifies for the real study ops.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.runtime.task import register_op
+
+
+@register_op("sock.echo")
+def _op_sock_echo(params, deps, seed):
+    """Return the given value summed with dependency values."""
+    return params["value"] + sum(deps.values())
+
+
+@register_op("sock.pid")
+def _op_sock_pid(params, deps, seed):
+    """Return the executing worker's pid (proves remote execution)."""
+    return os.getpid()
+
+
+@register_op("sock.seeded")
+def _op_sock_seeded(params, deps, seed):
+    """Return the derived seed (proves seed propagation over the wire)."""
+    return seed
+
+
+@register_op("sock.fail")
+def _op_sock_fail(params, deps, seed):
+    """Always raise."""
+    raise RuntimeError("socket boom")
+
+
+@register_op("sock.pidwait")
+def _op_sock_pidwait(params, deps, seed):
+    """Announce our pid, then block until the release file appears.
+
+    Fault-injection helper: the test SIGKILLs the announced pid mid-task
+    and then creates the release file so the retry (on a surviving
+    worker) completes promptly.
+    """
+    pid_path = Path(params["pidfile"])
+    with pid_path.open("a") as handle:
+        handle.write(f"{os.getpid()}\n")
+    release = Path(params["release"])
+    deadline = time.monotonic() + params.get("patience", 30.0)
+    while not release.exists():
+        if time.monotonic() > deadline:
+            raise RuntimeError("release file never appeared")
+        time.sleep(0.02)
+    return params["value"]

@@ -1,0 +1,374 @@
+"""Cooperative multi-executor execution and fault injection.
+
+Covers the lease protocol (:mod:`repro.runtime.leases`), two executors
+sharing one :class:`~repro.runtime.cache.ResultCache` cold and warm,
+steal-back of leases left by a dead coordinator, and a SIGKILL'd socket
+worker mid-task — the run must finish with the right value, no lost and
+no doubly-stored cache objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import tests.socket_ops  # noqa: F401 — registers sock.* for local + socket runs
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.certify import OpCertificates
+from repro.runtime.events import RunLog, merge_run_dir, read_events, read_manifest
+from repro.runtime.executor import StudyExecutor
+from repro.runtime.leases import LEASES_DIRNAME, LeaseBoard
+from repro.runtime.task import CacheKey, TaskGraph, TaskSpec, register_op
+from repro.runtime.transports import SocketTransport
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: task ids executed in-process, appended under _EXECUTED_LOCK by coop.touch.
+_EXECUTED: list[str] = []
+_EXECUTED_LOCK = threading.Lock()
+
+
+@register_op("coop.touch")
+def _op_coop_touch(params, deps, seed):
+    """Record the execution and return the task's value (slowly)."""
+    time.sleep(params.get("delay", 0.0))
+    with _EXECUTED_LOCK:
+        _EXECUTED.append(params["name"])
+    return params["value"]
+
+
+def touch_graph(count: int, dataset: str, delay: float = 0.0) -> TaskGraph:
+    graph = TaskGraph()
+    for i in range(count):
+        name = f"t{i}"
+        graph.add(
+            TaskSpec(
+                task_id=name,
+                op="coop.touch",
+                params={"name": name, "value": i * 10, "delay": delay},
+                key=CacheKey(dataset=dataset, algorithm=name),
+            )
+        )
+    return graph
+
+
+class TestLeaseBoard:
+    def test_claim_release_cycle(self, tmp_path):
+        board = LeaseBoard(tmp_path)
+        digest = "d" * 64
+        assert board.claim(digest) == "acquired"
+        assert board.outstanding() == [digest]
+        holder = board.holder(digest)
+        assert holder["owner"] == board.owner
+        assert holder["expires_at"] > time.time()
+        board.release(digest)
+        assert board.outstanding() == []
+
+    def test_live_peer_lease_defers(self, tmp_path):
+        first = LeaseBoard(tmp_path, ttl=60)
+        second = LeaseBoard(tmp_path, ttl=60)
+        assert first.owner != second.owner
+        digest = "a" * 64
+        assert first.claim(digest) == "acquired"
+        assert second.claim(digest) is None
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        stale = LeaseBoard(tmp_path, ttl=0.01)
+        fresh = LeaseBoard(tmp_path, ttl=60)
+        digest = "b" * 64
+        assert stale.claim(digest) == "acquired"
+        time.sleep(0.05)
+        assert fresh.claim(digest) == "stolen"
+        assert fresh.holder(digest)["owner"] == fresh.owner
+
+    def test_corrupt_lease_is_stolen(self, tmp_path):
+        board = LeaseBoard(tmp_path)
+        digest = "c" * 64
+        board.dir.mkdir(parents=True, exist_ok=True)
+        (board.dir / f"{digest}.lock").write_text("{torn write")
+        assert board.claim(digest) == "stolen"
+
+    def test_refresh_extends_only_own_leases(self, tmp_path):
+        ours = LeaseBoard(tmp_path, ttl=60)
+        theirs = LeaseBoard(tmp_path, ttl=60)
+        mine, peers = "e" * 64, "f" * 64
+        assert ours.claim(mine) == "acquired"
+        assert theirs.claim(peers) == "acquired"
+        before_mine = ours.holder(mine)["expires_at"]
+        before_peers = ours.holder(peers)["expires_at"]
+        time.sleep(0.05)
+        ours.refresh([mine, peers])
+        assert ours.holder(mine)["expires_at"] > before_mine
+        assert ours.holder(peers)["expires_at"] == before_peers
+
+    def test_release_keeps_peer_lease(self, tmp_path):
+        ours = LeaseBoard(tmp_path, ttl=60)
+        theirs = LeaseBoard(tmp_path, ttl=60)
+        digest = "9" * 64
+        assert theirs.claim(digest) == "acquired"
+        ours.release(digest)
+        assert ours.outstanding() == [digest]
+
+    def test_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            LeaseBoard(tmp_path, ttl=0)
+
+    def test_cooperate_requires_cache(self):
+        with pytest.raises(ValueError, match="requires a ResultCache"):
+            StudyExecutor(cooperate=True).run(TaskGraph())
+
+
+class TestCooperativeExecution:
+    def test_two_executors_split_one_study(self, tmp_path):
+        """Cold cooperative run: every task executes exactly once."""
+        cache = ResultCache(tmp_path / "cache")
+        run_dir = tmp_path / "run"
+        count = 8
+        with _EXECUTED_LOCK:
+            _EXECUTED.clear()
+
+        reports = {}
+
+        def drive(writer: str) -> None:
+            executor = StudyExecutor(
+                cache=cache,
+                log=RunLog(run_dir, writer_id=writer),
+                cooperate=True,
+                lease_ttl=60.0,
+            )
+            reports[writer] = executor.run(
+                touch_graph(count, dataset="coop-cold", delay=0.02)
+            )
+
+        threads = [
+            threading.Thread(target=drive, args=(writer,))
+            for writer in ("left", "right")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # The lease-race bound: each task executed at most (and here
+        # exactly) once across both executors.
+        assert sorted(_EXECUTED) == sorted(f"t{i}" for i in range(count))
+        assert reports["left"].executed + reports["right"].executed == count
+        for report in reports.values():
+            report.raise_on_failure()
+            assert report.completed == count
+            assert {t: o.value for t, o in report.outcomes.items()} == {
+                f"t{i}": i * 10 for i in range(count)
+            }
+        assert len(cache) == count
+        assert (tmp_path / "cache" / LEASES_DIRNAME).exists()
+        assert list((tmp_path / "cache" / LEASES_DIRNAME).glob("*.lock")) == []
+
+        # The merged run view satisfies the ART009 contract.
+        merge_run_dir(run_dir)
+        manifest = read_manifest(run_dir)
+        assert manifest["status"] == "completed"
+        assert manifest["writers"] == ["left", "right"]
+        assert manifest["executed"] == count
+        assert manifest["completed"] == count
+        assert manifest["cache_hits"] == 0
+
+        # Warm rerun: a fresh executor resumes entirely from cache.
+        with _EXECUTED_LOCK:
+            _EXECUTED.clear()
+        warm = StudyExecutor(cache=cache, cooperate=True).run(
+            touch_graph(count, dataset="coop-cold")
+        )
+        assert warm.cache_hits == count
+        assert warm.executed == 0
+        assert _EXECUTED == []
+
+    def test_steal_back_from_dead_coordinator(self, tmp_path):
+        """Expired leases of a killed peer are stolen, cache prefix reused.
+
+        This is the killed-coordinator scenario: the dead executor left
+        (a) results for its completed prefix in the cache and (b) stale
+        lease files for the tasks it was holding when it died.  A fresh
+        cooperative executor must serve the prefix from cache (zero
+        recomputation) and steal the stale leases to run the remainder.
+        """
+        cache = ResultCache(tmp_path / "cache")
+        run_dir = tmp_path / "run"
+        count, prefix = 6, 3
+        graph = touch_graph(count, dataset="steal")
+        specs = {spec.task_id: spec for spec in graph}
+        for i in range(prefix):
+            cache.put(specs[f"t{i}"].key, i * 10)
+        board_dir = tmp_path / "cache" / LEASES_DIRNAME
+        board_dir.mkdir(parents=True, exist_ok=True)
+        long_ago = time.time() - 1000.0
+        for i in range(prefix, count):
+            digest = specs[f"t{i}"].key.digest()
+            (board_dir / f"{digest}.lock").write_text(
+                json.dumps(
+                    {
+                        "owner": "dead-executor",
+                        "pid": 0,
+                        "acquired_at": long_ago,
+                        "expires_at": long_ago + 30.0,
+                    }
+                )
+            )
+
+        with _EXECUTED_LOCK:
+            _EXECUTED.clear()
+        log = RunLog(run_dir)
+        report = StudyExecutor(cache=cache, log=log, cooperate=True).run(
+            touch_graph(count, dataset="steal")
+        )
+        report.raise_on_failure()
+        assert report.cache_hits == prefix
+        assert report.executed == count - prefix
+        assert sorted(_EXECUTED) == [f"t{i}" for i in range(prefix, count)]
+        steals = [
+            e for e in read_events(log.events_path) if e["event"] == "lease-steal"
+        ]
+        assert len(steals) == count - prefix
+        assert list(board_dir.glob("*.lock")) == []
+
+    def test_live_peer_lease_defers_then_settles_from_cache(self, tmp_path):
+        """A task leased by a live peer is awaited, never recomputed."""
+        cache = ResultCache(tmp_path / "cache")
+        graph = touch_graph(1, dataset="defer")
+        spec = next(iter(graph))
+        peer = LeaseBoard(cache.root, ttl=60.0)
+        assert peer.claim(spec.key.digest()) == "acquired"
+
+        log = RunLog(tmp_path / "run")
+        executor = StudyExecutor(cache=cache, log=log, cooperate=True)
+        result = {}
+
+        def drive() -> None:
+            result["report"] = executor.run(touch_graph(1, dataset="defer"))
+
+        with _EXECUTED_LOCK:
+            _EXECUTED.clear()
+        thread = threading.Thread(target=drive)
+        thread.start()
+        time.sleep(0.2)  # executor is polling: lease held, result pending
+        assert not result
+        cache.put(spec.key, 0)  # the "peer" lands its result...
+        peer.release(spec.key.digest())  # ...and drops its lease
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        report = result["report"]
+        assert report.cache_hits == 1
+        assert report.executed == 0
+        assert _EXECUTED == []
+        events = read_events(log.events_path)
+        assert any(e["event"] == "lease-wait" for e in events)
+
+
+class TestFaultInjection:
+    def worker_env(self) -> dict[str, str]:
+        env = dict(os.environ)
+        extra = [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        current = env.get("PYTHONPATH")
+        if current:
+            extra.append(current)
+        env["PYTHONPATH"] = os.pathsep.join(extra)
+        return env
+
+    def test_sigkilled_socket_worker_steals_back_and_retries(self, tmp_path):
+        """SIGKILL a socket worker mid-task; the retry must converge.
+
+        After the dust settles: the task's value is correct, exactly two
+        attempts were consumed, the cache holds exactly one object for
+        the key (no lost and no doubly-stored results), and no lease
+        file is left behind.
+        """
+        cache = ResultCache(tmp_path / "cache")
+        pidfile = tmp_path / "pids.txt"
+        release = tmp_path / "release"
+        key = CacheKey(dataset="sigkill", algorithm="victim")
+
+        def build_graph() -> TaskGraph:
+            graph = TaskGraph()
+            graph.add(
+                TaskSpec(
+                    task_id="victim",
+                    op="sock.pidwait",
+                    params={
+                        "pidfile": str(pidfile),
+                        "release": str(release),
+                        "value": 42,
+                        "patience": 60.0,
+                    },
+                    key=key,
+                    retries=1,
+                )
+            )
+            return graph
+
+        transport = SocketTransport(
+            workers=2,
+            certificates=OpCertificates({"sock.pidwait": "certified"}),
+            worker_imports=("tests.socket_ops",),
+            env=self.worker_env(),
+        )
+        executor = StudyExecutor(
+            cache=cache, cooperate=True, lease_ttl=120.0, transport=transport
+        )
+        result = {}
+
+        def drive() -> None:
+            result["report"] = executor.run(build_graph())
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if pidfile.exists() and pidfile.read_text().strip():
+                    break
+                time.sleep(0.02)
+            first_pid = int(pidfile.read_text().split()[0])
+            os.kill(first_pid, signal.SIGKILL)
+            release.touch()
+        finally:
+            thread.join(timeout=120)
+        assert not thread.is_alive()
+
+        report = result["report"]
+        report.raise_on_failure()
+        outcome = report.outcomes["victim"]
+        assert outcome.value == 42
+        assert outcome.attempts == 2
+        assert report.retries == 1
+        # The retry ran in a different (surviving or respawned) process.
+        pids = [int(line) for line in pidfile.read_text().split()]
+        assert len(pids) == 2 and pids[0] != pids[1]
+        # Exactly one stored object for the key; nothing lost, nothing
+        # duplicated, and the content address verifies.
+        assert cache.get(key) == 42
+        assert len(cache) == 1
+        objects = list((tmp_path / "cache").glob("objects/*/*.pkl"))
+        assert len(objects) == 1
+        assert list((tmp_path / "cache" / LEASES_DIRNAME).glob("*.lock")) == []
+
+    def test_fresh_executor_resumes_killed_run_without_recompute(self, tmp_path):
+        """Cache-backed resume: a successor run never re-executes work."""
+        cache = ResultCache(tmp_path / "cache")
+        with _EXECUTED_LOCK:
+            _EXECUTED.clear()
+        first = StudyExecutor(cache=cache).run(touch_graph(4, dataset="resume"))
+        assert first.executed == 4
+        with _EXECUTED_LOCK:
+            _EXECUTED.clear()
+        second = StudyExecutor(cache=cache, cooperate=True).run(
+            touch_graph(4, dataset="resume")
+        )
+        assert second.cache_hits == 4
+        assert second.executed == 0
+        assert _EXECUTED == []

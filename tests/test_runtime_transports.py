@@ -1,0 +1,423 @@
+"""Transport layer: certificates, wire protocol, parity across transports.
+
+The acceptance bar for the scheduler/transport split: ``inline``,
+``pool`` and ``socket`` runs of the same graph produce bit-identical
+values, and the socket transport refuses ops the lint certificates have
+not certified for distributed execution.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+from pathlib import Path
+
+import pytest
+
+import tests.socket_ops  # noqa: F401 — registers the sock.* ops locally
+
+from repro.runtime.certify import (
+    CertificateError,
+    OpCertificates,
+    ensure_transport_allowed,
+)
+from repro.runtime.events import RunLog, merge_run_dir, read_events, read_manifest
+from repro.runtime.executor import StudyExecutor
+from repro.runtime.cache import ResultCache
+from repro.runtime.task import CacheKey, TaskGraph, TaskSpec
+from repro.runtime.transports import (
+    InlineTransport,
+    PoolTransport,
+    SocketTransport,
+    TransportRefused,
+    create_transport,
+)
+from repro.runtime.worker import (
+    extract_frames,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Certificates for the tests' own ops — the committed certificate file
+#: only knows the real study ops.
+SOCK_CERTIFICATES = OpCertificates(
+    {
+        "sock.echo": "certified",
+        "sock.pid": "certified",
+        "sock.seeded": "certified",
+        "sock.fail": "certified",
+        "sock.pidwait": "certified",
+    },
+    source="tests",
+)
+
+
+def worker_env() -> dict[str, str]:
+    """Environment for spawned workers: repro + the tests package."""
+    env = dict(os.environ)
+    extra = [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    current = env.get("PYTHONPATH")
+    if current:
+        extra.append(current)
+    env["PYTHONPATH"] = os.pathsep.join(extra)
+    return env
+
+
+def socket_transport(workers: int = 2, **overrides) -> SocketTransport:
+    options = {
+        "workers": workers,
+        "certificates": SOCK_CERTIFICATES,
+        "worker_imports": ("tests.socket_ops",),
+        "env": worker_env(),
+    }
+    options.update(overrides)
+    return SocketTransport(**options)
+
+
+def sock_task(task_id, value, deps=(), key=None, retries=0, op="sock.echo"):
+    params = {"value": value}
+    return TaskSpec(
+        task_id=task_id, op=op, params=params, deps=tuple(deps),
+        key=key, retries=retries,
+    )
+
+
+def diamond_graph() -> TaskGraph:
+    graph = TaskGraph()
+    graph.add(sock_task("a", 1))
+    graph.add(sock_task("b", 10))
+    graph.add(sock_task("c", 100, deps=["a", "b"]))
+    graph.add(sock_task("seeded", 0, op="sock.seeded"))
+    graph.add(sock_task("final", 1000, deps=["c", "seeded"]))
+    return graph
+
+
+class TestCertificates:
+    def test_inline_always_allowed(self):
+        table = OpCertificates({})
+        assert table.transport_allowed("anything", "inline")
+
+    def test_remote_requires_certified_verdict(self):
+        table = OpCertificates({"good": "certified", "bad": "inline-only"})
+        assert table.transport_allowed("good", "socket")
+        assert table.transport_allowed("good", "pool")
+        assert not table.transport_allowed("bad", "socket")
+        assert not table.transport_allowed("unknown", "socket")
+
+    def test_load_missing_file_degrades_with_warning(self, tmp_path):
+        with pytest.warns(RuntimeWarning, match="inline-only"):
+            table = OpCertificates.load(tmp_path / "nope.json")
+        assert table.transport_allowed("anonymize", "inline")
+        assert not table.transport_allowed("anonymize", "socket")
+
+    def test_load_corrupt_file_degrades_with_warning(self, tmp_path):
+        bad = tmp_path / "certs.json"
+        bad.write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            table = OpCertificates.load(bad)
+        assert not table.transport_allowed("anonymize", "pool")
+
+    def test_load_committed_repo_certificates(self):
+        table = OpCertificates.load(REPO_ROOT / "lint" / "op_certificates.json")
+        assert table.transport_allowed("anonymize", "socket")
+        assert table.transport_allowed("measure", "socket")
+        assert table.transport_allowed("compare", "socket")
+        # sweep cells carry callables in their params: inline-only.
+        assert not table.transport_allowed("analysis.sweep-cell", "socket")
+
+    def test_ensure_transport_allowed_lists_refused_ops(self):
+        table = OpCertificates({"ok": "certified"})
+        ensure_transport_allowed(["ok"], "socket", table)
+        with pytest.raises(CertificateError, match="nope"):
+            ensure_transport_allowed(["ok", "nope"], "socket", table)
+
+    def test_create_transport_names(self):
+        assert create_transport("inline", 1).name == "inline"
+        assert create_transport("pool", 2).name == "pool"
+        assert create_transport("socket", 2).name == "socket"
+        with pytest.raises(ValueError):
+            create_transport("carrier-pigeon", 1)
+
+
+class TestFrameProtocol:
+    def test_send_recv_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"type": "hello", "pid": 42})
+            message = recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+        assert message == {"type": "hello", "pid": 42}
+
+    def test_recv_none_on_clean_close(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_extract_frames_handles_partial_buffers(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"n": 1})
+            send_frame(left, {"n": 2})
+            raw = right.recv(1 << 16)
+        finally:
+            left.close()
+            right.close()
+        buffer = bytearray()
+        buffer.extend(raw[:5])  # partial header
+        assert extract_frames(buffer) == []
+        buffer.extend(raw[5:])
+        assert extract_frames(buffer) == [{"n": 1}, {"n": 2}]
+        assert not buffer
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+class TestTransportParity:
+    def run_with(self, transport, retries=0):
+        executor = StudyExecutor(transport=transport, default_retries=retries)
+        report = executor.run(diamond_graph())
+        report.raise_on_failure()
+        return {t: o.value for t, o in report.outcomes.items()}
+
+    def test_inline_pool_socket_values_identical(self):
+        inline = self.run_with(InlineTransport())
+        pool = self.run_with(PoolTransport(processes=2))
+        sock = self.run_with(socket_transport(workers=2))
+        assert inline == pool == sock
+        assert inline["final"] == 1000 + (100 + 1 + 10) + inline["seeded"]
+
+    def test_socket_tasks_run_in_other_processes(self):
+        graph = TaskGraph()
+        graph.add(sock_task("pid", 0, op="sock.pid"))
+        executor = StudyExecutor(transport=socket_transport(workers=1))
+        report = executor.run(graph)
+        report.raise_on_failure()
+        assert report.outcomes["pid"].value != os.getpid()
+
+    def test_socket_failure_isolation_and_retry_budget(self):
+        graph = TaskGraph()
+        graph.add(sock_task("boom", 0, op="sock.fail", retries=1))
+        graph.add(sock_task("child", 5, deps=["boom"]))
+        graph.add(sock_task("independent", 7))
+        executor = StudyExecutor(transport=socket_transport(workers=1))
+        report = executor.run(graph)
+        assert report.outcomes["boom"].status == "failed"
+        assert report.outcomes["boom"].attempts == 2
+        assert "socket boom" in report.outcomes["boom"].error
+        assert report.outcomes["child"].status == "blocked"
+        assert report.outcomes["independent"].value == 7
+
+
+class TestSocketRefusal:
+    def test_submit_refuses_uncertified_op(self):
+        transport = socket_transport(
+            workers=1, certificates=OpCertificates({}), spawn_workers=False
+        )
+        transport.start()
+        try:
+            assert not transport.allows("sock.echo")
+            from repro.runtime.transports import TaskPayload
+
+            with pytest.raises(TransportRefused, match="sock.echo"):
+                transport.submit(TaskPayload("t", "sock.echo", {}, {}, 0, False))
+        finally:
+            transport.stop()
+
+    def test_scheduler_falls_back_inline_for_refused_ops(self, tmp_path):
+        log = RunLog(tmp_path / "run")
+        transport = socket_transport(
+            workers=1, certificates=OpCertificates({}), spawn_workers=False
+        )
+        executor = StudyExecutor(transport=transport, log=log)
+        report = executor.run(diamond_graph())
+        report.raise_on_failure()
+        events = read_events(log.events_path)
+        fallbacks = [e for e in events if e["event"] == "inline-fallback"]
+        assert len(fallbacks) == len(diamond_graph())
+        assert all(e["reason"] == "uncertified" for e in fallbacks)
+
+
+class TestStudyParityAcrossTransports:
+    """The smoke-study acceptance criterion: bit-identical results."""
+
+    @staticmethod
+    def run_study_with(tmp_path, name, **kwargs):
+        from repro.runtime.study import AlgorithmSpec, DatasetSpec, StudySpec, run_study
+
+        spec = StudySpec(
+            dataset=DatasetSpec.of("adult", rows=24, seed=7),
+            algorithms=(
+                AlgorithmSpec.of("datafly", k=2),
+                AlgorithmSpec.of("mondrian", k=2),
+            ),
+            scalar_measures=("k_achieved", "lm"),
+            vector_properties=("equivalence-class-size",),
+            compare=True,
+            seed=7,
+        )
+        cache = ResultCache(tmp_path / f"cache-{name}")
+        return run_study(spec, cache=cache, **kwargs)
+
+    def test_inline_pool_socket_bit_identical(self, tmp_path):
+        inline = self.run_study_with(tmp_path, "inline", transport="inline")
+        pool = self.run_study_with(tmp_path, "pool", jobs=2, transport="pool")
+        sock = self.run_study_with(
+            tmp_path, "sock", jobs=2,
+            transport=SocketTransport(workers=2, env=worker_env()),
+        )
+        assert inline.scalars == pool.scalars == sock.scalars
+        assert inline.vectors == pool.vectors == sock.vectors
+        assert inline.comparisons == pool.comparisons == sock.comparisons
+
+    def test_socket_strict_ops_accepts_certified_study(self, tmp_path):
+        result = self.run_study_with(
+            tmp_path, "strict", jobs=2,
+            transport=SocketTransport(workers=2, env=worker_env()),
+            strict_ops=True,
+        )
+        assert result.report.failed == 0
+
+    def test_strict_ops_rejects_uncertified_graph(self, tmp_path):
+        with pytest.raises(CertificateError):
+            self.run_study_with(
+                tmp_path, "reject", transport="socket",
+                strict_ops=True, certificates=OpCertificates({}),
+            )
+
+
+class TestMultiWriterRunLog:
+    def test_per_writer_files_and_sequence(self, tmp_path):
+        run_dir = tmp_path / "run"
+        left = RunLog(run_dir, writer_id="left")
+        right = RunLog(run_dir, writer_id="right")
+        left.event("run-start", tasks=1)
+        right.event("run-start", tasks=1)
+        left.event("finished", task_id="t1")
+        assert left.events_path.name == "events.left.jsonl"
+        assert right.events_path.name == "events.right.jsonl"
+        records = read_events(left.events_path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert all(r["writer"] == "left" for r in records)
+
+    def test_writer_id_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunLog(tmp_path, writer_id="../evil")
+
+    def test_artifact_path_suffixing(self, tmp_path):
+        log = RunLog(tmp_path / "run", writer_id="w1")
+        assert log.artifact_path("trace.json").name == "trace.w1.json"
+        plain = RunLog(tmp_path / "plain")
+        assert plain.artifact_path("trace.json").name == "trace.json"
+
+    def test_merge_is_stable_and_complete(self, tmp_path):
+        run_dir = tmp_path / "run"
+        a = RunLog(run_dir, writer_id="a")
+        b = RunLog(run_dir, writer_id="b")
+        a.write_manifest({"status": "completed", "tasks": 2,
+                          "task_ids": ["t1", "t2"], "wall_seconds": 1.0,
+                          "started_at": 5.0, "finished_at": 6.0})
+        b.write_manifest({"status": "completed", "tasks": 2,
+                          "task_ids": ["t1", "t2"], "wall_seconds": 2.0,
+                          "started_at": 5.5, "finished_at": 7.0})
+        a.event("run-start", tasks=2)
+        b.event("run-start", tasks=2)
+        a.event("submitted", task_id="t1", attempt=1)
+        a.event("finished", task_id="t1")
+        b.event("cache-hit", task_id="t1")
+        b.event("submitted", task_id="t2", attempt=1)
+        b.event("finished", task_id="t2")
+        a.event("run-finish")
+        b.event("run-finish")
+        merged_path = a.finish()
+        assert merged_path == run_dir / "events.jsonl"
+        events = read_events(merged_path)
+        assert len(events) == 9
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        # per-writer sequences stay monotonic in the merged stream
+        for writer in ("a", "b"):
+            seqs = [e["seq"] for e in events if e["writer"] == writer]
+            assert seqs == sorted(seqs)
+        manifest = read_manifest(run_dir)
+        assert manifest["status"] == "completed"
+        assert manifest["writers"] == ["a", "b"]
+        # t1 executed by a (b's settle was a cache hit), t2 executed by b
+        assert manifest["completed"] == 2
+        assert manifest["executed"] == 2
+        assert manifest["cache_hits"] == 0
+        assert manifest["cache_hit_events"] == 1
+        assert manifest["wall_seconds"] == 2.0
+        assert manifest["started_at"] == 5.0
+        assert manifest["finished_at"] == 7.0
+
+    def test_merged_run_dir_is_art009_clean(self, tmp_path):
+        from repro.lint.artifacts import check_run_artifacts
+
+        run_dir = tmp_path / "run"
+        cache = ResultCache(tmp_path / "cache")
+        graph1, graph2 = TaskGraph(), TaskGraph()
+        for graph in (graph1, graph2):
+            graph.add(sock_task("t1", 1, key=CacheKey(dataset="mw", algorithm="t1")))
+            graph.add(sock_task("t2", 2, key=CacheKey(dataset="mw", algorithm="t2")))
+        StudyExecutor(cache=cache, log=RunLog(run_dir, writer_id="a")).run(graph1)
+        StudyExecutor(cache=cache, log=RunLog(run_dir, writer_id="b")).run(graph2)
+        merge_run_dir(run_dir)
+        findings = check_run_artifacts(run_dir)
+        errors = [f for f in findings if f.severity.value == "error"]
+        assert errors == []
+        manifest = read_manifest(run_dir)
+        assert manifest["executed"] == 2
+        assert manifest["cache_hits"] == 0
+        assert manifest["cache_hit_events"] == 2  # writer b hit both
+
+
+class TestWorkerCli:
+    def test_worker_connects_executes_and_shuts_down(self):
+        import subprocess
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        host, port = listener.getsockname()[:2]
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--connect", f"{host}:{port}", "--import", "tests.socket_ops"],
+            env=worker_env(),
+        )
+        try:
+            listener.settimeout(30)
+            conn, _ = listener.accept()
+            conn.settimeout(30)
+            hello = recv_frame(conn)
+            assert hello["type"] == "hello"
+            assert hello["pid"] == proc.pid
+            send_frame(conn, {
+                "type": "task", "task_id": "t", "op": "sock.echo",
+                "params": {"value": 5}, "deps": {"d": 2}, "seed": 0,
+                "observe": False,
+            })
+            result = recv_frame(conn)
+            assert result["type"] == "result"
+            payload = result["payload"]
+            assert payload[0] == "t" and payload[1] is True and payload[2] == 7
+            send_frame(conn, {"type": "shutdown"})
+            assert proc.wait(timeout=30) == 0
+            conn.close()
+        finally:
+            listener.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
