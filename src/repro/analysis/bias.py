@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+from ..kernels.array import xp as np
 
 from ..core.vector import PropertyVector
 
@@ -51,7 +51,7 @@ class BiasSummary:
         )
 
 
-def gini_coefficient(values: np.ndarray) -> float:
+def gini_coefficient(values: "np.ndarray") -> float:
     """Gini coefficient of non-negative values (0 = equal, → 1 = skewed).
 
     Values are shifted to be non-negative first, since property vectors may

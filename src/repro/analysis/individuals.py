@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import numpy as np
-
 from ..core.vector import PropertyVector, check_all_comparable
 
 
@@ -64,15 +62,19 @@ def individual_preferences(
     names = tuple(vectors)
     family = [vectors[name] for name in names]
     check_all_comparable(family)
-    matrix = np.vstack([vector.oriented for vector in family])
-    best = matrix.max(axis=0)
+    rows = [vector.oriented for vector in family]
+    length = len(rows[0])
+    best = [
+        max(rows[row][column] for row in range(len(names)))
+        for column in range(length)
+    ]
     winners = tuple(
         tuple(
             names[row]
             for row in range(len(names))
-            if matrix[row, column] == best[column]
+            if rows[row][column] == best[column]
         )
-        for column in range(matrix.shape[1])
+        for column in range(length)
     )
     return IndividualPreferences(candidates=names, winners=winners)
 

@@ -16,14 +16,13 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import Hashable, Mapping, Sequence
-
-import numpy as np
+from typing import Any, Hashable, Mapping, Sequence
 
 from ...datasets.dataset import Dataset
 from ...hierarchy.base import Hierarchy
 from ...hierarchy.codes import LevelTable, level_table
 from ...hierarchy.lattice import Lattice, Node
+from ...kernels import active as active_kernels
 from ...obs import metrics as obs_metrics
 from ..engine import Anonymization, AnonymizationError, recode_node
 
@@ -67,17 +66,19 @@ def check_suppression_limit(limit: float) -> float:
 
 class _Partition:
     """One node's row partition: per-row labels, per-class sizes, and one
-    representative row (the class's minimal row index) per class."""
+    representative row (the class's minimal row index) per class.
+
+    All three are kernel arrays of the active backend (numpy ``ndarray``
+    or ``array('q')``); labels follow the canonical sorted-rank numbering
+    shared by both backends."""
 
     __slots__ = ("labels", "sizes", "reps", "group_count")
 
-    def __init__(
-        self, labels: np.ndarray, sizes: np.ndarray, reps: np.ndarray
-    ):
+    def __init__(self, labels: Any, sizes: Any, reps: Any):
         self.labels = labels
         self.sizes = sizes
         self.reps = reps
-        self.group_count = int(sizes.size)
+        self.group_count = len(sizes)
 
 
 class RecodingWorkspace:
@@ -104,11 +105,12 @@ class RecodingWorkspace:
         self.hierarchies = {name: hierarchies[name] for name in self.qi_names}
         self.lattice = Lattice([self.hierarchies[name] for name in self.qi_names])
         self._view = dataset.columns()
+        self._kernels = active_kernels()
         self._tables: dict[str, LevelTable] = {}
-        self._base_codes: dict[str, np.ndarray] = {}
+        self._base_codes: dict[str, Any] = {}
         self._columns: dict[tuple[str, int], tuple[Hashable, ...]] = {}
         self._loss_columns: dict[tuple[str, int], tuple[float, ...]] = {}
-        self._code_columns: dict[tuple[str, int], tuple[np.ndarray, int]] = {}
+        self._code_columns: dict[tuple[str, int], tuple[Any, int]] = {}
         self._partitions: dict[
             tuple[str, ...], OrderedDict[Node, _Partition]
         ] = {}
@@ -138,11 +140,11 @@ class RecodingWorkspace:
             self._tables[attribute] = table
         return table
 
-    def _base(self, attribute: str) -> np.ndarray:
+    def _base(self, attribute: str) -> Any:
         codes = self._base_codes.get(attribute)
         if codes is None:
-            codes = np.frombuffer(
-                self._view.column(attribute).codes, dtype=np.int64
+            codes = self._kernels.from_code_buffer(
+                self._view.column(attribute).codes
             )
             self._base_codes[attribute] = codes
         return codes
@@ -169,14 +171,14 @@ class RecodingWorkspace:
             )
         return self._loss_columns[key]
 
-    def code_column(self, attribute: str, level: int) -> tuple[np.ndarray, int]:
+    def code_column(self, attribute: str, level: int) -> tuple[Any, int]:
         """The generalized column as dense integer codes plus code count
         (cached) — one gather through the level table."""
         key = (attribute, level)
         if key not in self._code_columns:
             built = self._table(attribute).level(level)
-            gather = np.frombuffer(built.gather, dtype=np.int64)
-            self._code_columns[key] = (gather[self._base(attribute)], built.count)
+            codes = self._kernels.gather(built.gather, self._base(attribute))
+            self._code_columns[key] = (codes, built.count)
         return self._code_columns[key]
 
     def distinct_count(self, attribute: str, level: int) -> int:
@@ -218,24 +220,22 @@ class RecodingWorkspace:
         return partition
 
     def _fresh_partition(self, node: Node, names: tuple[str, ...]) -> _Partition:
-        combined: np.ndarray | None = None
+        kernels = self._kernels
+        combined: Any = None
         for name, level in zip(names, node):
             built = self._table(name).level(level)
-            gather = np.frombuffer(built.gather, dtype=np.int64)
-            codes = gather[self._base(name)]
+            codes = kernels.gather(built.gather, self._base(name))
             if combined is None:
                 combined = codes
             else:
-                # Re-densify after each combine: keeps values < N·count, so
-                # the mixed-radix product can never overflow int64.
-                combined = combined * built.count + codes
-                _, combined = np.unique(combined, return_inverse=True)
+                # pack() re-densifies after each combine: keeps values
+                # < N·count, so the mixed-radix product can never overflow
+                # int64.
+                combined = kernels.pack(combined, built.count, codes)
         if combined is None:
             raise AnonymizationError("grouping requires at least one attribute")
-        _, reps, labels = np.unique(
-            combined, return_index=True, return_inverse=True
-        )
-        return _Partition(labels, np.bincount(labels), reps)
+        reps, labels, count = kernels.group(combined)
+        return _Partition(labels, kernels.bincount(labels, count), reps)
 
     def _derive_partition(
         self,
@@ -265,28 +265,27 @@ class RecodingWorkspace:
                 best = (cached_node, cached_partition)
         if best is None:
             return None
+        kernels = self._kernels
         parent = best[1]
         # Re-key one representative row per parent class at the new node.
-        combined: np.ndarray | None = None
+        combined: Any = None
         rep_rows = parent.reps
         for name, level in zip(names, node):
             built = self._table(name).level(level)
-            gather = np.frombuffer(built.gather, dtype=np.int64)
-            codes = gather[self._base(name)[rep_rows]]
+            rep_base = kernels.gather(self._base(name), rep_rows)
+            codes = kernels.gather(built.gather, rep_base)
             if combined is None:
                 combined = codes
             else:
-                combined = combined * built.count + codes
-                _, combined = np.unique(combined, return_inverse=True)
+                combined = kernels.pack(combined, built.count, codes)
         if combined is None:
             raise AnonymizationError("grouping requires at least one attribute")
-        _, child_of_group = np.unique(combined, return_inverse=True)
-        count = int(child_of_group.max()) + 1 if child_of_group.size else 0
-        labels = child_of_group[parent.labels]
-        sizes = np.zeros(count, dtype=np.int64)
-        np.add.at(sizes, child_of_group, parent.sizes)
-        reps = np.full(count, len(self.dataset), dtype=np.int64)
-        np.minimum.at(reps, child_of_group, parent.reps)
+        child_of_group, count = kernels.densify(combined)
+        labels = kernels.gather(child_of_group, parent.labels)
+        sizes = kernels.fold_add(child_of_group, parent.sizes, count)
+        reps = kernels.fold_min(
+            child_of_group, parent.reps, count, fill=len(self.dataset)
+        )
         return _Partition(labels, sizes, reps)
 
     # -- frequency sets ------------------------------------------------------
@@ -306,7 +305,7 @@ class RecodingWorkspace:
         levels = [self._table(name).level(level) for name, level in zip(names, node)]
         bases = [self._base(name) for name in names]
         counts: dict[Hashable, int] = {}
-        for group in np.argsort(partition.reps):
+        for group in self._kernels.argsort(partition.reps):
             row = partition.reps[group]
             key = tuple(
                 built.values[base[row]] for built, base in zip(levels, bases)
@@ -316,11 +315,11 @@ class RecodingWorkspace:
 
     def class_size_vector(
         self, node: Node, attributes: Sequence[str] | None = None
-    ) -> np.ndarray:
-        """Per-row equivalence class size at ``node`` (vectorized)."""
+    ) -> Any:
+        """Per-row equivalence class size at ``node`` (a kernel array)."""
         names = tuple(attributes) if attributes is not None else self.qi_names
         partition = self.partition(node, names)
-        return partition.sizes[partition.labels]
+        return self._kernels.gather(partition.sizes, partition.labels)
 
     def _check_node_arity(self, node: Node, names: Sequence[str]) -> None:
         if len(node) != len(names):
@@ -335,7 +334,7 @@ class RecodingWorkspace:
         names = tuple(attributes) if attributes is not None else self.qi_names
         self._check_node_arity(node, names)
         per_row = self.class_size_vector(node, names)
-        return np.flatnonzero(per_row < k).tolist()
+        return self._kernels.flatnonzero_less(per_row, k)
 
     def violation_count(
         self, node: Node, k: int, attributes: Sequence[str] | None = None
@@ -344,7 +343,7 @@ class RecodingWorkspace:
         names = tuple(attributes) if attributes is not None else self.qi_names
         self._check_node_arity(node, names)
         per_row = self.class_size_vector(node, names)
-        return int(np.count_nonzero(per_row < k))
+        return self._kernels.count_less(per_row, k)
 
     def satisfies_k(
         self,

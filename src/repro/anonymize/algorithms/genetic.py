@@ -25,16 +25,16 @@ The GA is seeded and deterministic for a given configuration.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
-
-import numpy as np
 
 from ...datasets.dataset import Dataset
 from ...datasets.schema import AttributeKind
 from ...hierarchy.base import Hierarchy
 from ...hierarchy.codes import level_table
 from ...hierarchy.numeric import Span
+from ...kernels import active as active_kernels
 from ..engine import Anonymization, released_with_local_cells
 from .base import AlgorithmError, Anonymizer, check_k
 
@@ -49,7 +49,7 @@ class _NumericGene:
     """
 
     attribute: str
-    splits: np.ndarray  # bool array, length = distinct values - 1
+    splits: list[bool]  # one flag per boundary between sorted distinct values
 
 
 @dataclass
@@ -68,7 +68,7 @@ class _Chromosome:
         copied: list[_NumericGene | _CategoricalGene] = []
         for gene in self.genes:
             if isinstance(gene, _NumericGene):
-                copied.append(_NumericGene(gene.attribute, gene.splits.copy()))
+                copied.append(_NumericGene(gene.attribute, list(gene.splits)))
             else:
                 copied.append(_CategoricalGene(gene.attribute, gene.level))
         return _Chromosome(copied)
@@ -141,24 +141,24 @@ class GeneticAnonymizer(Anonymizer):
                 plan.append((attribute.name, attribute.kind, hierarchy))
         return plan
 
-    def _random_chromosome(
-        self, plan: list, rng: np.random.Generator
-    ) -> _Chromosome:
+    def _random_chromosome(self, plan: list, rng: random.Random) -> _Chromosome:
         genes: list[_NumericGene | _CategoricalGene] = []
         for attribute, kind, info in plan:
             if kind is AttributeKind.NUMERIC:
                 size = max(len(info) - 1, 0)
                 genes.append(
-                    _NumericGene(attribute, rng.random(size) < 0.5)
+                    _NumericGene(
+                        attribute, [rng.random() < 0.5 for _ in range(size)]
+                    )
                 )
             else:
                 genes.append(
-                    _CategoricalGene(attribute, int(rng.integers(0, info.height + 1)))
+                    _CategoricalGene(attribute, rng.randrange(info.height + 1))
                 )
         return _Chromosome(genes)
 
     @staticmethod
-    def _intervals(distinct: Sequence[float], splits: np.ndarray) -> list[Span]:
+    def _intervals(distinct: Sequence[float], splits: Sequence[bool]) -> list[Span]:
         """Contiguous value groups encoded by the split bitstring."""
         spans = []
         start = 0
@@ -212,13 +212,14 @@ class GeneticAnonymizer(Anonymizer):
         order within each attribute) matches the row plane exactly, so the
         fitness floats are bit-identical and seeded runs are unchanged.
         """
+        kernels = active_kernels()
         view = dataset.columns()
         loss = 0.0
         qi_count = len(plan)
-        combined: np.ndarray | None = None
+        combined: Any = None
         for gene, (attribute, kind, info) in zip(chromosome.genes, plan):
             column = view.column(attribute)
-            base = np.frombuffer(column.codes, dtype=np.int64)
+            base = kernels.from_code_buffer(column.codes)
             per_base: list[float]
             if isinstance(gene, _NumericGene):
                 spans = self._intervals(info, gene.splits)
@@ -228,7 +229,7 @@ class GeneticAnonymizer(Anonymizer):
                         if value in span:
                             span_of[value] = index
                 domain = max(info) - min(info)
-                gather = np.empty(column.domain_size, dtype=np.int64)
+                gather = [0] * column.domain_size
                 per_base = [0.0] * column.domain_size
                 for code, value in enumerate(column.decode):
                     index = span_of[value]
@@ -236,36 +237,35 @@ class GeneticAnonymizer(Anonymizer):
                     span = spans[index]
                     if span.width > 0 and domain > 0:
                         per_base[code] = min(1.0, span.width / domain)
-                codes = gather[base]
+                codes = kernels.gather(gather, base)
                 radix = len(spans)
             else:
                 hierarchy = info
                 built = level_table(column, hierarchy).level(gene.level)
                 cell_loss = [hierarchy.released_loss(value) for value in built.decode]
                 per_base = [cell_loss[code] for code in built.gather]
-                codes = np.frombuffer(built.gather, dtype=np.int64)[base]
+                codes = kernels.gather(built.gather, base)
                 radix = built.count
             for code in column.codes:
                 loss += per_base[code]
             if combined is None:
                 combined = codes
             else:
-                combined = combined * radix + codes
-                _, combined = np.unique(combined, return_inverse=True)
+                combined = kernels.pack(combined, radix, codes)
 
         # Iyengar's penalty: every row of a class below k is charged as if
         # suppressed (full loss across all QIs).
         penalty = 0
         if combined is not None:
-            _, labels = np.unique(combined, return_inverse=True)
-            sizes = np.bincount(labels)
-            penalty = int(sizes[sizes < self.k].sum()) * qi_count
+            labels, count = kernels.densify(combined)
+            sizes = kernels.bincount(labels, count)
+            penalty = kernels.sum_less(sizes, self.k) * qi_count
         return loss + penalty
 
     # -- GA operators --------------------------------------------------------------
 
     def _crossover(
-        self, a: _Chromosome, b: _Chromosome, rng: np.random.Generator
+        self, a: _Chromosome, b: _Chromosome, rng: random.Random
     ) -> _Chromosome:
         """Gene-block uniform crossover; numeric bitstrings mix with a
         single-point cut (Lunacek-style boundary-respecting merge),
@@ -275,9 +275,9 @@ class GeneticAnonymizer(Anonymizer):
         for gene_a, gene_b in zip(a.genes, b.genes):
             if isinstance(gene_a, _NumericGene):
                 assert isinstance(gene_b, _NumericGene)
-                splits = gene_a.splits.copy()
-                if splits.size:
-                    cut = int(rng.integers(0, splits.size + 1))
+                splits = list(gene_a.splits)
+                if splits:
+                    cut = rng.randrange(len(splits) + 1)
                     splits[cut:] = gene_b.splits[cut:]
                 genes.append(_NumericGene(gene_a.attribute, splits))
             else:
@@ -287,16 +287,16 @@ class GeneticAnonymizer(Anonymizer):
         return _Chromosome(genes)
 
     def _mutate(
-        self, chromosome: _Chromosome, plan: list, rng: np.random.Generator
+        self, chromosome: _Chromosome, plan: list, rng: random.Random
     ) -> None:
         for gene, (_, kind, info) in zip(chromosome.genes, plan):
             if isinstance(gene, _NumericGene):
-                if gene.splits.size:
-                    flips = rng.random(gene.splits.size) < self.mutation_rate
-                    gene.splits ^= flips
+                for position in range(len(gene.splits)):
+                    if rng.random() < self.mutation_rate:
+                        gene.splits[position] = not gene.splits[position]
             else:
                 if rng.random() < self.mutation_rate:
-                    gene.level = int(rng.integers(0, info.height + 1))
+                    gene.level = rng.randrange(info.height + 1)
 
     # -- main loop --------------------------------------------------------------------
 
@@ -307,7 +307,7 @@ class GeneticAnonymizer(Anonymizer):
             raise AlgorithmError(
                 f"dataset of {len(dataset)} rows cannot be {self.k}-anonymized"
             )
-        rng = np.random.default_rng(self.seed)
+        rng = random.Random(self.seed)
         plan = self._attribute_plan(dataset, hierarchies)
         population = [
             self._random_chromosome(plan, rng) for _ in range(self.population_size)
@@ -317,12 +317,16 @@ class GeneticAnonymizer(Anonymizer):
         ]
 
         def tournament_pick() -> _Chromosome:
-            contenders = rng.integers(0, len(population), self.tournament)
+            contenders = [
+                rng.randrange(len(population)) for _ in range(self.tournament)
+            ]
             winner = min(contenders, key=lambda i: scores[i])
             return population[winner]
 
         for _ in range(self.generations):
-            order = np.argsort(scores)
+            # Stable sort: elitism ties resolve by population order in both
+            # backends (np.argsort's default introsort is not stable).
+            order = sorted(range(len(scores)), key=scores.__getitem__)
             next_population = [population[i].copy() for i in order[: self.elitism]]
             while len(next_population) < self.population_size:
                 child = self._crossover(tournament_pick(), tournament_pick(), rng)
@@ -334,7 +338,7 @@ class GeneticAnonymizer(Anonymizer):
                 for member in population
             ]
 
-        best = population[int(np.argmin(scores))]
+        best = population[min(range(len(scores)), key=scores.__getitem__)]
         return self._materialize(dataset, plan, best)
 
     def _materialize(

@@ -9,9 +9,8 @@ fallback), giving an unbiased "some k-anonymous recoding" release.
 
 from __future__ import annotations
 
+import random
 from typing import Mapping
-
-import numpy as np
 
 from ...datasets.dataset import Dataset
 from ...hierarchy.base import Hierarchy
@@ -61,13 +60,11 @@ class RandomRecoding(Anonymizer):
     ) -> Anonymization:
         workspace = RecodingWorkspace(dataset, hierarchies)
         budget = int(self.suppression_limit * len(dataset))
-        rng = np.random.default_rng(self.seed)
+        rng = random.Random(self.seed)
         heights = workspace.lattice.heights
 
         for _ in range(self.attempts):
-            node = tuple(
-                int(rng.integers(0, height + 1)) for height in heights
-            )
+            node = tuple(rng.randrange(height + 1) for height in heights)
             if workspace.satisfies_k(node, self.k, budget):
                 return workspace.apply(node, self.k, name=self.name)
 
@@ -81,5 +78,5 @@ class RandomRecoding(Anonymizer):
                 f"no generalization satisfies k={self.k} within the "
                 "suppression budget"
             )
-        chosen = satisfying[int(rng.integers(0, len(satisfying)))]
+        chosen = satisfying[rng.randrange(len(satisfying))]
         return workspace.apply(chosen, self.k, name=self.name)

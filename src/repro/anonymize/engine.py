@@ -32,11 +32,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-import numpy as np
-
 from ..datasets.dataset import Dataset
 from ..hierarchy.base import SUPPRESSED, Hierarchy
 from ..hierarchy.codes import Level, LevelTable, level_table
+from ..kernels import active as active_kernels
 from ..lint.api import ensure_valid_hierarchies
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
@@ -209,31 +208,32 @@ def _validate_recode(
 
 
 def packed_group_labels(
-    columns: Sequence[tuple["np.ndarray", Level, LevelTable, int]],
-    suppressed_rows: "np.ndarray | None" = None,
-) -> "np.ndarray":
+    columns: Sequence[tuple[Any, Level, LevelTable, int]],
+    suppressed_rows: Any = None,
+) -> Any:
     """Per-row group labels from per-column code gathers (mixed-radix).
 
     ``columns`` holds ``(base_codes, level_tables_level, table, level)`` per
     QI attribute; each column contributes ``gather[base]`` (with suppressed
     rows redirected to the level's suppression code), packed into one
     integer per row.  The running product is re-densified after every
-    column so the packing can never overflow ``int64``.
+    column so the packing can never overflow ``int64``.  All array work
+    runs on the active kernel backend (:mod:`repro.kernels`); the returned
+    labels are a kernel array.
     """
-    combined: "np.ndarray | None" = None
+    kernels = active_kernels()
+    combined: Any = None
     for base_codes, built, table, level in columns:
-        gather = np.frombuffer(built.gather, dtype=np.int64)
-        codes = gather[base_codes]
-        if suppressed_rows is not None and suppressed_rows.size:
+        codes = kernels.gather(built.gather, base_codes)
+        if suppressed_rows is not None and len(suppressed_rows):
             suppression_code, radix = table.suppression_code(level)
-            codes[suppressed_rows] = suppression_code
+            kernels.scatter_fill(codes, suppressed_rows, suppression_code)
         else:
             radix = built.count
         if combined is None:
             combined = codes
         else:
-            combined = combined * radix + codes
-            _, combined = np.unique(combined, return_inverse=True)
+            combined = kernels.pack(combined, radix, codes)
     if combined is None:
         raise AnonymizationError("grouping requires at least one attribute")
     return combined
@@ -275,15 +275,16 @@ def recode(
         attributes=len(qi_names),
         suppressed=len(suppressed),
     ):
+        kernels = active_kernels()
         view = dataset.columns()
-        per_attribute: list[tuple[np.ndarray, Level, LevelTable, int]] = []
+        per_attribute: list[tuple[Any, Level, LevelTable, int]] = []
         released_columns: dict[str, list[Any]] = {}
         for attribute in qi_names:
             column = view.column(attribute)
             table = level_table(column, hierarchies[attribute])
             level = levels[attribute]
             built = table.level(level)
-            base_codes = np.frombuffer(column.codes, dtype=np.int64)
+            base_codes = kernels.from_code_buffer(column.codes)
             per_attribute.append((base_codes, built, table, level))
             values = built.values
             released_columns[attribute] = [values[code] for code in column.codes]
@@ -318,16 +319,12 @@ def recode(
         )
 
     released = anonymization.released
-    suppressed_rows = (
-        np.fromiter(sorted(suppressed), dtype=np.int64, count=len(suppressed))
-        if suppressed
-        else None
-    )
+    suppressed_rows = kernels.asarray(sorted(suppressed)) if suppressed else None
 
     def build_classes() -> EquivalenceClasses:
         labels = packed_group_labels(per_attribute, suppressed_rows)
         return EquivalenceClasses.from_labels(
-            labels.tolist(), released.quasi_identifier_tuple
+            kernels.tolist(labels), released.quasi_identifier_tuple
         )
 
     anonymization._classes_factory = build_classes

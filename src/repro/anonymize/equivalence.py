@@ -174,15 +174,46 @@ class EquivalenceClasses:
         cached = self._histogram_cache.get(id(values))
         if cached is not None and cached[0] is values:
             return cached[1]
-        histograms: list[dict[Any, int]] = []
-        for members in self._classes:
-            counts: dict[Any, int] = {}
-            for row_index in members:
-                value = values[row_index]
-                counts[value] = counts.get(value, 0) + 1
-            histograms.append(counts)
+        histograms = self._kernel_histograms(values)
+        if histograms is None:
+            histograms = []
+            for members in self._classes:
+                counts: dict[Any, int] = {}
+                for row_index in members:
+                    value = values[row_index]
+                    counts[value] = counts.get(value, 0) + 1
+                histograms.append(counts)
         self._histogram_cache[id(values)] = (values, histograms)
         return histograms
+
+    def _kernel_histograms(
+        self, values: Sequence[Any]
+    ) -> list[dict[Any, int]] | None:
+        """Vectorized histogram pass, when the kernel backend offers one.
+
+        Interns the column once, then groups ``(class, code)`` pairs in a
+        single kernel pass.  Pairs come back in first-occurrence-within-
+        class order — the same dict insertion order the row loop above
+        produces, which order-sensitive float consumers (entropy
+        l-diversity iterates ``histogram.values()``) rely on.  Returns
+        ``None`` when the backend declines (pure-python backend, or a
+        column outside the vectorizable dtypes).
+        """
+        from ..kernels import active as active_kernels
+
+        kernels = active_kernels()
+        interned = kernels.intern(tuple(values) if not isinstance(values, tuple) else values)
+        if interned is None:
+            return None
+        codes, decode = interned
+        class_of = kernels.asarray(self._class_of)
+        grouped = kernels.grouped_value_counts(
+            class_of, len(self._classes), kernels.from_code_buffer(codes)
+        )
+        return [
+            {decode[code]: count for code, count in per_class}
+            for per_class in grouped
+        ]
 
     def sensitive_value_counts(self, values: Sequence[Any]) -> list[int]:
         """Per-row count of the row's own sensitive value within its class —

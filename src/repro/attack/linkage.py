@@ -23,10 +23,9 @@ original data — a consistency that tests verify — and the Monte Carlo
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
-
-import numpy as np
 
 from ..anonymize.engine import Anonymization
 from ..core.vector import PropertyVector
@@ -168,7 +167,7 @@ def linkage_report(
         prosecutor_mean=float(values.mean()),
         journalist_risk=maximum,
         marketer_risk=float(values.mean()),
-        records_at_max_risk=int(np.count_nonzero(values == maximum)),
+        records_at_max_risk=sum(1 for value in values if value == maximum),
     )
 
 
@@ -190,12 +189,12 @@ def simulate_linkage(
     if trials < 1:
         raise AttackError(f"trials must be >= 1, got {trials}")
     source = external or anonymization.original
-    rng = np.random.default_rng(seed)
+    rng = random.Random(seed)
     qi_positions = source.schema.quasi_identifier_indices
     successes = 0
     cache: dict[int, list[int]] = {}
     for _ in range(trials):
-        victim = int(rng.integers(0, len(anonymization)))
+        victim = rng.randrange(len(anonymization))
         if victim not in cache:
             record = [source[victim][p] for p in qi_positions]
             cache[victim] = match_set(anonymization, record, hierarchies)
@@ -205,7 +204,7 @@ def simulate_linkage(
                     "quasi-identifiers"
                 )
         matches = cache[victim]
-        guess = matches[int(rng.integers(0, len(matches)))]
+        guess = matches[rng.randrange(len(matches))]
         if guess == victim:
             successes += 1
     return successes / trials

@@ -23,7 +23,7 @@ import enum
 import math
 from typing import Sequence
 
-import numpy as np
+from ..kernels.array import xp as np
 
 from .indices.binary import compare_hypervolume, coverage, spread
 from .indices.unary import GiniIndex, RankIndex

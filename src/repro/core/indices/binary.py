@@ -16,7 +16,7 @@ unchanged to loss-like vectors.
 
 from __future__ import annotations
 
-import numpy as np
+from ...kernels.array import xp as np
 
 from ..vector import PropertyVector, PropertyVectorError, check_comparable
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 
-import numpy as np
+from ...kernels.array import xp as np
 
 from ..vector import PropertyVector, PropertyVectorError, check_comparable
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
-import numpy as np
+from ..kernels.array import xp as np
 
 from .comparators import Relation
 from .indices.multi import BinaryIndex, goal, lexicographic, weighted

@@ -20,9 +20,8 @@ it has two executable faces, both provided here:
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Sequence
-
-import numpy as np
 
 from .comparators import weakly_dominates
 from .vector import PropertyVector
@@ -90,24 +89,25 @@ def find_dominance_counterexample(
     """
     if size < 2:
         raise ValueError("counterexamples require vectors of size >= 2")
-    rng = np.random.default_rng(seed)
+    rng = random.Random(seed)
 
     def candidate_pairs():
         # Structured pairs first: swapped coordinates are mutually
         # non-dominated, the shape used in the theorem's base case.
-        base = np.linspace(low + 1, high, size)
-        swapped = base.copy()
+        step = (high - (low + 1)) / (size - 1)
+        base = [(low + 1) + position * step for position in range(size)]
+        base[-1] = float(high)
+        swapped = list(base)
         swapped[0], swapped[-1] = swapped[-1], swapped[0]
         yield base, swapped
         for _ in range(trials):
-            a = rng.uniform(low, high, size)
-            b = rng.uniform(low, high, size)
+            a = [rng.uniform(low, high) for _ in range(size)]
+            b = [rng.uniform(low, high) for _ in range(size)]
             yield a, b
             # Mixed pair: agree on a random prefix, disagree after — probes
             # ties, which aggregate indices are particularly blind to.
-            cut = rng.integers(1, size)
-            mixed = a.copy()
-            mixed[cut:] = b[cut:]
+            cut = rng.randrange(1, size)
+            mixed = a[:cut] + b[cut:]
             yield a, mixed
 
     for left, right in candidate_pairs():

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-import numpy as np
+from ..kernels.array import xp as np
 
 
 class PropertyVectorError(ValueError):

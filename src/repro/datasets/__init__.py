@@ -1,6 +1,6 @@
 """Microdata tables, schemas and workload generators."""
 
-from .adult import adult_dataset, adult_hierarchies, adult_schema
+from .adult import adult_dataset, adult_hierarchies, adult_schema, iter_adult_chunks
 from .columnar import ColumnCodes, ColumnarView
 from .dataset import Dataset, DatasetError, Row, dataset_from_records
 from .io import read_csv, write_csv
@@ -9,8 +9,15 @@ from .hospital import (
     hospital_dataset,
     hospital_hierarchies,
     hospital_schema,
+    iter_hospital_chunks,
+)
+from .streaming import (
+    DEFAULT_CHUNK_ROWS,
+    chunk_digest,
+    dataset_from_chunks,
 )
 from .synthetic import (
+    iter_skewed_chunks,
     skewed_dataset,
     synthetic_hierarchies,
     synthetic_schema,
@@ -32,10 +39,16 @@ __all__ = [
     "adult_schema",
     "ColumnCodes",
     "ColumnarView",
+    "DEFAULT_CHUNK_ROWS",
     "Dataset",
     "DatasetError",
     "Row",
+    "chunk_digest",
+    "dataset_from_chunks",
     "dataset_from_records",
+    "iter_adult_chunks",
+    "iter_hospital_chunks",
+    "iter_skewed_chunks",
     "read_csv",
     "write_csv",
     "diagnosis_taxonomy",

@@ -9,6 +9,14 @@ correlations so quasi-identifier combinations are skewed the way census data
 is.  The accompanying :func:`adult_hierarchies` reproduces the standard
 generalization hierarchies used by those papers.
 
+Generation is built on the counter PRNG (:mod:`repro.kernels.prng`): each
+row owns a fixed budget of draw slots, every marginal is an explicit
+finite pmf inverted through shared cumulative-weight tables, and the
+numpy and pure-python paths produce byte-identical rows.
+:func:`iter_adult_chunks` streams the table in bounded-memory chunks (the
+1M–10M-row scale tier never materializes the whole table);
+:func:`adult_dataset` materializes it for the classic small-``size`` path.
+
 The property-vector framework only consumes per-tuple measurements of
 anonymizations, so any census-like table with skewed QI combinations
 exercises identical code paths (see DESIGN.md, Substitutions).
@@ -16,13 +24,22 @@ exercises identical code paths (see DESIGN.md, Substitutions).
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any, Iterator
 
 from ..hierarchy.base import Hierarchy
 from ..hierarchy.categorical import TaxonomyHierarchy
 from ..hierarchy.numeric import Banding, IntervalHierarchy
+from ..kernels import active as active_kernels
+from ..kernels.prng import CounterStream, categorical, cumulative_weights
 from .dataset import Dataset
 from .schema import AttributeKind, Schema, insensitive, quasi_identifier, sensitive
+from .streaming import (
+    DEFAULT_CHUNK_ROWS,
+    check_chunking,
+    chunk_spans,
+    dataset_from_chunks,
+    normal_weights,
+)
 
 AGE_BOUNDS = (17.0, 90.0)
 
@@ -116,6 +133,23 @@ _COUNTRY = {
     "Thailand": ("Asia", 0.015),
 }
 
+# Marital mixtures per age bracket (same key order in all three, so the
+# vectorized path can share one name table across its selector).
+_MARITAL_KEYS = (
+    "Never-married", "Married-civ-spouse", "Divorced", "Separated",
+    "Married-spouse-absent", "Widowed", "Married-AF-spouse",
+)
+_MARITAL_YOUNG = (0.75, 0.18, 0.03, 0.02, 0.01, 0.005, 0.005)
+_MARITAL_MID = (0.20, 0.52, 0.16, 0.04, 0.03, 0.03, 0.02)
+_MARITAL_OLD = (0.06, 0.52, 0.13, 0.02, 0.02, 0.24, 0.01)
+
+# Draw slots: each row owns exactly this many counter-PRNG indices.
+_DRAWS_PER_ROW = 10
+(_D_AGE_MIX, _D_AGE, _D_MARITAL, _D_EDUCATION, _D_OCCUPATION,
+ _D_WORKCLASS, _D_RACE, _D_SEX, _D_COUNTRY, _D_SALARY) = range(_DRAWS_PER_ROW)
+
+_STREAM_NAME = "adult"
+
 
 def adult_schema() -> Schema:
     """Schema of the synthetic Adult table.
@@ -137,10 +171,214 @@ def adult_schema() -> Schema:
     )
 
 
-def _choice(rng: np.random.Generator, items: list, probabilities: list[float]):
-    weights = np.asarray(probabilities, dtype=float)
-    weights = weights / weights.sum()
-    return items[rng.choice(len(items), p=weights)]
+class _AdultTables:
+    """Cumulative-weight tables shared by both generation paths.
+
+    Built once in pure python; the numpy path wraps the very same float
+    lists, so scalar ``bisect_right`` and vectorized ``searchsorted`` see
+    identical category boundaries.
+    """
+
+    def __init__(self):
+        # Age: mixture of a working-age bulk and an older tail, expressed
+        # as discrete gaussian pmfs over the integer age domain.
+        low, high = int(AGE_BOUNDS[0]), int(AGE_BOUNDS[1])
+        self.ages = list(range(low, high + 1))
+        self.age_bulk = cumulative_weights(normal_weights(self.ages, 38.0, 12.0))
+        self.age_elder = cumulative_weights(normal_weights(self.ages, 67.0, 9.0))
+        self.marital_names = list(_MARITAL_KEYS)
+        self.marital_young = cumulative_weights(_MARITAL_YOUNG)
+        self.marital_mid = cumulative_weights(_MARITAL_MID)
+        self.marital_old = cumulative_weights(_MARITAL_OLD)
+        self.educations = list(_EDUCATION)
+        self.education_cum = cumulative_weights(
+            [_EDUCATION[name][2] for name in self.educations]
+        )
+        self.education_higher = [
+            _EDUCATION[name][1] == "Higher" for name in self.educations
+        ]
+        self.occupations = list(_OCCUPATIONS)
+        self.occupation_lower = cumulative_weights(_OCCUPATION_BY_EDUCATION["Lower"])
+        self.occupation_higher = cumulative_weights(_OCCUPATION_BY_EDUCATION["Higher"])
+        self.occupation_flagged = [
+            name in ("Exec-managerial", "Prof-specialty")
+            for name in self.occupations
+        ]
+        self.workclasses = list(_WORKCLASS)
+        self.workclass_cum = cumulative_weights(
+            [_WORKCLASS[name][1] for name in self.workclasses]
+        )
+        self.races = list(_RACE)
+        self.race_cum = cumulative_weights(list(_RACE.values()))
+        self.countries = list(_COUNTRY)
+        self.country_cum = cumulative_weights(
+            [_COUNTRY[name][1] for name in self.countries]
+        )
+
+
+# Built once at import: the tables are a few hundred floats, and eager
+# construction keeps op-reachable code free of module-state writes.
+_TABLES = _AdultTables()
+
+
+def _salary_threshold(higher: bool, age: int, flagged: bool) -> float:
+    probability = 0.08
+    if higher:
+        probability += 0.22
+    if 35 <= age <= 60:
+        probability += 0.12
+    if flagged:
+        probability += 0.15
+    return probability
+
+
+def _python_chunk(
+    stream: CounterStream, tables: _AdultTables, row_start: int, row_count: int
+) -> list[tuple[Any, ...]]:
+    """Scalar generation path — the executable specification."""
+    rows: list[tuple[Any, ...]] = []
+    for row in range(row_start, row_start + row_count):
+        age_cum = (
+            tables.age_bulk
+            if stream.double(row, _D_AGE_MIX) < 0.85
+            else tables.age_elder
+        )
+        age = tables.ages[categorical(stream.double(row, _D_AGE), age_cum)]
+        if age < 26:
+            marital_cum = tables.marital_young
+        elif age < 60:
+            marital_cum = tables.marital_mid
+        else:
+            marital_cum = tables.marital_old
+        marital = tables.marital_names[
+            categorical(stream.double(row, _D_MARITAL), marital_cum)
+        ]
+        education_index = categorical(
+            stream.double(row, _D_EDUCATION), tables.education_cum
+        )
+        education = tables.educations[education_index]
+        higher = tables.education_higher[education_index]
+        occupation_cum = (
+            tables.occupation_higher if higher else tables.occupation_lower
+        )
+        occupation_index = categorical(
+            stream.double(row, _D_OCCUPATION), occupation_cum
+        )
+        occupation = tables.occupations[occupation_index]
+        workclass = tables.workclasses[
+            categorical(stream.double(row, _D_WORKCLASS), tables.workclass_cum)
+        ]
+        race = tables.races[
+            categorical(stream.double(row, _D_RACE), tables.race_cum)
+        ]
+        sex = "Male" if stream.double(row, _D_SEX) < 0.67 else "Female"
+        country = tables.countries[
+            categorical(stream.double(row, _D_COUNTRY), tables.country_cum)
+        ]
+        threshold = _salary_threshold(
+            higher, age, tables.occupation_flagged[occupation_index]
+        )
+        salary = ">50K" if stream.double(row, _D_SALARY) < threshold else "<=50K"
+        rows.append(
+            (age, workclass, education, marital, race, sex, country,
+             occupation, salary)
+        )
+    return rows
+
+
+def _numpy_chunk(
+    np, stream: CounterStream, tables: _AdultTables, row_start: int, row_count: int
+) -> list[tuple[Any, ...]]:
+    """Vectorized generation path; byte-identical to :func:`_python_chunk`.
+
+    Every categorical inversion is ``searchsorted(side='right')`` over the
+    same cumulative tables the scalar path bisects, conditional tables are
+    selected on integer indices, and values decode through the same python
+    tables — so the rows are the identical objects either way.
+    """
+    draws = [
+        stream.doubles_block(np, row_start, row_count, slot)
+        for slot in range(_DRAWS_PER_ROW)
+    ]
+
+    def invert(cumulative: list[float], u):
+        index = np.searchsorted(np.asarray(cumulative), u, side="right")
+        return np.minimum(index, len(cumulative) - 1)
+
+    age_index = np.where(
+        draws[_D_AGE_MIX] < 0.85,
+        invert(tables.age_bulk, draws[_D_AGE]),
+        invert(tables.age_elder, draws[_D_AGE]),
+    )
+    age = np.asarray(tables.ages)[age_index]
+
+    marital_index = np.where(
+        age < 26,
+        invert(tables.marital_young, draws[_D_MARITAL]),
+        np.where(
+            age < 60,
+            invert(tables.marital_mid, draws[_D_MARITAL]),
+            invert(tables.marital_old, draws[_D_MARITAL]),
+        ),
+    )
+    education_index = invert(tables.education_cum, draws[_D_EDUCATION])
+    higher = np.asarray(tables.education_higher)[education_index]
+    occupation_index = np.where(
+        higher,
+        invert(tables.occupation_higher, draws[_D_OCCUPATION]),
+        invert(tables.occupation_lower, draws[_D_OCCUPATION]),
+    )
+    workclass_index = invert(tables.workclass_cum, draws[_D_WORKCLASS])
+    race_index = invert(tables.race_cum, draws[_D_RACE])
+    male = draws[_D_SEX] < 0.67
+    country_index = invert(tables.country_cum, draws[_D_COUNTRY])
+
+    # Salary threshold: the same additions the scalar path performs, with
+    # inactive terms contributing an exact +0.0 (identical float results).
+    threshold = (
+        0.08
+        + np.where(higher, 0.22, 0.0)
+        + np.where((age >= 35) & (age <= 60), 0.12, 0.0)
+        + np.where(
+            np.asarray(tables.occupation_flagged)[occupation_index], 0.15, 0.0
+        )
+    )
+    high_salary = draws[_D_SALARY] < threshold
+
+    age_column = [tables.ages[i] for i in age_index.tolist()]
+    workclass_column = [tables.workclasses[i] for i in workclass_index.tolist()]
+    education_column = [tables.educations[i] for i in education_index.tolist()]
+    marital_column = [tables.marital_names[i] for i in marital_index.tolist()]
+    race_column = [tables.races[i] for i in race_index.tolist()]
+    sex_column = ["Male" if flag else "Female" for flag in male.tolist()]
+    country_column = [tables.countries[i] for i in country_index.tolist()]
+    occupation_column = [tables.occupations[i] for i in occupation_index.tolist()]
+    salary_column = [">50K" if flag else "<=50K" for flag in high_salary.tolist()]
+    return list(
+        zip(age_column, workclass_column, education_column, marital_column,
+            race_column, sex_column, country_column, occupation_column,
+            salary_column)
+    )
+
+
+def iter_adult_chunks(
+    size: int, seed: int = 42, chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> Iterator[list[tuple[Any, ...]]]:
+    """Stream ``size`` synthetic census rows in bounded-memory chunks.
+
+    Rows are counter-indexed, so the concatenation of the chunks is
+    independent of ``chunk_rows`` and identical to ``adult_dataset(size,
+    seed).rows`` — byte for byte, with or without numpy.
+    """
+    check_chunking(size, chunk_rows)
+    stream = CounterStream(seed, _STREAM_NAME, _DRAWS_PER_ROW)
+    tables = _TABLES
+    kernels = active_kernels()
+    for row_start, row_count in chunk_spans(size, chunk_rows):
+        if kernels.is_numpy:
+            yield _numpy_chunk(kernels.numpy, stream, tables, row_start, row_count)
+        else:
+            yield _python_chunk(stream, tables, row_start, row_count)
 
 
 def adult_dataset(size: int = 1000, seed: int = 42) -> Dataset:
@@ -148,69 +386,7 @@ def adult_dataset(size: int = 1000, seed: int = 42) -> Dataset:
 
     Sampling is fully deterministic for a given ``(size, seed)`` pair.
     """
-    if size < 0:
-        raise ValueError(f"size must be non-negative, got {size}")
-    rng = np.random.default_rng(seed)
-    workclasses = list(_WORKCLASS)
-    workclass_p = [_WORKCLASS[w][1] for w in workclasses]
-    educations = list(_EDUCATION)
-    education_p = [_EDUCATION[e][2] for e in educations]
-    races = list(_RACE)
-    race_p = list(_RACE.values())
-    countries = list(_COUNTRY)
-    country_p = [_COUNTRY[c][1] for c in countries]
-    occupations = list(_OCCUPATIONS)
-
-    rows = []
-    for _ in range(size):
-        # Age: mixture of working-age bulk and an older tail.
-        if rng.random() < 0.85:
-            age = int(np.clip(rng.normal(38, 12), *AGE_BOUNDS))
-        else:
-            age = int(np.clip(rng.normal(67, 9), *AGE_BOUNDS))
-
-        # Marital status correlates with age.
-        if age < 26:
-            marital_p = {"Never-married": 0.75, "Married-civ-spouse": 0.18,
-                         "Divorced": 0.03, "Separated": 0.02,
-                         "Married-spouse-absent": 0.01, "Widowed": 0.005,
-                         "Married-AF-spouse": 0.005}
-        elif age < 60:
-            marital_p = {"Never-married": 0.20, "Married-civ-spouse": 0.52,
-                         "Divorced": 0.16, "Separated": 0.04,
-                         "Married-spouse-absent": 0.03, "Widowed": 0.03,
-                         "Married-AF-spouse": 0.02}
-        else:
-            marital_p = {"Never-married": 0.06, "Married-civ-spouse": 0.52,
-                         "Divorced": 0.13, "Separated": 0.02,
-                         "Married-spouse-absent": 0.02, "Widowed": 0.24,
-                         "Married-AF-spouse": 0.01}
-        marital = _choice(rng, list(marital_p), list(marital_p.values()))
-
-        education = _choice(rng, educations, education_p)
-        education_group = _EDUCATION[education][1]
-        occupation = _choice(
-            rng, occupations, list(_OCCUPATION_BY_EDUCATION[education_group])
-        )
-        workclass = _choice(rng, workclasses, workclass_p)
-        race = _choice(rng, races, race_p)
-        sex = "Male" if rng.random() < 0.67 else "Female"
-        country = _choice(rng, countries, country_p)
-
-        high_salary_p = 0.08
-        if education_group == "Higher":
-            high_salary_p += 0.22
-        if 35 <= age <= 60:
-            high_salary_p += 0.12
-        if occupation in ("Exec-managerial", "Prof-specialty"):
-            high_salary_p += 0.15
-        salary = ">50K" if rng.random() < high_salary_p else "<=50K"
-
-        rows.append(
-            (age, workclass, education, marital, race, sex, country,
-             occupation, salary)
-        )
-    return Dataset(adult_schema(), rows)
+    return dataset_from_chunks(adult_schema(), iter_adult_chunks(size, seed))
 
 
 def adult_hierarchies() -> dict[str, Hierarchy]:

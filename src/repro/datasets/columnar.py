@@ -25,12 +25,20 @@ from __future__ import annotations
 from array import array
 from typing import TYPE_CHECKING, Any
 
+from ..kernels import active as active_kernels
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .dataset import Dataset
 
 
 class ColumnCodes:
     """One column interned to dense integer codes.
+
+    Interning takes the kernel layer's vectorized fast path when the
+    active backend offers one (homogeneous int/bool/string columns under
+    numpy); the dict loop below is the always-available fallback and the
+    executable specification — both assign codes by first occurrence and
+    store the column's exact objects in ``decode``.
 
     Attributes
     ----------
@@ -46,17 +54,22 @@ class ColumnCodes:
     __slots__ = ("name", "codes", "decode", "level_tables")
 
     def __init__(self, name: str, values: tuple[Any, ...]):
-        lookup: dict[Any, int] = {}
-        codes = array("q", bytes(8 * len(values)))
-        for row_index, value in enumerate(values):
-            code = lookup.get(value)
-            if code is None:
-                code = len(lookup)
-                lookup[value] = code
-            codes[row_index] = code
+        interned = active_kernels().intern(values)
+        if interned is not None:
+            codes, decode = interned
+        else:
+            lookup: dict[Any, int] = {}
+            codes = array("q", bytes(8 * len(values)))
+            for row_index, value in enumerate(values):
+                code = lookup.get(value)
+                if code is None:
+                    code = len(lookup)
+                    lookup[value] = code
+                codes[row_index] = code
+            decode = tuple(lookup)
         self.name = name
         self.codes = codes
-        self.decode: tuple[Any, ...] = tuple(lookup)
+        self.decode: tuple[Any, ...] = decode
         #: Per-hierarchy level tables, memoized by ``hierarchy/codes.py``
         #: (keyed by hierarchy identity; values keep the hierarchy alive so
         #: ids cannot be recycled).

@@ -11,18 +11,32 @@ Used by the hospital example and as a second domain for the test suite —
 distinct from the census-style Adult workload in QI shape (a high-cardinality
 zip code dominates) and in having the sensitive attribute carry its own
 taxonomy (enabling hierarchical t-closeness and guarding-node models).
+
+Like the other generators, sampling runs on the counter PRNG
+(:mod:`repro.kernels.prng`) with discrete pmfs only, so the numpy and
+pure-python paths produce byte-identical rows and
+:func:`iter_hospital_chunks` streams the table with flat memory.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any, Iterator
 
 from ..hierarchy.base import Hierarchy
 from ..hierarchy.categorical import TaxonomyHierarchy
 from ..hierarchy.masking import MaskingHierarchy
 from ..hierarchy.numeric import Banding, IntervalHierarchy
+from ..kernels import active as active_kernels
+from ..kernels.prng import CounterStream, categorical, cumulative_weights
 from .dataset import Dataset
 from .schema import AttributeKind, Schema, insensitive, quasi_identifier, sensitive
+from .streaming import (
+    DEFAULT_CHUNK_ROWS,
+    check_chunking,
+    chunk_spans,
+    dataset_from_chunks,
+    normal_weights,
+)
 
 AGE_BOUNDS = (0.0, 100.0)
 
@@ -48,6 +62,14 @@ _DIAGNOSES = {
 
 _ADMISSIONS = ("Emergency", "Elective", "Transfer")
 
+# Age pmf parameters per cohort: circulatory skews old, injuries young,
+# asthma younger still, everything else broad middle-age.
+_AGE_COHORTS = ((68.0, 12.0), (32.0, 16.0), (25.0, 18.0), (50.0, 20.0))
+
+_DRAWS_PER_ROW = 5
+_D_DIAGNOSIS, _D_AGE, _D_SEX, _D_ZIP, _D_ADMISSION = range(_DRAWS_PER_ROW)
+_STREAM_NAME = "hospital"
+
 
 def hospital_schema() -> Schema:
     """Schema of the discharge table: zip/age/sex QIs, diagnosis sensitive."""
@@ -60,6 +82,138 @@ def hospital_schema() -> Schema:
     )
 
 
+def _zip_codes() -> list[str]:
+    return [f"{region}{suburb:02d}0" for region in (10, 20, 30, 40)
+            for suburb in range(10)]
+
+
+class _HospitalTables:
+    """Cumulative-weight tables shared by both generation paths."""
+
+    def __init__(self):
+        self.diagnoses = list(_DIAGNOSES)
+        self.diagnosis_cum = cumulative_weights(
+            [_DIAGNOSES[name][1] for name in self.diagnoses]
+        )
+        # Which age cohort and male probability each diagnosis index uses.
+        self.age_cohort_of = []
+        self.male_probability = []
+        for name in self.diagnoses:
+            chapter = _DIAGNOSES[name][0]
+            if chapter == "Circulatory":
+                cohort = 0
+            elif chapter == "Injury":
+                cohort = 1
+            elif name == "Asthma":
+                cohort = 2
+            else:
+                cohort = 3
+            self.age_cohort_of.append(cohort)
+            if chapter == "Circulatory":
+                self.male_probability.append(0.58)
+            elif name == "Thyroid disorder":
+                self.male_probability.append(0.25)
+            else:
+                self.male_probability.append(0.5)
+        low, high = int(AGE_BOUNDS[0]), int(AGE_BOUNDS[1])
+        self.ages = list(range(low, high + 1))
+        self.age_cums = [
+            cumulative_weights(normal_weights(self.ages, mean, sd))
+            for mean, sd in _AGE_COHORTS
+        ]
+        self.zips = _zip_codes()
+        self.zip_cum = cumulative_weights(
+            [1.0 / (1 + index % 10) for index in range(len(self.zips))]
+        )
+        self.admission_cum = cumulative_weights((0.55, 0.35, 0.10))
+
+
+# Built once at import: the tables are a few hundred floats, and eager
+# construction keeps op-reachable code free of module-state writes.
+_TABLES = _HospitalTables()
+
+
+def _python_chunk(
+    stream: CounterStream, tables: _HospitalTables, row_start: int, row_count: int
+) -> list[tuple[Any, ...]]:
+    """Scalar generation path — the executable specification."""
+    rows: list[tuple[Any, ...]] = []
+    for row in range(row_start, row_start + row_count):
+        diagnosis_index = categorical(
+            stream.double(row, _D_DIAGNOSIS), tables.diagnosis_cum
+        )
+        diagnosis = tables.diagnoses[diagnosis_index]
+        age_cum = tables.age_cums[tables.age_cohort_of[diagnosis_index]]
+        age = tables.ages[categorical(stream.double(row, _D_AGE), age_cum)]
+        sex = (
+            "M"
+            if stream.double(row, _D_SEX)
+            < tables.male_probability[diagnosis_index]
+            else "F"
+        )
+        zip_code = tables.zips[
+            categorical(stream.double(row, _D_ZIP), tables.zip_cum)
+        ]
+        admission = _ADMISSIONS[
+            categorical(stream.double(row, _D_ADMISSION), tables.admission_cum)
+        ]
+        rows.append((zip_code, age, sex, diagnosis, admission))
+    return rows
+
+
+def _numpy_chunk(
+    np, stream: CounterStream, tables: _HospitalTables, row_start: int, row_count: int
+) -> list[tuple[Any, ...]]:
+    """Vectorized generation path; byte-identical to :func:`_python_chunk`."""
+    draws = [
+        stream.doubles_block(np, row_start, row_count, slot)
+        for slot in range(_DRAWS_PER_ROW)
+    ]
+
+    def invert(cumulative: list[float], u):
+        index = np.searchsorted(np.asarray(cumulative), u, side="right")
+        return np.minimum(index, len(cumulative) - 1)
+
+    diagnosis_index = invert(tables.diagnosis_cum, draws[_D_DIAGNOSIS])
+    cohort = np.asarray(tables.age_cohort_of)[diagnosis_index]
+    age_index = np.choose(
+        cohort, [invert(cum, draws[_D_AGE]) for cum in tables.age_cums]
+    )
+    male = draws[_D_SEX] < np.asarray(tables.male_probability)[diagnosis_index]
+    zip_index = invert(tables.zip_cum, draws[_D_ZIP])
+    admission_index = invert(tables.admission_cum, draws[_D_ADMISSION])
+
+    zip_column = [tables.zips[i] for i in zip_index.tolist()]
+    age_column = [tables.ages[i] for i in age_index.tolist()]
+    sex_column = ["M" if flag else "F" for flag in male.tolist()]
+    diagnosis_column = [tables.diagnoses[i] for i in diagnosis_index.tolist()]
+    admission_column = [_ADMISSIONS[i] for i in admission_index.tolist()]
+    return list(
+        zip(zip_column, age_column, sex_column, diagnosis_column,
+            admission_column)
+    )
+
+
+def iter_hospital_chunks(
+    size: int, seed: int = 0, chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> Iterator[list[tuple[Any, ...]]]:
+    """Stream ``size`` discharge rows in bounded-memory chunks.
+
+    The concatenation of the chunks is independent of ``chunk_rows`` and
+    identical to ``hospital_dataset(size, seed).rows`` — byte for byte,
+    with or without numpy.
+    """
+    check_chunking(size, chunk_rows)
+    stream = CounterStream(seed, _STREAM_NAME, _DRAWS_PER_ROW)
+    tables = _TABLES
+    kernels = active_kernels()
+    for row_start, row_count in chunk_spans(size, chunk_rows):
+        if kernels.is_numpy:
+            yield _numpy_chunk(kernels.numpy, stream, tables, row_start, row_count)
+        else:
+            yield _python_chunk(stream, tables, row_start, row_count)
+
+
 def hospital_dataset(size: int = 1000, seed: int = 0) -> Dataset:
     """Generate ``size`` synthetic discharge rows, deterministic per seed.
 
@@ -67,51 +221,15 @@ def hospital_dataset(size: int = 1000, seed: int = 0) -> Dataset:
     popularity; age is diagnosis-correlated (circulatory and stroke skew
     old, injuries skew young); sex is mildly diagnosis-correlated.
     """
-    if size < 0:
-        raise ValueError(f"size must be non-negative, got {size}")
-    rng = np.random.default_rng(seed)
-    diagnoses = list(_DIAGNOSES)
-    diagnosis_p = np.array([_DIAGNOSES[d][1] for d in diagnoses])
-    diagnosis_p = diagnosis_p / diagnosis_p.sum()
-    zips = [f"{region}{suburb:02d}0" for region in (10, 20, 30, 40)
-            for suburb in range(10)]
-    zip_weights = np.array(
-        [1.0 / (1 + index % 10) for index in range(len(zips))]
+    return dataset_from_chunks(
+        hospital_schema(), iter_hospital_chunks(size, seed)
     )
-    zip_p = zip_weights / zip_weights.sum()
-
-    rows = []
-    for _ in range(size):
-        diagnosis = diagnoses[rng.choice(len(diagnoses), p=diagnosis_p)]
-        chapter = _DIAGNOSES[diagnosis][0]
-        if chapter == "Circulatory":
-            age = int(np.clip(rng.normal(68, 12), *AGE_BOUNDS))
-        elif chapter == "Injury":
-            age = int(np.clip(rng.normal(32, 16), *AGE_BOUNDS))
-        elif diagnosis == "Asthma":
-            age = int(np.clip(rng.normal(25, 18), *AGE_BOUNDS))
-        else:
-            age = int(np.clip(rng.normal(50, 20), *AGE_BOUNDS))
-        male_probability = 0.5
-        if chapter == "Circulatory":
-            male_probability = 0.58
-        elif diagnosis == "Thyroid disorder":
-            male_probability = 0.25
-        sex = "M" if rng.random() < male_probability else "F"
-        zip_code = zips[rng.choice(len(zips), p=zip_p)]
-        admission = _ADMISSIONS[
-            rng.choice(3, p=[0.55, 0.35, 0.10])
-        ]
-        rows.append((zip_code, age, sex, diagnosis, admission))
-    return Dataset(hospital_schema(), rows)
 
 
 def hospital_hierarchies() -> dict[str, Hierarchy]:
     """Generalization hierarchies for the discharge table's QIs."""
-    zips = [f"{region}{suburb:02d}0" for region in (10, 20, 30, 40)
-            for suburb in range(10)]
     return {
-        "zip": MaskingHierarchy("zip", 5, domain=zips),
+        "zip": MaskingHierarchy("zip", 5, domain=_zip_codes()),
         "age": IntervalHierarchy(
             "age", [Banding(5), Banding(10), Banding(25), Banding(50)],
             AGE_BOUNDS,

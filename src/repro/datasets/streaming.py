@@ -1,0 +1,99 @@
+"""Chunked generation plumbing shared by the synthetic generators.
+
+The generators in this package are built on the counter PRNG
+(:mod:`repro.kernels.prng`): every row's draws are indexed by the row
+number alone, so a table can be produced in chunks of any size with flat
+memory and the *same bytes* regardless of chunking.  This module holds the
+pieces every generator shares:
+
+* :data:`DEFAULT_CHUNK_ROWS` — the chunk granularity used when callers
+  don't pick one;
+* :func:`dataset_from_chunks` — materialize a full :class:`Dataset` from a
+  chunk iterator (the small-``size`` convenience path);
+* :func:`chunk_digest` — a streaming SHA-256 over the canonical text
+  encoding of the rows, independent of chunk boundaries.  The scale-tier
+  goldens pin these digests at 100k/1M rows, which is what certifies that
+  the numpy and pure-python generation paths produce byte-identical
+  tables without ever materializing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable, Iterator, Sequence
+
+from .dataset import Dataset
+from .schema import Schema
+
+#: Rows generated per chunk unless the caller chooses otherwise.  Large
+#: enough to amortize per-chunk overhead, small enough that a chunk of
+#: decoded python rows stays a few megabytes.
+DEFAULT_CHUNK_ROWS = 65536
+
+
+def check_chunking(size: int, chunk_rows: int) -> None:
+    """Validate a generator's ``(size, chunk_rows)`` arguments."""
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+
+
+def chunk_spans(size: int, chunk_rows: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(row_start, row_count)`` spans covering ``range(size)``."""
+    start = 0
+    while start < size:
+        count = min(chunk_rows, size - start)
+        yield start, count
+        start += count
+
+
+def dataset_from_chunks(
+    schema: Schema, chunks: Iterable[Sequence[tuple[Any, ...]]]
+) -> Dataset:
+    """Materialize a dataset from a row-chunk iterator."""
+    rows: list[tuple[Any, ...]] = []
+    for chunk in chunks:
+        rows.extend(chunk)
+    return Dataset(schema, rows)
+
+
+def chunk_digest(chunks: Iterable[Sequence[tuple[Any, ...]]]) -> str:
+    """Streaming SHA-256 of the canonical row encoding.
+
+    Rows are encoded as ``repr(row)`` lines — ``repr`` of python floats is
+    the shortest round-tripping decimal form, so the digest is exact on
+    values, platform-independent, and (because rows are counter-indexed)
+    independent of how the stream was chunked.
+    """
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        for row in chunk:
+            digest.update(repr(row).encode("utf-8"))
+            digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def normal_weights(values: Sequence[float], mean: float, sd: float) -> list[float]:
+    """Discrete gaussian pmf weights over a finite value grid.
+
+    The generators express every "normal" marginal as an explicit finite
+    pmf over its value grid instead of calling a transcendental sampler:
+    the weights are built once per table in pure python, so no libm call
+    sits on the per-row path of either backend (see
+    :mod:`repro.kernels.prng` for why that matters).
+    """
+    if sd <= 0:
+        raise ValueError(f"sd must be positive, got {sd}")
+    return [math.exp(-0.5 * ((value - mean) / sd) ** 2) for value in values]
+
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "check_chunking",
+    "chunk_digest",
+    "chunk_spans",
+    "dataset_from_chunks",
+    "normal_weights",
+]

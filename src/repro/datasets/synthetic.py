@@ -8,21 +8,42 @@ exposes the skew as a single dial, so the bias-vs-skew relationship can be
 measured (benchmark E7).
 
 Schema: two numeric QIs, two categorical QIs, one sensitive attribute.
+Numerics live on a fixed 0.1-step grid over :data:`NUMERIC_BOUNDS`;
+skewed numerics are discrete gaussian pmfs over that grid, so no
+transcendental sampler sits on the per-row path and the counter-PRNG
+generation (see :mod:`repro.kernels.prng`) is byte-identical with and
+without numpy.  :func:`iter_skewed_chunks` streams the table chunk-wise.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any, Iterator
 
 from ..hierarchy.base import Hierarchy
 from ..hierarchy.categorical import TaxonomyHierarchy
 from ..hierarchy.numeric import Banding, IntervalHierarchy
+from ..kernels import active as active_kernels
+from ..kernels.prng import CounterStream, bounded_int, categorical, cumulative_weights
 from .dataset import Dataset
 from .schema import AttributeKind, Schema, quasi_identifier, sensitive
+from .streaming import (
+    DEFAULT_CHUNK_ROWS,
+    check_chunking,
+    chunk_spans,
+    dataset_from_chunks,
+    normal_weights,
+)
 
 NUMERIC_BOUNDS = (0.0, 100.0)
 CATEGORY_COUNT = 12
 SENSITIVE_VALUES = ("A", "B", "C", "D", "E")
+
+#: The numeric value grid: 0.0, 0.1, ..., 100.0.
+_GRID = [position / 10.0 for position in range(1001)]
+
+_DRAWS_PER_ROW = 5
+_D_X, _D_Y, _D_GROUP, _D_REGION, _D_CONDITION = range(_DRAWS_PER_ROW)
+_STREAM_NAME = "synthetic"
 
 
 def synthetic_schema() -> Schema:
@@ -36,10 +57,125 @@ def synthetic_schema() -> Schema:
     )
 
 
-def _zipf_probabilities(count: int, skew: float) -> np.ndarray:
-    ranks = np.arange(1, count + 1, dtype=float)
-    weights = ranks ** (-skew) if skew > 0 else np.ones(count)
-    return weights / weights.sum()
+def _zipf_weights(count: int, skew: float) -> list[float]:
+    """Unnormalized Zipf weights (uniform at ``skew == 0``)."""
+    return [float(rank) ** -skew for rank in range(1, count + 1)]
+
+
+class _SkewTables:
+    """Per-``skew`` cumulative tables, shared by both generation paths."""
+
+    def __init__(self, skew: float):
+        low, high = NUMERIC_BOUNDS
+        self.categories = [f"g{i}" for i in range(CATEGORY_COUNT)]
+        self.regions = [f"r{i}" for i in range(CATEGORY_COUNT)]
+        self.category_cum = cumulative_weights(
+            _zipf_weights(CATEGORY_COUNT, skew)
+        )
+        self.condition_cum = cumulative_weights(
+            _zipf_weights(len(SENSITIVE_VALUES), skew / 2)
+        )
+        if skew == 0:
+            # Uniform numerics invert directly through bounded_int.
+            self.x_cum = self.y_cum = None
+        else:
+            spread = (high - low) / (2.0 + 2.0 * skew)
+            self.x_cum = cumulative_weights(
+                normal_weights(_GRID, (low + high) / 2, spread)
+            )
+            self.y_cum = cumulative_weights(
+                normal_weights(_GRID, (low + high) / 3, spread)
+            )
+
+
+def _python_chunk(
+    stream: CounterStream, tables: _SkewTables, row_start: int, row_count: int
+) -> list[tuple[Any, ...]]:
+    """Scalar generation path — the executable specification."""
+    rows: list[tuple[Any, ...]] = []
+    for row in range(row_start, row_start + row_count):
+        u_x = stream.double(row, _D_X)
+        u_y = stream.double(row, _D_Y)
+        if tables.x_cum is None:
+            x = _GRID[bounded_int(u_x, len(_GRID))]
+            y = _GRID[bounded_int(u_y, len(_GRID))]
+        else:
+            x = _GRID[categorical(u_x, tables.x_cum)]
+            y = _GRID[categorical(u_y, tables.y_cum)]
+        group = tables.categories[
+            categorical(stream.double(row, _D_GROUP), tables.category_cum)
+        ]
+        region = tables.regions[
+            categorical(stream.double(row, _D_REGION), tables.category_cum)
+        ]
+        condition = SENSITIVE_VALUES[
+            categorical(stream.double(row, _D_CONDITION), tables.condition_cum)
+        ]
+        rows.append((x, y, group, region, condition))
+    return rows
+
+
+def _numpy_chunk(
+    np, stream: CounterStream, tables: _SkewTables, row_start: int, row_count: int
+) -> list[tuple[Any, ...]]:
+    """Vectorized generation path; byte-identical to :func:`_python_chunk`."""
+    draws = [
+        stream.doubles_block(np, row_start, row_count, slot)
+        for slot in range(_DRAWS_PER_ROW)
+    ]
+
+    def invert(cumulative: list[float], u):
+        index = np.searchsorted(np.asarray(cumulative), u, side="right")
+        return np.minimum(index, len(cumulative) - 1)
+
+    if tables.x_cum is None:
+        grid_size = len(_GRID)
+        x_index = np.minimum(
+            (draws[_D_X] * grid_size).astype(np.int64), grid_size - 1
+        )
+        y_index = np.minimum(
+            (draws[_D_Y] * grid_size).astype(np.int64), grid_size - 1
+        )
+    else:
+        x_index = invert(tables.x_cum, draws[_D_X])
+        y_index = invert(tables.y_cum, draws[_D_Y])
+    group_index = invert(tables.category_cum, draws[_D_GROUP])
+    region_index = invert(tables.category_cum, draws[_D_REGION])
+    condition_index = invert(tables.condition_cum, draws[_D_CONDITION])
+
+    x_column = [_GRID[i] for i in x_index.tolist()]
+    y_column = [_GRID[i] for i in y_index.tolist()]
+    group_column = [tables.categories[i] for i in group_index.tolist()]
+    region_column = [tables.regions[i] for i in region_index.tolist()]
+    condition_column = [SENSITIVE_VALUES[i] for i in condition_index.tolist()]
+    return list(
+        zip(x_column, y_column, group_column, region_column, condition_column)
+    )
+
+
+def iter_skewed_chunks(
+    size: int,
+    skew: float,
+    seed: int = 0,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> Iterator[list[tuple[Any, ...]]]:
+    """Stream ``size`` skewed rows in bounded-memory chunks.
+
+    The concatenation of the chunks is independent of ``chunk_rows`` and
+    identical to ``skewed_dataset(size, skew, seed).rows`` — byte for
+    byte, with or without numpy.
+    """
+    check_chunking(size, chunk_rows)
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    stream = CounterStream(seed, _STREAM_NAME, _DRAWS_PER_ROW)
+    tables = _SkewTables(skew)
+    kernels = active_kernels()
+    for row_start, row_count in chunk_spans(size, chunk_rows):
+        if kernels.is_numpy:
+            yield _numpy_chunk(kernels.numpy, stream, tables, row_start, row_count)
+        else:
+            yield _python_chunk(stream, tables, row_start, row_count)
 
 
 def skewed_dataset(size: int, skew: float, seed: int = 0) -> Dataset:
@@ -50,34 +186,9 @@ def skewed_dataset(size: int, skew: float, seed: int = 0) -> Dataset:
     numerics concentrated around a mode with variance shrinking in
     ``skew`` (so popular combinations pile up).
     """
-    if size < 0:
-        raise ValueError(f"size must be non-negative, got {size}")
-    if skew < 0:
-        raise ValueError(f"skew must be non-negative, got {skew}")
-    rng = np.random.default_rng(seed)
-    low, high = NUMERIC_BOUNDS
-    categories = [f"g{i}" for i in range(CATEGORY_COUNT)]
-    regions = [f"r{i}" for i in range(CATEGORY_COUNT)]
-    category_p = _zipf_probabilities(CATEGORY_COUNT, skew)
-
-    rows = []
-    for _ in range(size):
-        if skew == 0:
-            x = rng.uniform(low, high)
-            y = rng.uniform(low, high)
-        else:
-            spread = (high - low) / (2.0 + 2.0 * skew)
-            x = float(np.clip(rng.normal((low + high) / 2, spread), low, high))
-            y = float(np.clip(rng.normal((low + high) / 3, spread), low, high))
-        group = categories[rng.choice(CATEGORY_COUNT, p=category_p)]
-        region = regions[rng.choice(CATEGORY_COUNT, p=category_p)]
-        condition = SENSITIVE_VALUES[
-            rng.choice(len(SENSITIVE_VALUES), p=_zipf_probabilities(
-                len(SENSITIVE_VALUES), skew / 2
-            ))
-        ]
-        rows.append((round(x, 1), round(y, 1), group, region, condition))
-    return Dataset(synthetic_schema(), rows)
+    return dataset_from_chunks(
+        synthetic_schema(), iter_skewed_chunks(size, skew, seed)
+    )
 
 
 def synthetic_hierarchies() -> dict[str, Hierarchy]:

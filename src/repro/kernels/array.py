@@ -1,0 +1,402 @@
+"""``xp``: numpy, or a pure-python stand-in for the 1-D float subset we use.
+
+The property-vector stack (:mod:`repro.core.vector`, the quality indices,
+comparators, bias summaries, linkage reports) only ever manipulates 1-D
+float arrays with a small set of operations.  Modules migrate by replacing
+``import numpy as np`` with::
+
+    from repro.kernels.array import xp as np
+
+and keep every call site unchanged.  When numpy is importable (and not
+disabled via ``REPRO_KERNELS=python``), ``xp`` *is* the numpy module.
+Otherwise it is :data:`pyarray_namespace`, whose :class:`PyArray` implements
+the subset over ``array('d')`` storage:
+
+* elementwise arithmetic and comparisons (comparisons yield 0.0/1.0 masks);
+* ``min/max/mean/sum/std``, ``sort``, ``quantile`` (numpy's linear method,
+  including the ``t >= 0.5`` lerp branch, so interpolated quantiles agree
+  to the last ulp), ``median`` as the mean of the middle pair;
+* ``tobytes`` over IEEE-754 doubles, so hashes agree with numpy's.
+
+Reductions in :class:`PyArray` accumulate **sequentially** (left to right).
+numpy's ``.sum()`` uses pairwise accumulation, which may differ in the last
+ulp for arrays longer than the pairwise block size; no golden-pinned value
+flows through an ``xp`` reduction (the goldens pin raw vectors and
+sequentially-accumulated metrics), so this never shows up in fixtures —
+see the "Kernel layer" section of ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Any, Iterable, Iterator, Sequence
+
+from . import HAVE_NUMPY, backend_name
+
+
+class PyArray:
+    """A 1-D float array implementing the numpy subset the repo uses."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, values: Iterable[float]):
+        if isinstance(values, PyArray):
+            self._data = array("d", values._data)
+        else:
+            self._data = array("d", (float(v) for v in values))
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._data)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return PyArray(self._data[index])
+        return self._data[index]
+
+    def __repr__(self) -> str:
+        return f"PyArray({self.tolist()!r})"
+
+    # -- numpy-shaped attributes ---------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of elements (numpy-shaped alias of ``len``)."""
+        return len(self._data)
+
+    @property
+    def ndim(self) -> int:
+        """Always 1 — PyArray is one-dimensional by construction."""
+        return 1
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """``(len,)``, mirroring a 1-D numpy array."""
+        return (len(self._data),)
+
+    def setflags(self, write: bool = True) -> None:
+        """Accepted for API compatibility; PyArray has no write guard."""
+
+    def tolist(self) -> list[float]:
+        """The values as a plain list of floats."""
+        return list(self._data)
+
+    def tobytes(self) -> bytes:
+        """IEEE-754 little-endian doubles; hashes agree with numpy's."""
+        return self._data.tobytes()
+
+    # -- elementwise arithmetic ----------------------------------------------
+
+    def _binary(self, other: Any, op) -> "PyArray":
+        if isinstance(other, PyArray):
+            if len(other) != len(self):
+                raise ValueError(
+                    f"operands have different sizes ({len(self)} vs {len(other)})"
+                )
+            return PyArray(op(a, b) for a, b in zip(self._data, other._data))
+        scalar = float(other)
+        return PyArray(op(a, scalar) for a in self._data)
+
+    def __neg__(self) -> "PyArray":
+        return PyArray(-a for a in self._data)
+
+    def __add__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: a + b)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: b - a)
+
+    def __mul__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: a * b)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: a / b)
+
+    # -- elementwise comparisons (0.0/1.0 masks) ------------------------------
+
+    def __gt__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: 1.0 if a > b else 0.0)
+
+    def __ge__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: 1.0 if a >= b else 0.0)
+
+    def __lt__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: 1.0 if a < b else 0.0)
+
+    def __le__(self, other: Any) -> "PyArray":
+        return self._binary(other, lambda a, b: 1.0 if a <= b else 0.0)
+
+    def __eq__(self, other: Any):  # type: ignore[override]
+        if isinstance(other, (PyArray, int, float)):
+            return self._binary(other, lambda a, b: 1.0 if a == b else 0.0)
+        return NotImplemented
+
+    def __ne__(self, other: Any):  # type: ignore[override]
+        if isinstance(other, (PyArray, int, float)):
+            return self._binary(other, lambda a, b: 1.0 if a != b else 0.0)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment] - arrays are unhashable, like numpy
+
+    # -- reductions (sequential accumulation) ---------------------------------
+
+    def min(self) -> float:
+        """Smallest element."""
+        return min(self._data)
+
+    def max(self) -> float:
+        """Largest element."""
+        return max(self._data)
+
+    def sum(self) -> float:
+        """Sequential (left-to-right) sum; see the module docstring."""
+        total = 0.0
+        for value in self._data:
+            total += value
+        return total
+
+    def mean(self) -> float:
+        """Arithmetic mean over the sequential sum."""
+        return self.sum() / len(self._data)
+
+    def std(self) -> float:
+        """Population standard deviation (``ddof=0``, like numpy)."""
+        center = self.mean()
+        total = 0.0
+        for value in self._data:
+            deviation = value - center
+            total += deviation * deviation
+        return math.sqrt(total / len(self._data))
+
+
+def _as_pyarray(values: Any) -> PyArray:
+    if isinstance(values, PyArray):
+        return values
+    return PyArray(values)
+
+
+def _quantile_value(ordered: Sequence[float], q: float) -> float:
+    """numpy's linear-interpolation quantile over pre-sorted values.
+
+    Reproduces ``np.quantile(..., method="linear")`` exactly, including the
+    lerp branch switch at ``t >= 0.5`` (numpy computes ``b - (b-a)*(1-t)``
+    there to keep the interpolation monotone), so interpolated quantiles
+    agree with numpy to the last bit.
+    """
+    position = q * (len(ordered) - 1)
+    below = math.floor(position)
+    above = min(below + 1, len(ordered) - 1)
+    t = position - below
+    a, b = ordered[below], ordered[above]
+    diff = b - a
+    if t >= 0.5:
+        return b - diff * (1 - t)
+    return a + diff * t
+
+
+class _PyLinalg:
+    """The ``xp.linalg`` namespace: vector norms only."""
+
+    @staticmethod
+    def norm(values: Any, ord: float = 2) -> float:
+        arr = _as_pyarray(values)
+        if ord == 2:
+            total = 0.0
+            for value in arr:
+                total += value * value
+            return math.sqrt(total)
+        if ord == 1:
+            total = 0.0
+            for value in arr:
+                total += abs(value)
+            return total
+        if math.isinf(ord) and ord > 0:
+            return max(abs(value) for value in arr)
+        raise ValueError(f"unsupported norm order {ord!r}")
+
+
+class PyArrayNamespace:
+    """Module-shaped namespace mirroring the numpy functions we call."""
+
+    ndarray = PyArray
+    inf = math.inf
+    linalg = _PyLinalg()
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def array(values: Any, dtype: Any = None, copy: bool = True) -> PyArray:
+        """Build a PyArray (the ``dtype``/``copy`` arguments are accepted and ignored)."""
+        return PyArray(values)
+
+    @staticmethod
+    def asarray(values: Any, dtype: Any = None) -> PyArray:
+        """The input itself when already a PyArray, else a new PyArray."""
+        if isinstance(values, PyArray) and dtype is None:
+            return values
+        return _as_pyarray(values)
+
+    @staticmethod
+    def full(size: int, fill: float) -> PyArray:
+        """``size`` copies of ``fill``."""
+        return PyArray([float(fill)] * int(size))
+
+    @staticmethod
+    def zeros_like(values: Any) -> PyArray:
+        """A zero array of the same length."""
+        return PyArray([0.0] * len(_as_pyarray(values)))
+
+    @staticmethod
+    def arange(start: float, stop: float | None = None, step: float = 1) -> PyArray:
+        """Integer range as floats, with numpy's one/two/three-argument forms."""
+        if stop is None:
+            start, stop = 0, start
+        return PyArray(range(int(start), int(stop), int(step)))
+
+    @staticmethod
+    def linspace(start: float, stop: float, num: int = 50) -> PyArray:
+        """``num`` evenly spaced values from ``start`` to ``stop`` inclusive."""
+        if num == 1:
+            return PyArray([float(start)])
+        step = (stop - start) / (num - 1)
+        values = [start + i * step for i in range(num)]
+        values[-1] = float(stop)
+        return PyArray(values)
+
+    # -- predicates ----------------------------------------------------------
+
+    @staticmethod
+    def all(values: Any) -> bool:
+        """Whether every element is nonzero (masks use 0.0/1.0)."""
+        return all(v != 0 for v in _as_pyarray(values))
+
+    @staticmethod
+    def any(values: Any) -> bool:
+        """Whether any element is nonzero."""
+        return any(v != 0 for v in _as_pyarray(values))
+
+    @staticmethod
+    def count_nonzero(values: Any) -> int:
+        """Number of nonzero elements."""
+        return sum(1 for v in _as_pyarray(values) if v != 0)
+
+    @staticmethod
+    def isfinite(values: Any) -> PyArray:
+        """Elementwise finiteness as a 0.0/1.0 mask."""
+        return PyArray(1.0 if math.isfinite(v) else 0.0 for v in _as_pyarray(values))
+
+    @staticmethod
+    def array_equal(first: Any, second: Any) -> bool:
+        """Whether both sequences have equal length and elements."""
+        a, b = _as_pyarray(first), _as_pyarray(second)
+        return len(a) == len(b) and all(x == y for x, y in zip(a, b))
+
+    @staticmethod
+    def isclose(a: float, b: float, rtol: float = 1e-05, atol: float = 1e-08) -> bool:
+        """numpy's closeness formula on scalars (infinities compare equal)."""
+        a, b = float(a), float(b)
+        if math.isnan(a) or math.isnan(b):
+            return False
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return abs(a - b) <= atol + rtol * abs(b)
+
+    # -- elementwise ---------------------------------------------------------
+
+    @staticmethod
+    def maximum(first: Any, second: Any) -> PyArray:
+        """Elementwise maximum (scalar second operand broadcasts)."""
+        return _as_pyarray(first)._binary(second, lambda a, b: a if a >= b else b)
+
+    @staticmethod
+    def minimum(first: Any, second: Any) -> PyArray:
+        """Elementwise minimum (scalar second operand broadcasts)."""
+        return _as_pyarray(first)._binary(second, lambda a, b: a if a <= b else b)
+
+    @staticmethod
+    def log(values: Any) -> PyArray:
+        """Elementwise natural logarithm."""
+        return PyArray(math.log(v) for v in _as_pyarray(values))
+
+    @staticmethod
+    def sqrt(values: Any):
+        """Square root: scalar in, scalar out; array in, elementwise array out."""
+        if isinstance(values, (int, float)):
+            return math.sqrt(values)
+        return PyArray(math.sqrt(v) for v in _as_pyarray(values))
+
+    # -- reductions and order statistics --------------------------------------
+
+    @staticmethod
+    def sort(values: Any) -> PyArray:
+        """Ascending copy of the values."""
+        return PyArray(sorted(_as_pyarray(values)))
+
+    @staticmethod
+    def prod(values: Any) -> float:
+        """Sequential product of the values."""
+        product = 1.0
+        for value in _as_pyarray(values):
+            product *= value
+        return product
+
+    @staticmethod
+    def mean(values: Any) -> float:
+        """Arithmetic mean (delegates to :meth:`PyArray.mean`)."""
+        return _as_pyarray(values).mean()
+
+    @staticmethod
+    def median(values: Any) -> float:
+        """Middle value, or the mean of the middle pair for even lengths."""
+        ordered = sorted(_as_pyarray(values))
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+    @staticmethod
+    def quantile(values: Any, q: float) -> float:
+        """numpy's linear-interpolation quantile (bit-identical; see ``_quantile_value``)."""
+        return _quantile_value(sorted(_as_pyarray(values)), float(q))
+
+    # -- formatting ----------------------------------------------------------
+
+    @staticmethod
+    def array2string(values: Any, threshold: int = 1000, precision: int = 8) -> str:
+        """numpy-style rendering with head/tail elision past ``threshold``."""
+        arr = _as_pyarray(values)
+
+        def fmt(value: float) -> str:
+            if value == int(value) and abs(value) < 1e16:
+                return f"{int(value)}."
+            text = f"{value:.{precision}f}".rstrip("0")
+            return text + "0" if text.endswith(".") else text
+
+        if len(arr) > threshold:
+            head = [fmt(v) for v in arr[:3]]
+            tail = [fmt(v) for v in arr[len(arr) - 3 :]]
+            return "[" + " ".join(head) + " ... " + " ".join(tail) + "]"
+        return "[" + " ".join(fmt(v) for v in arr) + "]"
+
+
+pyarray_namespace = PyArrayNamespace()
+
+if HAVE_NUMPY and backend_name() == "numpy":
+    import numpy as xp  # noqa: F401 - re-exported
+else:
+    xp = pyarray_namespace  # type: ignore[assignment]
+
+
+__all__ = ["PyArray", "PyArrayNamespace", "pyarray_namespace", "xp"]

@@ -1,0 +1,156 @@
+"""Counter-based PRNG with bit-identical scalar and vectorized paths.
+
+The synthetic data generators must produce *byte-identical* datasets with
+and without numpy (the 31 measurement-plane goldens and the scale-tier
+digests pin them).  Stateful generators can't do that — numpy's Generator
+draws have no pure-python twin — so generation is built on a stateless
+counter PRNG instead:
+
+    value(i) = splitmix64(key + GOLDEN * (i + 1))
+
+Each logical draw has a fixed index: row ``r`` of a generator with
+``draws_per_row = D`` owns indices ``r*D .. r*D + D - 1``.  Because the
+draw for a row depends only on ``(key, index)``:
+
+* the python path can evaluate draws one row at a time,
+* the numpy path can evaluate a whole chunk of rows at once with wrapping
+  ``uint64`` arithmetic,
+* and **chunk-size invariance holds by construction** — streaming 1M rows
+  in chunks of 10k or 200k yields the same bytes, which is what the
+  streamed-digest goldens rely on.
+
+Doubles come from the top 53 bits (``(x >> 11) * 2**-53``), exact in both
+paths.  Categorical draws go through cumulative-weight tables built once
+in pure python (see :func:`cumulative_weights`) and inverted with
+``bisect_right`` / ``np.searchsorted(side='right')``, which agree on
+identical doubles.  No transcendental sampling (Box–Muller etc.) is used
+anywhere: non-uniform shapes are expressed as explicit finite pmfs, so
+there is no libm in the reproducibility contract.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Sequence
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+_TO_DOUBLE = 2.0 ** -53
+
+
+def mix64(value: int) -> int:
+    """The splitmix64 finalizer: a 64-bit bijective avalanche mix."""
+    value &= _MASK64
+    value ^= value >> 30
+    value = (value * _MIX_1) & _MASK64
+    value ^= value >> 27
+    value = (value * _MIX_2) & _MASK64
+    value ^= value >> 31
+    return value
+
+
+def stream_key(seed: int, name: str) -> int:
+    """A 64-bit stream key from a user seed and a stream name.
+
+    Distinct names decorrelate streams sharing one seed (each generator
+    column family gets its own name), and the same ``(seed, name)`` always
+    maps to the same key on every platform.
+    """
+    key = mix64((seed & _MASK64) ^ 0x5851F42D4C957F2D)
+    for byte in name.encode("utf-8"):
+        key = mix64(key ^ (byte + 0x100))
+    return key
+
+
+class CounterStream:
+    """A stateless stream of uniform doubles indexed by ``(row, draw)``.
+
+    ``draws_per_row`` fixes each row's index budget up front; generators
+    must never exceed it (that would alias another row's draws).  Unused
+    draw slots are simply never evaluated — skipping them costs nothing,
+    unlike stateful generators where every draw advances shared state.
+    """
+
+    __slots__ = ("key", "draws_per_row")
+
+    def __init__(self, seed: int, name: str, draws_per_row: int):
+        if draws_per_row < 1:
+            raise ValueError(f"draws_per_row must be >= 1, got {draws_per_row}")
+        self.key = stream_key(seed, name)
+        self.draws_per_row = draws_per_row
+
+    def double(self, row: int, draw: int) -> float:
+        """The uniform double in [0, 1) for one ``(row, draw)`` slot."""
+        index = row * self.draws_per_row + draw
+        return (mix64(self.key + _GOLDEN * (index + 1)) >> 11) * _TO_DOUBLE
+
+    def doubles_block(self, np, row_start: int, row_count: int, draw: int):
+        """Vectorized ``double`` over rows ``row_start .. +row_count`` (numpy).
+
+        Bit-identical to the scalar path: the same wrapping 64-bit
+        arithmetic evaluated with ``uint64`` arrays.  ``np`` is passed in
+        so this module never imports numpy itself.
+        """
+        rows = np.arange(row_start, row_start + row_count, dtype=np.uint64)
+        index = rows * np.uint64(self.draws_per_row) + np.uint64(draw)
+        value = self.key + _GOLDEN * (index + np.uint64(1))
+        value ^= value >> np.uint64(30)
+        value *= np.uint64(_MIX_1)
+        value ^= value >> np.uint64(27)
+        value *= np.uint64(_MIX_2)
+        value ^= value >> np.uint64(31)
+        return (value >> np.uint64(11)).astype(np.float64) * _TO_DOUBLE
+
+
+def cumulative_weights(weights: Sequence[float]) -> list[float]:
+    """Normalized cumulative weights for categorical inversion.
+
+    Built once per table in pure python (sequential accumulation), shared
+    verbatim by both backends — the numpy path wraps the *same* float list
+    in an array, so searchsorted and bisect see identical boundaries.  The
+    final entry is pinned to exactly 1.0 so a draw of 0.999... can never
+    fall off the end.
+    """
+    total = 0.0
+    for weight in weights:
+        if weight < 0 or not math.isfinite(weight):
+            raise ValueError(f"weights must be finite and non-negative, got {weight}")
+        total += weight
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    cumulative: list[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running / total)
+    cumulative[-1] = 1.0
+    return cumulative
+
+
+def categorical(u: float, cumulative: Sequence[float]) -> int:
+    """Index of the category a uniform double falls into.
+
+    ``bisect_right`` matches ``np.searchsorted(side='right')`` exactly on
+    identical doubles, so scalar and vectorized inversion agree.
+    """
+    index = bisect_right(cumulative, u)
+    return min(index, len(cumulative) - 1)
+
+
+def bounded_int(u: float, n: int) -> int:
+    """A uniform int in ``range(n)`` from one double (clamped at ``n - 1``)."""
+    index = int(u * n)
+    return n - 1 if index >= n else index
+
+
+__all__ = [
+    "CounterStream",
+    "bounded_int",
+    "categorical",
+    "cumulative_weights",
+    "mix64",
+    "stream_key",
+]

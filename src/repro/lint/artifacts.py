@@ -1012,14 +1012,21 @@ def check_obs_artifacts(path: str | Path, label: str | None = None) -> list[Diag
     return out.findings
 
 
-#: Required numeric fields of one benchmark case and whether they must be
-#: strictly positive (n, repeats) or merely non-negative (wall times).
+#: Required fields of one benchmark case: (name, strictly_positive,
+#: integral).  Counts (n, repeats) must be positive integers — a float
+#: ``n`` would make scale-tier entries ambiguous; wall times are
+#: non-negative numbers.
 _BENCH_CASE_FIELDS = (
-    ("n", True),
-    ("repeats", True),
-    ("p50_wall_s", False),
-    ("p95_wall_s", False),
+    ("n", True, True),
+    ("repeats", True, True),
+    ("p50_wall_s", False, False),
+    ("p95_wall_s", False, False),
 )
+
+#: Cases at or above this many rows must name the kernel backend that
+#: produced them — scale-tier timings are meaningless without knowing
+#: whether the numpy kernels or the pure-python fallback ran the sweep.
+_BENCH_KERNEL_FLOOR = 100_000
 
 #: Schema id of benchmark trajectory files (``BENCH_*.json``).
 BENCH_SCHEMA = "repro.bench/trajectory@1"
@@ -1032,10 +1039,12 @@ def check_bench_artifacts(path: str | Path, label: str | None = None) -> list[Di
     repo's history so performance regressions are diffable in review.  The
     contract: the ``repro.bench/trajectory@1`` schema, a non-empty suite
     name, and a list of entries each carrying the git revision that
-    produced it, a ``quick`` flag, and per-size cases with ``n``,
-    ``repeats``, ``p50_wall_s <= p95_wall_s`` and a true
+    produced it, a ``quick`` flag, and per-size cases with integral
+    ``n``/``repeats``, ``p50_wall_s <= p95_wall_s`` and a true
     ``plane_equivalent`` flag (a recorded plane divergence is itself an
-    error — the benchmark doubles as an equivalence witness).
+    error — the benchmark doubles as an equivalence witness).  Scale-tier
+    cases (``n`` >= 100k) must additionally name the ``kernel`` backend
+    that produced the timing.
     """
     out = DiagnosticCollector()
     file_path = Path(path)
@@ -1091,12 +1100,20 @@ def check_bench_artifacts(path: str | Path, label: str | None = None) -> list[Di
                 out.error("ART012", f"{case_tag} must be an object", **where)
                 continue
             bad = False
-            for field_name, strictly_positive in _BENCH_CASE_FIELDS:
+            for field_name, strictly_positive, integral in _BENCH_CASE_FIELDS:
                 value = case.get(field_name)
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     out.error(
                         "ART012",
                         f"{case_tag}.{field_name} must be a number",
+                        **where,
+                    )
+                    bad = True
+                elif integral and not isinstance(value, int):
+                    out.error(
+                        "ART012",
+                        f"{case_tag}.{field_name} must be an integer, "
+                        f"got {value!r}",
                         **where,
                     )
                     bad = True
@@ -1129,6 +1146,16 @@ def check_bench_artifacts(path: str | Path, label: str | None = None) -> list[Di
                     hint="investigate the row/columnar divergence before committing",
                     **where,
                 )
+            if not bad and case["n"] >= _BENCH_KERNEL_FLOOR:
+                kernel = case.get("kernel")
+                if not isinstance(kernel, str) or not kernel:
+                    out.error(
+                        "ART012",
+                        f"{case_tag} has n={case['n']} (scale tier) but "
+                        "does not name the kernel backend",
+                        hint='add "kernel": "numpy" or "python" to the case',
+                        **where,
+                    )
     return out.findings
 
 

@@ -18,9 +18,7 @@ from __future__ import annotations
 import math
 from typing import Generic, Hashable, Iterator, Sequence, TypeVar
 
-import numpy as np
-
-from .pareto import Objectives, dominates
+from .pareto import Objectives, dominates, normalized
 
 Payload = TypeVar("Payload", bound=Hashable)
 
@@ -133,10 +131,7 @@ def knee_point(
         raise ValueError("archive is empty")
     if len(entries) == 1:
         return entries[0][0]
-    matrix = np.asarray([objectives for _, objectives in entries], dtype=float)
-    low = matrix.min(axis=0)
-    span = matrix.max(axis=0) - low
-    span[span == 0] = 1.0
-    normalized = (matrix - low) / span
-    worst = normalized.max(axis=1)
-    return entries[int(np.argmin(worst))][0]
+    scaled = normalized([objectives for _, objectives in entries])
+    worst = [max(row) for row in scaled]
+    best = min(range(len(worst)), key=worst.__getitem__)
+    return entries[best][0]

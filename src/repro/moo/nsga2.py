@@ -17,10 +17,10 @@ says must change; benches compare the Pareto front against it.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
-
-import numpy as np
 
 from ..anonymize.algorithms.base import RecodingWorkspace
 from ..anonymize.engine import Anonymization
@@ -32,6 +32,7 @@ from .pareto import (
     crowding_distance,
     fast_non_dominated_sort,
     non_dominated,
+    normalized,
 )
 
 #: Objective function over a lattice node: (workspace, node) -> value to minimize.
@@ -45,7 +46,7 @@ def privacy_rank_objective(workspace: RecodingWorkspace, node: Node) -> float:
     # Per-tuple class sizes without materializing the release: each class of
     # size s contributes s tuples at distance (total - s).
     squared = sum(size * (total - size) ** 2 for size in counts.values())
-    return float(np.sqrt(squared))
+    return math.sqrt(squared)
 
 
 def utility_loss_objective(workspace: RecodingWorkspace, node: Node) -> float:
@@ -129,25 +130,24 @@ class Nsga2Search:
         return tuple(objective(workspace, node) for objective in self.objectives)
 
     def _random_node(
-        self, workspace: RecodingWorkspace, rng: np.random.Generator
+        self, workspace: RecodingWorkspace, rng: random.Random
     ) -> Node:
         return tuple(
-            int(rng.integers(0, height + 1))
-            for height in workspace.lattice.heights
+            rng.randrange(height + 1) for height in workspace.lattice.heights
         )
 
     def _mutate(
-        self, node: Node, workspace: RecodingWorkspace, rng: np.random.Generator
+        self, node: Node, workspace: RecodingWorkspace, rng: random.Random
     ) -> Node:
         levels = list(node)
         for position, height in enumerate(workspace.lattice.heights):
             if rng.random() < self.mutation_rate:
                 step = 1 if rng.random() < 0.5 else -1
-                levels[position] = int(np.clip(levels[position] + step, 0, height))
+                levels[position] = min(max(levels[position] + step, 0), height)
         return tuple(levels)
 
     def _crossover(
-        self, a: Node, b: Node, rng: np.random.Generator
+        self, a: Node, b: Node, rng: random.Random
     ) -> Node:
         return tuple(
             a[i] if rng.random() < 0.5 else b[i] for i in range(len(a))
@@ -158,7 +158,7 @@ class Nsga2Search:
     ) -> ParetoResult:
         """Run the search; returns the non-dominated front found."""
         workspace = RecodingWorkspace(dataset, hierarchies)
-        rng = np.random.default_rng(self.seed)
+        rng = random.Random(self.seed)
         scores: dict[Node, Objectives] = {}
 
         def evaluate(node: Node) -> Objectives:
@@ -187,7 +187,8 @@ class Nsga2Search:
                     crowd_of[member] = distances[member]
 
             def tournament() -> Node:
-                i, j = rng.integers(0, len(population), 2)
+                i = rng.randrange(len(population))
+                j = rng.randrange(len(population))
                 if rank_of[i] != rank_of[j]:
                     return population[i if rank_of[i] < rank_of[j] else j]
                 return population[i if crowd_of[i] >= crowd_of[j] else j]
@@ -246,14 +247,14 @@ def weighted_sum_search(
         tuple(objective(workspace, node) for objective in objectives)
         for node in nodes
     ]
-    array = np.asarray(raw, dtype=float)
-    low = array.min(axis=0)
-    span = array.max(axis=0) - low
-    span[span == 0] = 1.0
-    normalized = (array - low) / span
-    weights = np.array([weight, 1.0 - weight])
-    if normalized.shape[1] != 2:
-        weights = np.full(normalized.shape[1], 1.0 / normalized.shape[1])
-    scores = normalized @ weights
-    best = int(np.argmin(scores))
+    scaled = normalized(raw)
+    dimensions = len(scaled[0])
+    if dimensions == 2:
+        weights: tuple[float, ...] = (weight, 1.0 - weight)
+    else:
+        weights = tuple(1.0 / dimensions for _ in range(dimensions))
+    scores = [
+        sum(value * w for value, w in zip(row, weights)) for row in scaled
+    ]
+    best = min(range(len(scores)), key=scores.__getitem__)
     return nodes[best], raw[best]

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 Objectives = tuple[float, ...]
 
 
@@ -119,10 +117,31 @@ def hypervolume_2d(
     return volume
 
 
-def normalized(points: Sequence[Objectives]) -> np.ndarray:
-    """Min-max normalization of an objective matrix (columns to [0,1])."""
-    array = np.asarray(points, dtype=float)
-    low = array.min(axis=0)
-    span = array.max(axis=0) - low
-    span[span == 0] = 1.0
-    return (array - low) / span
+class ObjectiveMatrix(tuple):
+    """Rows-of-tuples objective matrix with whole-matrix reductions."""
+
+    def min(self) -> float:
+        """Smallest entry of the matrix."""
+        return min(min(row) for row in self)
+
+    def max(self) -> float:
+        """Largest entry of the matrix."""
+        return max(max(row) for row in self)
+
+
+def normalized(points: Sequence[Objectives]) -> ObjectiveMatrix:
+    """Min-max normalization of an objective matrix (columns to [0,1]).
+
+    Constant columns (zero span) normalize to 0.0 rather than dividing by
+    zero, matching the convention of pinning their span to 1.
+    """
+    rows = [tuple(float(value) for value in point) for point in points]
+    if not rows:
+        return ObjectiveMatrix()
+    dimensions = range(len(rows[0]))
+    low = [min(row[d] for row in rows) for d in dimensions]
+    span = [max(row[d] for row in rows) - low[d] for d in dimensions]
+    span = [extent if extent != 0 else 1.0 for extent in span]
+    return ObjectiveMatrix(
+        tuple((row[d] - low[d]) / span[d] for d in dimensions) for row in rows
+    )

@@ -25,7 +25,11 @@ from typing import Any, Callable, Iterator, Mapping
 #: tables, incremental partitions) — outputs are pinned bit-identical to
 #: the row plane, but row-plane-era cache entries must not satisfy
 #: columnar-era lookups.
-CODE_EPOCH = "2"
+#: "3": generators rebuilt on the counter PRNG (byte-identical with and
+#: without numpy) and stochastic algorithms moved to ``random.Random`` —
+#: datasets and seeded algorithm outputs changed, so epoch-2 cache
+#: entries must not satisfy epoch-3 lookups.
+CODE_EPOCH = "3"
 
 
 class TaskError(ValueError):

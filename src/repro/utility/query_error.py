@@ -11,10 +11,9 @@ measure.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
-
-import numpy as np
 
 from ..anonymize.engine import Anonymization
 from ..datasets.dataset import Dataset
@@ -174,10 +173,10 @@ def random_range_workload(
         raise QueryError(f"attribute {attribute!r} has no numeric values")
     low, high = min(values), max(values)
     width = (high - low) * selectivity
-    rng = np.random.default_rng(seed)
+    rng = random.Random(seed)
     workload = []
     for _ in range(queries):
-        start = float(rng.uniform(low, max(low, high - width)))
+        start = rng.uniform(low, max(low, high - width))
         workload.append(RangePredicate(attribute, start, start + width))
     return workload
 

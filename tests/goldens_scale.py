@@ -1,0 +1,152 @@
+"""Scale-tier golden fixtures: streamed digests + a pinned k-sweep.
+
+The 1M-row scale tier never materializes a full table in the benchmarks,
+so its reproducibility contract is pinned on *streamed* artifacts:
+
+* chunk digests of the counter-PRNG generators at 100k rows (all three
+  workloads) and 1M rows (Adult) — chunk-size independent by
+  construction, and byte-identical with and without numpy;
+* a k-sweep summary of the 100k Adult table at one mid-lattice node of
+  the three-attribute QI (class count, minimum class size, violation
+  counts per k) — the scale tier's measurement-plane witness.
+
+Record with::
+
+    PYTHONPATH=src python -m tests.goldens_scale   # writes tests/golden/scale_tier.json
+
+``tests/test_scale_tier.py`` recomputes the cheap cases on every run (and
+the 1M digest when numpy is present) and compares against the committed
+JSON.  Because the digests are backend-independent, regenerating under
+numpy pins the pure-python path too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.anonymize.algorithms.base import RecodingWorkspace
+from repro.datasets import (
+    adult_dataset,
+    adult_hierarchies,
+    chunk_digest,
+    iter_adult_chunks,
+    iter_hospital_chunks,
+    iter_skewed_chunks,
+)
+from repro.datasets.schema import AttributeRole
+from repro.kernels import backend_name
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_FILE = GOLDEN_DIR / "scale_tier.json"
+
+#: The three-attribute QI the recode benchmark sweeps.
+SWEEP_QI = ("age", "education", "marital-status")
+SWEEP_NODE = (2, 1, 1)
+SWEEP_KS = (2, 5, 10, 25, 50)
+SWEEP_ROWS = 100_000
+
+DIGEST_ROWS_ALWAYS = 100_000
+DIGEST_ROWS_LARGE = 1_000_000
+
+
+def digest_cases() -> dict[str, dict[str, Any]]:
+    """The streamed-digest case table (name -> spec, digest recomputable)."""
+    return {
+        "adult_100k": {
+            "generator": "adult",
+            "rows": DIGEST_ROWS_ALWAYS,
+            "seed": 42,
+        },
+        "adult_1m": {
+            "generator": "adult",
+            "rows": DIGEST_ROWS_LARGE,
+            "seed": 42,
+        },
+        "skewed_100k": {
+            "generator": "skewed",
+            "rows": DIGEST_ROWS_ALWAYS,
+            "skew": 1.5,
+            "seed": 0,
+        },
+        "hospital_100k": {
+            "generator": "hospital",
+            "rows": DIGEST_ROWS_ALWAYS,
+            "seed": 0,
+        },
+    }
+
+
+def compute_digest(spec: dict[str, Any], chunk_rows: int = 65536) -> str:
+    """Streamed digest of one case (chunk size must not matter)."""
+    if spec["generator"] == "adult":
+        chunks = iter_adult_chunks(spec["rows"], spec["seed"], chunk_rows)
+    elif spec["generator"] == "skewed":
+        chunks = iter_skewed_chunks(
+            spec["rows"], spec["skew"], spec["seed"], chunk_rows
+        )
+    elif spec["generator"] == "hospital":
+        chunks = iter_hospital_chunks(spec["rows"], spec["seed"], chunk_rows)
+    else:  # pragma: no cover - spec table is closed
+        raise ValueError(f"unknown generator {spec['generator']!r}")
+    return chunk_digest(chunks)
+
+
+def sweep_workspace(rows: int = SWEEP_ROWS) -> RecodingWorkspace:
+    """The scale-tier measurement workspace: Adult restricted to SWEEP_QI."""
+    data = adult_dataset(rows, seed=7)
+    roles = {
+        name: AttributeRole.INSENSITIVE
+        for name in data.schema.quasi_identifier_names
+        if name not in SWEEP_QI
+    }
+    return RecodingWorkspace(data.with_roles(roles), adult_hierarchies())
+
+
+def compute_ksweep(rows: int = SWEEP_ROWS) -> dict[str, Any]:
+    """Class structure + per-k violation counts at the pinned node."""
+    workspace = sweep_workspace(rows)
+    sizes = workspace.group_sizes(SWEEP_NODE)
+    return {
+        "rows": rows,
+        "node": list(SWEEP_NODE),
+        "classes": len(sizes),
+        "min_class_size": min(sizes.values()),
+        "max_class_size": max(sizes.values()),
+        "violations": {
+            str(k): workspace.violation_count(SWEEP_NODE, k) for k in SWEEP_KS
+        },
+    }
+
+
+def write_goldens(path: Path = GOLDEN_FILE) -> dict[str, Any]:
+    """Record every scale-tier case and write the fixture file."""
+    digests = {}
+    for name, spec in digest_cases().items():
+        digests[name] = dict(spec, digest=compute_digest(spec))
+    payload = {
+        "_comment": (
+            "Scale-tier goldens: streamed generator digests and a pinned "
+            "k-sweep. Regenerate with "
+            "`PYTHONPATH=src python -m tests.goldens_scale`."
+        ),
+        "recorded_with_backend": backend_name(),
+        "digests": digests,
+        "ksweep": compute_ksweep(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
+
+
+def load_goldens(path: Path = GOLDEN_FILE) -> dict[str, Any]:
+    return json.loads(path.read_text())
+
+
+if __name__ == "__main__":
+    written = write_goldens()
+    print(
+        f"wrote {len(written['digests'])} digest case(s) + k-sweep to "
+        f"{GOLDEN_FILE}"
+    )

@@ -360,12 +360,12 @@ class TestVectorizedGrouping:
 
     def test_class_size_vector_matches_group_sizes(self, adult_small, adult_h):
         workspace = RecodingWorkspace(adult_small, adult_h)
-        import numpy as np
+        import random
 
-        rng = np.random.default_rng(3)
+        rng = random.Random(3)
         heights = workspace.lattice.heights
         for _ in range(10):
-            node = tuple(int(rng.integers(0, h + 1)) for h in heights)
+            node = tuple(rng.randrange(h + 1) for h in heights)
             counts = workspace.group_sizes(node)
             columns = [
                 workspace.generalized_column(name, level)
@@ -387,11 +387,11 @@ class TestVectorizedGrouping:
         codes, count = workspace.code_column("age", 2)
         again, _ = workspace.code_column("age", 2)
         assert codes is again
-        assert codes.min() == 0
-        assert codes.max() == count - 1
+        assert min(codes) == 0
+        assert max(codes) == count - 1
 
     def test_projection_grouping(self, adult_small, adult_h):
         workspace = RecodingWorkspace(adult_small, adult_h)
         sizes = workspace.class_size_vector((1,), attributes=["sex"])
         counts = workspace.group_sizes((1,), attributes=["sex"])
-        assert sizes.sum() == sum(v * v for v in counts.values())
+        assert sum(sizes) == sum(v * v for v in counts.values())

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.core.indices",
     "repro.datasets",
     "repro.hierarchy",
+    "repro.kernels",
     "repro.lint",
     "repro.moo",
     "repro.privacy",

@@ -15,7 +15,7 @@ pinned golden cases:
 
 from __future__ import annotations
 
-import numpy as np
+from repro.kernels.array import xp as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -22,7 +22,7 @@ dominance" can never land inside a tie band.
 
 from __future__ import annotations
 
-import numpy as np
+from repro.kernels.array import xp as np
 import pytest
 
 hypothesis = pytest.importorskip("hypothesis")

@@ -1,6 +1,5 @@
 """Tests for unary quality indices (Sections 3 and 5.1 of the paper)."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

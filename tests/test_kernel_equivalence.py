@@ -1,0 +1,420 @@
+"""Property tests pinning the two kernel backends to each other.
+
+The kernel layer's contract is *exact* observable equality: for every
+operation, the numpy backend must return the same values (labels, sizes,
+minima, histograms, interned codes) as the pure-python backend — not
+merely isomorphic ones.  These tests drive both backends over
+hypothesis-generated and adversarially constructed inputs:
+
+* single-class partitions (constant columns),
+* all-rows-suppressed recodings,
+* mixed-radix packing at the int64 re-densify boundary,
+* empty columns,
+* codes far beyond int32,
+* mixed-type columns the vectorized intern must decline rather than
+  silently coerce.
+
+The counter PRNG's scalar and vectorized paths are pinned here too, since
+the generators' byte-identity rests on them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import HAVE_NUMPY, active, backend_name, force_backend
+from repro.kernels.prng import (
+    CounterStream,
+    bounded_int,
+    categorical,
+    cumulative_weights,
+)
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy backend not installed"
+)
+
+#: Code values spanning small domains, int32 overflow and the int64 edge.
+codes_strategy = st.integers(min_value=0, max_value=2**40 - 1)
+column_strategy = st.lists(codes_strategy, min_size=0, max_size=40)
+
+
+def on_both_backends(operation):
+    """Run ``operation(kernels)`` on each available backend."""
+    results = {}
+    backends = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+    for name in backends:
+        with force_backend(name):
+            results[name] = operation(active())
+    return results
+
+
+def assert_backends_agree(operation):
+    results = on_both_backends(operation)
+    if len(results) == 2:
+        assert results["python"] == results["numpy"]
+    return results["python"]
+
+
+def full_grouping(kernels, columns, radixes):
+    """Pack columns mixed-radix, then group: the plane's inner loop."""
+    if not columns:
+        return [], [], [], 0
+    combined = kernels.asarray(columns[0])
+    combined, _ = kernels.densify(combined)
+    for column, radix in zip(columns[1:], radixes[1:]):
+        combined = kernels.pack(combined, radix, kernels.asarray(column))
+    reps, labels, count = kernels.group(combined)
+    sizes = kernels.bincount(labels, count)
+    return (
+        kernels.tolist(reps),
+        kernels.tolist(labels),
+        kernels.tolist(sizes),
+        count,
+    )
+
+
+class TestGroupingEquivalence:
+    @given(st.lists(column_strategy, min_size=1, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_pack_group_sizes_identical(self, columns):
+        rows = min(len(column) for column in columns)
+        columns = [column[:rows] for column in columns]
+        radixes = [max(column, default=0) + 1 for column in columns]
+        reps, labels, sizes, count = assert_backends_agree(
+            lambda kernels: full_grouping(kernels, columns, radixes)
+        )
+        assert len(labels) == rows
+        assert sum(sizes) == rows
+        # Canonical labels: group g's representative row is its first
+        # occurrence, and reps are strictly increasing in... no — reps are
+        # ordered by packed value rank, so only validity is asserted.
+        for group, representative in enumerate(reps):
+            assert labels[representative] == group
+
+    @given(st.integers(min_value=0, max_value=50), codes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_single_class_partition(self, rows, value):
+        column = [value] * rows
+        reps, labels, sizes, count = assert_backends_agree(
+            lambda kernels: full_grouping(kernels, [column], [value + 1])
+        )
+        if rows:
+            assert count == 1 and sizes == [rows] and reps == [0]
+        else:
+            assert count == 0 and sizes == []
+
+    def test_empty_columns(self):
+        result = assert_backends_agree(
+            lambda kernels: full_grouping(kernels, [[], []], [1, 1])
+        )
+        assert result == ([], [], [], 0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_all_rows_suppressed(self, column):
+        """Suppression scatter-fills one code over every row, then packs."""
+        suppression_code = 6
+
+        def operation(kernels):
+            codes = kernels.gather(
+                kernels.asarray(list(range(7))), kernels.asarray(column)
+            )
+            kernels.scatter_fill(
+                codes, kernels.asarray(list(range(len(column)))), suppression_code
+            )
+            combined = kernels.pack(
+                kernels.asarray([0] * len(column)), 7, codes
+            )
+            reps, labels, count = kernels.group(combined)
+            return (
+                kernels.tolist(reps),
+                kernels.tolist(labels),
+                count,
+            )
+
+        reps, labels, count = assert_backends_agree(operation)
+        assert count == 1 and set(labels) == {0} and reps == [0]
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**40 - 1),
+            min_size=1,
+            max_size=30,
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=2**40 - 1),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_redensify_prevents_int64_overflow(self, first, second):
+        """Two radix-2^40 packs overflow int64 unless each step re-densifies.
+
+        The naive product ``c1 * 2^40 * 2^40 + ...`` exceeds 2^63; the
+        contract (labels stay below ``rows * radix``) keeps every
+        intermediate in range, and both backends must agree on the result.
+        """
+        rows = min(len(first), len(second))
+        columns = [first[:rows], second[:rows]]
+        radixes = [2**40, 2**40]
+        reps, labels, sizes, count = assert_backends_agree(
+            lambda kernels: full_grouping(kernels, columns, radixes)
+        )
+        assert sum(sizes) == rows
+
+    def test_codes_beyond_int32_at_int64_edge(self):
+        """A radix-2^62 pack step: products touch the int64 boundary."""
+        column = [0, 1, 1, 0]
+        combined = [0, 0, 1, 1]
+
+        def operation(kernels):
+            packed = kernels.pack(
+                kernels.asarray(combined), 2**62, kernels.asarray(column)
+            )
+            return kernels.tolist(packed)
+
+        labels = assert_backends_agree(operation)
+        assert labels == [0, 1, 3, 2]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=50),
+        st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grouped_value_counts_identical(self, class_codes, value_codes):
+        rows = min(len(class_codes), len(value_codes))
+        class_codes = class_codes[:rows]
+        value_codes = value_codes[:rows]
+
+        def operation(kernels):
+            labels, count = kernels.densify(kernels.asarray(class_codes))
+            return kernels.grouped_value_counts(
+                labels, count, kernels.asarray(value_codes)
+            )
+
+        histograms = assert_backends_agree(operation)
+        assert sum(
+            count for per_class in histograms for _, count in per_class
+        ) == rows
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=40),
+        st.lists(st.integers(min_value=1, max_value=7), min_size=9, max_size=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fold_reductions_identical(self, child_of_group, parent_values):
+        """fold_add / fold_min drive the incremental-coarsening minima."""
+        count = 9
+        parent_count = len(child_of_group)
+
+        parent_row_values = (parent_values * 40)[:parent_count]
+
+        def operation(kernels):
+            child = kernels.asarray(child_of_group)
+            sizes = kernels.fold_add(
+                child, kernels.asarray([1] * parent_count), count
+            )
+            minima = kernels.fold_min(
+                child, kernels.asarray(parent_row_values), count, fill=99
+            )
+            return kernels.tolist(sizes), kernels.tolist(minima)
+
+        sizes, minima = assert_backends_agree(operation)
+        assert sum(sizes) == parent_count
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_scans_identical(self, values):
+        def operation(kernels):
+            array = kernels.asarray(values)
+            return (
+                kernels.flatnonzero_less(array, 10),
+                kernels.count_less(array, 10),
+                kernels.sum_less(array, 10),
+            )
+
+        rows, count, total = assert_backends_agree(operation)
+        assert count == len(rows)
+
+
+value_strategy = st.one_of(
+    st.text(max_size=6),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=True),
+)
+
+
+def reference_intern(values):
+    """The dict-loop interning contract (first occurrence order)."""
+    lookup = {}
+    codes = []
+    for value in values:
+        code = lookup.get(value)
+        if code is None:
+            code = len(lookup)
+            lookup[value] = code
+        codes.append(code)
+    return codes, tuple(lookup)
+
+
+class TestInternEquivalence:
+    @requires_numpy
+    @given(st.lists(st.text(max_size=5), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_string_columns(self, values):
+        self.assert_matches_reference(tuple(values))
+
+    @requires_numpy
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_int_columns(self, values):
+        self.assert_matches_reference(tuple(values))
+
+    @requires_numpy
+    @given(
+        st.lists(st.floats(allow_nan=False, allow_infinity=True), max_size=50)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_float_columns(self, values):
+        self.assert_matches_reference(tuple(values))
+
+    @requires_numpy
+    @given(st.lists(value_strategy, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_never_wrong_only_declined(self, values):
+        """On any column: either decline (None) or match the dict loop."""
+        self.assert_matches_reference(tuple(values), allow_decline=True)
+
+    @requires_numpy
+    def test_mixed_types_declined(self):
+        """int 1 and str "1" must not merge (np.asarray would stringify)."""
+        with force_backend("numpy"):
+            assert active().intern((1, "1", 2.5)) is None
+
+    @requires_numpy
+    def test_nul_strings_declined(self):
+        """Fixed-width unicode strips trailing NULs — 'a' would merge
+        with 'a\\x00'; such columns must take the dict loop."""
+        with force_backend("numpy"):
+            assert active().intern(("a", "a\x00")) is None
+
+    @requires_numpy
+    def test_huge_ints_declined(self):
+        """Beyond-int64 values cannot take the vectorized path."""
+        with force_backend("numpy"):
+            assert active().intern((2**70, 0)) is None
+
+    @requires_numpy
+    def test_nan_declined(self):
+        """NaN breaks hash-equality interning; the fast path must decline."""
+        with force_backend("numpy"):
+            assert active().intern((float("nan"), 1.0)) is None
+
+    @staticmethod
+    def assert_matches_reference(values, allow_decline=False):
+        with force_backend("numpy"):
+            interned = active().intern(values)
+            if interned is None:
+                kinds = {type(value) for value in values}
+                nul_strings = kinds == {str} and any(
+                    "\x00" in value for value in values
+                )
+                if allow_decline or nul_strings:
+                    return
+                # Homogeneous columns must take the fast path; a decline
+                # would silently lose the scale-tier speedup.
+                assert kinds and kinds not in ({str}, {int}, {bool}, {float}), (
+                    f"fast path declined a homogeneous column of {kinds}"
+                )
+                return
+            codes, decode = interned
+        expected_codes, expected_decode = reference_intern(values)
+        assert list(codes) == expected_codes
+        assert decode == expected_decode
+        # Identity, not just equality: each decode entry must be the exact
+        # first-occurrence object of its group (what the dict loop keeps).
+        for actual, expected in zip(decode, expected_decode):
+            assert actual is expected
+
+
+class TestCounterPrng:
+    @given(st.integers(min_value=0, max_value=2**63), st.text(max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_doubles_in_unit_interval(self, seed, name):
+        stream = CounterStream(seed, name, 3)
+        for row in range(20):
+            for draw in range(3):
+                value = stream.double(row, draw)
+                assert 0.0 <= value < 1.0
+
+    @requires_numpy
+    @given(
+        st.integers(min_value=0, max_value=2**63),
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_block_matches_scalar(self, seed, row_start, row_count):
+        import numpy as np
+
+        stream = CounterStream(seed, "block", 4)
+        for draw in (0, 3):
+            block = stream.doubles_block(np, row_start, row_count, draw)
+            scalar = [
+                stream.double(row, draw)
+                for row in range(row_start, row_start + row_count)
+            ]
+            assert block.tolist() == scalar
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=9
+        ),
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_categorical_matches_searchsorted(self, weights, u):
+        cumulative = cumulative_weights(weights)
+        index = categorical(u, cumulative)
+        assert 0 <= index < len(weights)
+        if HAVE_NUMPY:
+            import numpy as np
+
+            vectorized = min(
+                int(np.searchsorted(np.asarray(cumulative), u, side="right")),
+                len(weights) - 1,
+            )
+            assert index == vectorized
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_int_in_range(self, u, n):
+        assert 0 <= bounded_int(u, n) < n
+
+
+class TestBackendSelection:
+    def test_active_backend_reports_name(self):
+        assert backend_name() in ("python", "numpy")
+        assert active().name == backend_name()
+
+    def test_force_backend_restores(self):
+        before = backend_name()
+        with force_backend("python"):
+            assert backend_name() == "python"
+            assert active().intern(("a", "b")) is None
+        assert backend_name() == before
+
+    @requires_numpy
+    def test_numpy_backend_exposes_module(self):
+        with force_backend("numpy"):
+            assert active().numpy is not None
+        with force_backend("python"):
+            assert active().numpy is None

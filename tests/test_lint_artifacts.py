@@ -540,6 +540,33 @@ class TestCheckBenchArtifacts:
         assert any("plane_equivalent" in f.message for f in findings)
         assert all(f.severity is Severity.ERROR for f in findings)
 
+    def test_float_n_is_an_error(self, tmp_path):
+        payload = _bench_payload()
+        payload["entries"][0]["cases"][0]["n"] = 300.0
+        findings = check_bench_artifacts(self._write(tmp_path, payload))
+        assert any("must be an integer" in f.message for f in findings)
+
+    def test_float_repeats_is_an_error(self, tmp_path):
+        payload = _bench_payload()
+        payload["entries"][0]["cases"][0]["repeats"] = 3.5
+        findings = check_bench_artifacts(self._write(tmp_path, payload))
+        assert any("repeats must be an integer" in f.message for f in findings)
+
+    def test_scale_tier_case_requires_kernel(self, tmp_path):
+        payload = _bench_payload()
+        payload["entries"][0]["cases"][0]["n"] = 1_000_000
+        findings = check_bench_artifacts(self._write(tmp_path, payload))
+        assert any("kernel backend" in f.message for f in findings)
+
+    def test_scale_tier_case_with_kernel_is_clean(self, tmp_path):
+        payload = _bench_payload()
+        payload["entries"][0]["cases"][0]["n"] = 1_000_000
+        payload["entries"][0]["cases"][0]["kernel"] = "numpy"
+        assert check_bench_artifacts(self._write(tmp_path, payload)) == []
+
+    def test_small_case_does_not_require_kernel(self, tmp_path):
+        assert check_bench_artifacts(self._write(tmp_path, _bench_payload())) == []
+
     def test_committed_trajectory_is_clean(self):
         committed = Path(__file__).resolve().parent.parent / "BENCH_recode.json"
         assert committed.exists(), "BENCH_recode.json must be committed"

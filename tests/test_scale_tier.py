@@ -1,0 +1,89 @@
+"""Scale-tier goldens: streamed digests and the pinned k-sweep.
+
+Pins the 1M-row tier's reproducibility contract from
+``tests/golden/scale_tier.json`` (see :mod:`tests.goldens_scale`):
+
+* the 100k streamed digests re-run on whichever backend is active, so the
+  no-numpy CI leg proves byte-identity of the pure-python generators
+  against digests recorded under numpy;
+* the 1M digest and the 100k k-sweep are numpy-gated — they exist to pin
+  the scale tier the benchmarks time, and the cheap cases already cover
+  the backend-equivalence claim;
+* chunk-size invariance and direct python==numpy digest equality are
+  asserted on small inputs on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import HAVE_NUMPY, force_backend
+
+from .goldens_scale import (
+    GOLDEN_FILE,
+    SWEEP_ROWS,
+    compute_digest,
+    compute_ksweep,
+    digest_cases,
+    load_goldens,
+)
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="scale-tier case is numpy-gated (see module docstring)"
+)
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    assert GOLDEN_FILE.exists(), (
+        f"missing golden file {GOLDEN_FILE}; regenerate with "
+        "`PYTHONPATH=src python -m tests.goldens_scale`"
+    )
+    return load_goldens()
+
+
+SMALL_CASES = sorted(
+    name for name, spec in digest_cases().items() if spec["rows"] <= SWEEP_ROWS
+)
+LARGE_CASES = sorted(
+    name for name, spec in digest_cases().items() if spec["rows"] > SWEEP_ROWS
+)
+
+
+@pytest.mark.parametrize("name", SMALL_CASES)
+def test_streamed_digest_matches_golden(goldens, name):
+    spec = goldens["digests"][name]
+    assert spec == dict(digest_cases()[name], digest=spec["digest"]), (
+        "golden spec drifted from tests.goldens_scale.digest_cases(); "
+        "regenerate the fixture"
+    )
+    assert compute_digest(spec) == spec["digest"]
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", LARGE_CASES)
+def test_large_streamed_digest_matches_golden(goldens, name):
+    spec = goldens["digests"][name]
+    assert compute_digest(spec) == spec["digest"]
+
+
+def test_digest_independent_of_chunk_size(goldens):
+    spec = dict(goldens["digests"]["adult_100k"], rows=10_000)
+    assert compute_digest(spec, chunk_rows=1024) == compute_digest(
+        spec, chunk_rows=3333
+    )
+
+
+@needs_numpy
+def test_digest_identical_across_backends(goldens):
+    spec = dict(goldens["digests"]["adult_100k"], rows=5_000)
+    with force_backend("python"):
+        scalar = compute_digest(spec)
+    with force_backend("numpy"):
+        vector = compute_digest(spec)
+    assert scalar == vector
+
+
+@needs_numpy
+def test_ksweep_matches_golden(goldens):
+    assert compute_ksweep() == goldens["ksweep"]

@@ -1,6 +1,6 @@
 """Executable checks around Theorem 1 and its corollaries."""
 
-import numpy as np
+from repro.kernels.array import xp as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
